@@ -1,0 +1,168 @@
+//! Collection of array accesses from a statement body.
+
+use defacto_ir::{ArrayAccess, Stmt};
+
+/// Index of an access within an [`AccessTable`], stable for the lifetime of
+/// the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessId(pub usize);
+
+/// One array access occurrence in a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Identifier (position in program order).
+    pub id: AccessId,
+    /// The access expression.
+    pub access: ArrayAccess,
+    /// True for stores, false for loads.
+    pub is_write: bool,
+    /// True when the access executes under an `if` (conditional accesses
+    /// still occupy a memory slot in the paper's generated code, but the
+    /// distinction is kept for diagnostics).
+    pub conditional: bool,
+}
+
+/// All array accesses of a statement body, in program order.
+///
+/// The table is the shared input of the uniformly-generated-set, dependence
+/// and reuse analyses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTable {
+    accesses: Vec<Access>,
+}
+
+impl AccessTable {
+    /// Collect accesses from `stmts` recursively (loads in expressions and
+    /// `if` conditions, stores on assignment targets).
+    pub fn from_stmts(stmts: &[Stmt]) -> Self {
+        let mut accesses = Vec::new();
+        collect(stmts, false, &mut accesses);
+        AccessTable { accesses }
+    }
+
+    /// All accesses in program order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Access by id.
+    pub fn get(&self, id: AccessId) -> &Access {
+        &self.accesses[id.0]
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when the body has no array accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Iterator over read accesses.
+    pub fn reads(&self) -> impl Iterator<Item = &Access> + '_ {
+        self.accesses.iter().filter(|a| !a.is_write)
+    }
+
+    /// Iterator over write accesses.
+    pub fn writes(&self) -> impl Iterator<Item = &Access> + '_ {
+        self.accesses.iter().filter(|a| a.is_write)
+    }
+
+    /// Names of arrays accessed, deduplicated, in first-use order.
+    pub fn arrays(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for a in &self.accesses {
+            if !out.contains(&a.access.array.as_str()) {
+                out.push(&a.access.array);
+            }
+        }
+        out
+    }
+}
+
+fn collect(stmts: &[Stmt], conditional: bool, out: &mut Vec<Access>) {
+    // Manual recursion (rather than `walk_stmts`) to thread conditional
+    // context.
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                for a in rhs.loads() {
+                    push(out, a.clone(), false, conditional);
+                }
+                if let Some(a) = lhs.as_array() {
+                    push(out, a.clone(), true, conditional);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                for a in cond.loads() {
+                    push(out, a.clone(), false, conditional);
+                }
+                collect(then_body, true, out);
+                collect(else_body, true, out);
+            }
+            Stmt::For(l) => collect(&l.body, conditional, out),
+            Stmt::Rotate(_) => {}
+        }
+    }
+}
+
+fn push(out: &mut Vec<Access>, access: ArrayAccess, is_write: bool, conditional: bool) {
+    let id = AccessId(out.len());
+    out.push(Access {
+        id,
+        access,
+        is_write,
+        conditional,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::parse_kernel;
+
+    #[test]
+    fn collects_in_program_order() {
+        let k = parse_kernel(
+            "kernel t { in A: i32[8]; in B: i32[8]; out C: i32[8];
+               for i in 0..8 { C[i] = A[i] + B[i]; } }",
+        )
+        .unwrap();
+        let nest = k.perfect_nest().unwrap();
+        let t = AccessTable::from_stmts(nest.innermost_body());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.accesses()[0].access.array, "A");
+        assert_eq!(t.accesses()[1].access.array, "B");
+        assert!(t.accesses()[2].is_write);
+        assert_eq!(t.reads().count(), 2);
+        assert_eq!(t.writes().count(), 1);
+        assert_eq!(t.arrays(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn conditional_context_is_tracked() {
+        let k = parse_kernel(
+            "kernel t { in A: i32[8]; out C: i32[8];
+               for i in 0..8 { if (A[i] > 0) { C[i] = A[i]; } } }",
+        )
+        .unwrap();
+        let nest = k.perfect_nest().unwrap();
+        let t = AccessTable::from_stmts(nest.innermost_body());
+        assert_eq!(t.len(), 3);
+        assert!(!t.accesses()[0].conditional); // condition load itself
+        assert!(t.accesses()[1].conditional); // A[i] in branch
+        assert!(t.accesses()[2].conditional); // C[i] store
+    }
+
+    #[test]
+    fn empty_body() {
+        let t = AccessTable::from_stmts(&[]);
+        assert!(t.is_empty());
+    }
+}

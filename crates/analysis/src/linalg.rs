@@ -1,0 +1,308 @@
+//! Exact rational linear algebra for dependence-distance computation.
+//!
+//! Dependence analysis between two uniformly generated references reduces
+//! to solving `M · d = Δ` where `M` is the (dimensions × loops) coefficient
+//! matrix of the references and `Δ` the difference of their constant
+//! offsets. The solver reports, per loop variable, whether the distance
+//! component is a unique rational value, completely unconstrained
+//! (the subscripts are invariant in that loop), or coupled to other
+//! variables (no constant distance exists).
+
+use std::fmt;
+
+/// An exact rational number with `i128` numerator/denominator.
+///
+/// The denominator is always positive and the fraction is reduced, so
+/// equality is mathematical equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Construct `num/den`, normalizing sign and reducing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd_i128(num.abs(), den.abs()).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The integer `v`.
+    pub fn from_int(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+
+    /// Numerator (after reduction; sign lives here).
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// The value as an integer, when it is one.
+    pub fn as_integer(self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
+
+    /// True for the zero value.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn add(self, o: Rational) -> Rational {
+        Rational::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    fn mul(self, o: Rational) -> Rational {
+        Rational::new(self.num * o.num, self.den * o.den)
+    }
+
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    fn div(self, o: Rational) -> Rational {
+        assert!(!o.is_zero(), "rational division by zero");
+        Rational::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Greatest common divisor of two non-negative `i128`s.
+pub(crate) fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Greatest common divisor of two `i64`s (absolute value; `gcd(0,0)=0`).
+pub fn gcd_i64(a: i64, b: i64) -> i64 {
+    gcd_i128(a as i128, b as i128) as i64
+}
+
+/// Per-variable result of [`solve_affine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarSolution {
+    /// The variable has exactly one value in every solution.
+    Unique(Rational),
+    /// The variable does not appear in the system (zero column): any value
+    /// solves it. For dependence distances this means the references are
+    /// invariant in that loop.
+    Invariant,
+    /// The variable is constrained but not to a single value (it trades off
+    /// against other variables): no constant distance exists.
+    Coupled,
+}
+
+/// Solve `M · x = rhs` exactly.
+///
+/// Returns `None` when the system is inconsistent (no solution — for
+/// dependence analysis this proves independence), otherwise one
+/// [`VarSolution`] per column of `M`.
+///
+/// # Panics
+///
+/// Panics if the rows of `M` and `rhs` have mismatched lengths.
+pub fn solve_affine(m: &[Vec<i64>], rhs: &[i64]) -> Option<Vec<VarSolution>> {
+    assert_eq!(m.len(), rhs.len(), "matrix/rhs row mismatch");
+    let rows = m.len();
+    let cols = m.first().map(|r| r.len()).unwrap_or(0);
+    for r in m {
+        assert_eq!(r.len(), cols, "ragged matrix");
+    }
+
+    // Augmented rational matrix.
+    let mut a: Vec<Vec<Rational>> = (0..rows)
+        .map(|i| {
+            let mut row: Vec<Rational> = m[i]
+                .iter()
+                .map(|&v| Rational::from_int(v as i128))
+                .collect();
+            row.push(Rational::from_int(rhs[i] as i128));
+            row
+        })
+        .collect();
+
+    // Gauss–Jordan to reduced row echelon form.
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut pivot_row = 0usize;
+    for col in 0..cols {
+        // Find a pivot.
+        let Some(r) = (pivot_row..rows).find(|&r| !a[r][col].is_zero()) else {
+            continue;
+        };
+        a.swap(pivot_row, r);
+        // Normalize pivot row.
+        let p = a[pivot_row][col];
+        for v in a[pivot_row].iter_mut() {
+            *v = v.div(p);
+        }
+        // Eliminate everywhere else.
+        for r2 in 0..rows {
+            if r2 != pivot_row && !a[r2][col].is_zero() {
+                let f = a[r2][col];
+                let pivot = a[pivot_row].clone();
+                for (cell, p) in a[r2].iter_mut().zip(&pivot) {
+                    *cell = cell.add(p.mul(f).neg());
+                }
+            }
+        }
+        pivot_of_col[col] = Some(pivot_row);
+        pivot_row += 1;
+        if pivot_row == rows {
+            break;
+        }
+    }
+
+    // Inconsistency: a zero row with non-zero rhs.
+    for row in &a {
+        if row[..cols].iter().all(|v| v.is_zero()) && !row[cols].is_zero() {
+            return None;
+        }
+    }
+
+    // Free columns: not a pivot. A free column that is all-zero in the
+    // *original* matrix is Invariant; otherwise it couples with pivots.
+    let zero_col: Vec<bool> = (0..cols).map(|c| m.iter().all(|row| row[c] == 0)).collect();
+
+    let mut out = vec![VarSolution::Coupled; cols];
+    for col in 0..cols {
+        if zero_col[col] {
+            out[col] = VarSolution::Invariant;
+            continue;
+        }
+        match pivot_of_col[col] {
+            None => {
+                // Non-zero free column: coupled.
+                out[col] = VarSolution::Coupled;
+            }
+            Some(r) => {
+                // Unique iff the pivot row has no non-zero entries in free,
+                // non-invariant columns.
+                let coupled = (0..cols).any(|c2| {
+                    c2 != col && pivot_of_col[c2].is_none() && !zero_col[c2] && !a[r][c2].is_zero()
+                });
+                if coupled {
+                    out[col] = VarSolution::Coupled;
+                } else {
+                    out[col] = VarSolution::Unique(a[r][cols]);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_arithmetic_is_reduced() {
+        let r = Rational::new(4, -8);
+        assert_eq!(r.numerator(), -1);
+        assert_eq!(r.denominator(), 2);
+        assert_eq!(Rational::new(3, 1).as_integer(), Some(3));
+        assert_eq!(Rational::new(1, 2).as_integer(), None);
+        assert_eq!(Rational::new(6, 4), Rational::new(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn unique_solution() {
+        // x + y = 3; x - y = 1  =>  x = 2, y = 1.
+        let sol = solve_affine(&[vec![1, 1], vec![1, -1]], &[3, 1]).unwrap();
+        assert_eq!(sol[0], VarSolution::Unique(Rational::from_int(2)));
+        assert_eq!(sol[1], VarSolution::Unique(Rational::from_int(1)));
+    }
+
+    #[test]
+    fn invariant_variable() {
+        // Column for y is zero: x = 5, y invariant.
+        let sol = solve_affine(&[vec![1, 0]], &[5]).unwrap();
+        assert_eq!(sol[0], VarSolution::Unique(Rational::from_int(5)));
+        assert_eq!(sol[1], VarSolution::Invariant);
+    }
+
+    #[test]
+    fn coupled_variables() {
+        // x + y = 0: both coupled (the S[i+j] case).
+        let sol = solve_affine(&[vec![1, 1]], &[0]).unwrap();
+        assert_eq!(sol[0], VarSolution::Coupled);
+        assert_eq!(sol[1], VarSolution::Coupled);
+    }
+
+    #[test]
+    fn inconsistent_system() {
+        // x = 1 and x = 2.
+        assert!(solve_affine(&[vec![1], vec![1]], &[1, 2]).is_none());
+        // 0·x = 3.
+        assert!(solve_affine(&[vec![0]], &[3]).is_none());
+    }
+
+    #[test]
+    fn rational_solution_survives() {
+        // 2x = 1 => x = 1/2 (dependence analysis will reject non-integers).
+        let sol = solve_affine(&[vec![2]], &[1]).unwrap();
+        assert_eq!(sol[0], VarSolution::Unique(Rational::new(1, 2)));
+    }
+
+    #[test]
+    fn redundant_rows_are_fine() {
+        // x + y = 2 stated twice, plus x = 1.
+        let sol = solve_affine(&[vec![1, 1], vec![1, 1], vec![1, 0]], &[2, 2, 1]).unwrap();
+        assert_eq!(sol[0], VarSolution::Unique(Rational::from_int(1)));
+        assert_eq!(sol[1], VarSolution::Unique(Rational::from_int(1)));
+    }
+
+    #[test]
+    fn empty_system_all_invariant() {
+        let sol = solve_affine(&[vec![0, 0]], &[0]).unwrap();
+        assert_eq!(sol, vec![VarSolution::Invariant, VarSolution::Invariant]);
+    }
+
+    #[test]
+    fn gcd_helpers() {
+        assert_eq!(gcd_i64(12, 18), 6);
+        assert_eq!(gcd_i64(-12, 18), 6);
+        assert_eq!(gcd_i64(0, 5), 5);
+        assert_eq!(gcd_i64(0, 0), 0);
+    }
+}

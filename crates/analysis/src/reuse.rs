@@ -1,0 +1,360 @@
+//! Reuse classification of uniformly generated sets.
+//!
+//! Scalar replacement decides, per uniformly generated set, how data reuse
+//! can be captured in on-chip registers. The classification depends only
+//! on the set's coefficient matrix, so it is stable under unrolling (which
+//! only changes constant offsets):
+//!
+//! - **`FullyInvariant`** — constant subscripts; one register loaded before
+//!   the nest.
+//! - **`Consistent`** — the coefficient matrix restricted to varying loops
+//!   has full column rank, so every member pair has a constant reuse
+//!   distance. Sub-cases (derivable from the fields):
+//!   - invariant in consecutive *innermost* loops → the access hoists out
+//!     of them (loop-invariant code motion / store sinking; the FIR `D[j]`
+//!     accumulator);
+//!   - invariant in a loop *outer* than the deepest varying loop → the
+//!     values cycle and are reusable across that outer loop with a
+//!     register chain loaded on its first (peeled) iteration (the FIR
+//!     `C[i]` coefficients);
+//!   - otherwise → a rolling window along the deepest varying loop
+//!     (stencil rows in JAC/SOBEL).
+//! - **`InconsistentOnly`** — rank-deficient on the varying loops (e.g.
+//!   `S[i+j]`): reuse distances are not constant per loop, so only
+//!   same-iteration (loop-independent) duplicates can be eliminated.
+
+use crate::uniform::UniformSet;
+
+/// How a uniformly generated set's reuse can be exploited in registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReuseStrategy {
+    /// Constant subscripts: a single register suffices.
+    FullyInvariant,
+    /// Constant per-loop reuse distances.
+    Consistent {
+        /// Deepest loop level the subscripts vary with.
+        deepest_varying: usize,
+        /// Number of consecutive innermost loops the set is invariant in
+        /// (the access hoists/sinks out of these).
+        hoist_inner: usize,
+        /// The outermost loop level that is invariant *and* shallower than
+        /// `deepest_varying`, if any: values recur across iterations of
+        /// that loop and a register chain can hold them.
+        outer_reuse: Option<usize>,
+    },
+    /// Rank-deficient coefficients on the varying loops: only
+    /// loop-independent (same-address, same-iteration) reuse exists.
+    InconsistentOnly,
+}
+
+impl ReuseStrategy {
+    /// True when loop-carried reuse can be captured in registers.
+    pub fn has_carried_reuse(&self) -> bool {
+        !matches!(self, ReuseStrategy::InconsistentOnly)
+    }
+}
+
+/// Classify a uniformly generated set against a nest of `levels` loops.
+///
+/// `levels` is the nest depth; the set's signature must have been built
+/// over the same loop ordering (outermost first). Consistency is decided
+/// by the coefficient rank alone; use [`classify_set_bounded`] when trip
+/// counts are available (it additionally recognizes mixed-radix subscripts
+/// such as the `C[8·t + i]` produced by tiling).
+pub fn classify_set(set: &UniformSet, levels: usize) -> ReuseStrategy {
+    classify_impl(set, levels, None)
+}
+
+/// Like [`classify_set`] but with per-loop trip counts (outermost first),
+/// enabling the mixed-radix uniqueness test: `8·t + i` with `i ∈ [0,8)`
+/// determines `t` and `i` uniquely even though the coefficient matrix is
+/// rank-deficient.
+pub fn classify_set_bounded(set: &UniformSet, trips: &[i64]) -> ReuseStrategy {
+    classify_impl(set, trips.len(), Some(trips))
+}
+
+fn classify_impl(set: &UniformSet, levels: usize, trips: Option<&[i64]>) -> ReuseStrategy {
+    let varying = set.varying_levels();
+    if varying.is_empty() {
+        return ReuseStrategy::FullyInvariant;
+    }
+    // Full column rank on varying columns ⇔ constant distances; the
+    // bounded mixed-radix test recovers consistency for rank-deficient
+    // subscripts whose coefficients dominate the inner ranges.
+    let consistent = full_column_rank(&set.signature, &varying)
+        || trips.is_some_and(|t| radix_determined(&set.signature, &varying, t));
+    if !consistent {
+        return ReuseStrategy::InconsistentOnly;
+    }
+    let deepest_varying = *varying.last().expect("nonempty");
+    let hoist_inner = levels - 1 - deepest_varying;
+    let outer_reuse = (0..deepest_varying).find(|l| !varying.contains(l));
+    ReuseStrategy::Consistent {
+        deepest_varying,
+        hoist_inner,
+        outer_reuse,
+    }
+}
+
+/// Iterative pinning with the mixed-radix dominance condition: a
+/// subscript row determines its (not-yet-pinned) variables uniquely when,
+/// sorted by decreasing |coefficient|, each coefficient strictly dominates
+/// the maximal combined magnitude of the smaller terms
+/// (`|c_k| > Σ_{l>k} |c_l|·(N_l − 1)`). Rows pin variables; pinned
+/// variables drop out of other rows; repeat to fixpoint.
+fn radix_determined(signature: &[Vec<i64>], varying: &[usize], trips: &[i64]) -> bool {
+    let mut pinned: Vec<bool> = varying.iter().map(|_| false).collect();
+    loop {
+        let mut progress = false;
+        for row in signature {
+            // Unpinned varying variables appearing in this row.
+            let active: Vec<(usize, i64)> = varying
+                .iter()
+                .enumerate()
+                .filter(|(vi, &l)| !pinned[*vi] && row[l] != 0)
+                .map(|(vi, &l)| (vi, row[l]))
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let mut sorted = active.clone();
+            sorted.sort_by_key(|(_, c)| std::cmp::Reverse(c.abs()));
+            let dominates = (0..sorted.len()).all(|k| {
+                let tail: i64 = sorted[k + 1..]
+                    .iter()
+                    .map(|(vi, c)| {
+                        let level = varying[*vi];
+                        c.abs() * (trips.get(level).copied().unwrap_or(i64::MAX / 4) - 1)
+                    })
+                    .sum();
+                sorted[k].1.abs() > tail
+            });
+            if dominates {
+                for (vi, _) in &active {
+                    if !pinned[*vi] {
+                        pinned[*vi] = true;
+                        progress = true;
+                    }
+                }
+            }
+        }
+        if pinned.iter().all(|&p| p) {
+            return true;
+        }
+        if !progress {
+            return false;
+        }
+    }
+}
+
+/// Rank check of the signature restricted to `cols`, by fraction-free
+/// Gaussian elimination over `i128`.
+fn full_column_rank(signature: &[Vec<i64>], cols: &[usize]) -> bool {
+    let mut m: Vec<Vec<i128>> = signature
+        .iter()
+        .map(|row| cols.iter().map(|&c| row[c] as i128).collect())
+        .collect();
+    let ncols = cols.len();
+    let nrows = m.len();
+    let mut rank = 0usize;
+    #[allow(clippy::explicit_counter_loop)]
+    for col in 0..ncols {
+        let Some(pivot) = (rank..nrows).find(|&r| m[r][col] != 0) else {
+            return false; // this column is linearly dependent on earlier ones
+        };
+        m.swap(rank, pivot);
+        let p = m[rank][col];
+        let pivot_row = m[rank].clone();
+        for (r, row) in m.iter_mut().enumerate() {
+            if r != rank && row[col] != 0 {
+                let f = row[col];
+                for (cell, pv) in row.iter_mut().zip(&pivot_row) {
+                    *cell = *cell * p - pv * f;
+                }
+            }
+        }
+        rank += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessTable;
+    use crate::uniform::uniform_sets;
+    use defacto_ir::parse_kernel;
+
+    fn classify(src: &str, array: &str, is_write: bool) -> (ReuseStrategy, usize) {
+        let k = parse_kernel(src).unwrap();
+        let nest = k.perfect_nest().unwrap();
+        let table = AccessTable::from_stmts(nest.innermost_body());
+        let vars = nest.vars();
+        let sets = uniform_sets(&table, &vars);
+        let set = sets
+            .iter()
+            .find(|s| s.array == array && s.is_write == is_write)
+            .unwrap_or_else(|| panic!("no set for {array}"));
+        (classify_set(set, nest.depth()), nest.depth())
+    }
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    #[test]
+    fn fir_d_hoists_out_of_inner_loop() {
+        let (s, _) = classify(FIR, "D", false);
+        assert_eq!(
+            s,
+            ReuseStrategy::Consistent {
+                deepest_varying: 0,
+                hoist_inner: 1,
+                outer_reuse: None,
+            }
+        );
+    }
+
+    #[test]
+    fn fir_c_has_outer_reuse_across_j() {
+        let (s, _) = classify(FIR, "C", false);
+        assert_eq!(
+            s,
+            ReuseStrategy::Consistent {
+                deepest_varying: 1,
+                hoist_inner: 0,
+                outer_reuse: Some(0),
+            }
+        );
+    }
+
+    #[test]
+    fn fir_s_is_inconsistent() {
+        let (s, _) = classify(FIR, "S", false);
+        assert_eq!(s, ReuseStrategy::InconsistentOnly);
+    }
+
+    #[test]
+    fn stencil_is_windowed() {
+        let (s, _) = classify(
+            "kernel st { in A: i16[66]; out B: i16[64];
+               for i in 1..63 { B[i] = A[i - 1] + A[i] + A[i + 1]; } }",
+            "A",
+            false,
+        );
+        // Varies with the only loop; no hoisting, no outer reuse: a
+        // rolling window.
+        assert_eq!(
+            s,
+            ReuseStrategy::Consistent {
+                deepest_varying: 0,
+                hoist_inner: 0,
+                outer_reuse: None,
+            }
+        );
+    }
+
+    const MM: &str = "kernel mm { in A: i32[32][16]; in B: i32[16][4]; inout C: i32[32][4];
+       for i in 0..32 { for j in 0..4 { for k in 0..16 {
+         C[i][j] = C[i][j] + A[i][k] * B[k][j]; } } } }";
+
+    #[test]
+    fn matmul_classification() {
+        // C[i][j]: varies (i,j), invariant in k (innermost) → hoist 1.
+        let (c, _) = classify(MM, "C", false);
+        assert_eq!(
+            c,
+            ReuseStrategy::Consistent {
+                deepest_varying: 1,
+                hoist_inner: 1,
+                outer_reuse: None,
+            }
+        );
+        // A[i][k]: varies (i,k), invariant in j → outer reuse across j.
+        let (a, _) = classify(MM, "A", false);
+        assert_eq!(
+            a,
+            ReuseStrategy::Consistent {
+                deepest_varying: 2,
+                hoist_inner: 0,
+                outer_reuse: Some(1),
+            }
+        );
+        // B[k][j]: varies (j,k), invariant in i → outer reuse across i.
+        let (b, _) = classify(MM, "B", false);
+        assert_eq!(
+            b,
+            ReuseStrategy::Consistent {
+                deepest_varying: 2,
+                hoist_inner: 0,
+                outer_reuse: Some(0),
+            }
+        );
+    }
+
+    #[test]
+    fn fully_invariant() {
+        let (s, _) = classify(
+            "kernel inv { in A: i32[4]; out B: i32[8];
+               for i in 0..8 { B[i] = A[2]; } }",
+            "A",
+            false,
+        );
+        assert_eq!(s, ReuseStrategy::FullyInvariant);
+    }
+
+    #[test]
+    fn bounded_classification_recognizes_tiled_subscripts() {
+        use crate::access::AccessTable;
+        use crate::uniform::uniform_sets;
+        // C[8*t + i] over (t, j, i) with trips (4, 64, 8): rank-deficient
+        // but radix-determined.
+        let k = defacto_ir::parse_kernel(
+            "kernel t { in C: i32[32]; out B: i32[64];
+               for t in 0..4 { for j in 0..64 { for i in 0..8 {
+                 B[j] = B[j] + C[8*t + i]; } } } }",
+        )
+        .unwrap();
+        let nest = k.perfect_nest().unwrap();
+        let table = AccessTable::from_stmts(nest.innermost_body());
+        let vars = nest.vars();
+        let sets = uniform_sets(&table, &vars);
+        let c = sets.iter().find(|s| s.array == "C").unwrap();
+        // Rank-only classification gives up...
+        assert_eq!(classify_set(c, 3), ReuseStrategy::InconsistentOnly);
+        // ...but the bounded test recognizes outer reuse across j.
+        assert_eq!(
+            classify_set_bounded(c, &[4, 64, 8]),
+            ReuseStrategy::Consistent {
+                deepest_varying: 2,
+                hoist_inner: 0,
+                outer_reuse: Some(1),
+            }
+        );
+        // With a too-large inner range the radix condition fails.
+        assert_eq!(
+            classify_set_bounded(c, &[4, 64, 9]),
+            ReuseStrategy::InconsistentOnly
+        );
+    }
+
+    #[test]
+    fn diagonal_2d_access_is_inconsistent() {
+        // A[i+j][j] over (i,j): columns [1,1] and [0,1] — full rank, so
+        // consistent; but A[i+j][i+j] is rank 1 on two varying loops.
+        let (s1, _) = classify(
+            "kernel d1 { in A: i32[16][16]; out B: i32[8][8];
+               for i in 0..8 { for j in 0..8 { B[i][j] = A[i + j][j]; } } }",
+            "A",
+            false,
+        );
+        assert!(matches!(s1, ReuseStrategy::Consistent { .. }));
+        let (s2, _) = classify(
+            "kernel d2 { in A: i32[16][16]; out B: i32[8][8];
+               for i in 0..8 { for j in 0..8 { B[i][j] = A[i + j][i + j]; } } }",
+            "A",
+            false,
+        );
+        assert_eq!(s2, ReuseStrategy::InconsistentOnly);
+    }
+}

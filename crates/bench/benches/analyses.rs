@@ -1,0 +1,65 @@
+//! Criterion benchmark: the compiler analyses — dependence analysis,
+//! uniformly generated sets, and the interpreter used as the semantics
+//! oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defacto_analysis::{analyze_dependences_with_bounds, uniform_sets, AccessTable};
+use defacto_ir::{Interpreter, Workspace};
+
+fn bench_dependence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_analysis");
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let nest = kernel.perfect_nest().expect("perfect nest");
+        let table = AccessTable::from_stmts(nest.innermost_body());
+        let vars = nest.vars();
+        let bounds: Vec<(i64, i64)> = nest
+            .loops()
+            .iter()
+            .map(|l| (l.lower, l.upper - 1))
+            .collect();
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(analyze_dependences_with_bounds(&table, &vars, &bounds)))
+        });
+        let _ = uniform_sets(&table, &vars);
+    }
+    group.finish();
+}
+
+fn bench_uniform_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_sets");
+    // Unrolled FIR: a larger body stresses set partitioning.
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let unrolled = defacto_xform::unroll_and_jam(&fir, &[8, 8]).expect("unrolls");
+    let nest = unrolled.perfect_nest().expect("perfect nest");
+    let table = AccessTable::from_stmts(nest.innermost_body());
+    let vars = nest.vars();
+    group.bench_function("FIR_8x8", |b| {
+        b.iter(|| std::hint::black_box(uniform_sets(&table, &vars)))
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(20);
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let s = defacto_kernels::workload::signal(96, 1);
+    let cc = defacto_kernels::workload::signal(32, 2);
+    group.bench_function("FIR", |b| {
+        b.iter(|| {
+            let mut ws = Workspace::for_kernel(&fir);
+            ws.set_array("S", &s).expect("set S");
+            ws.set_array("C", &cc).expect("set C");
+            std::hint::black_box(Interpreter::new(&fir).run(&mut ws).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dependence,
+    bench_uniform_sets,
+    bench_interpreter
+);
+criterion_main!(benches);

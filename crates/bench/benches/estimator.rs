@@ -1,0 +1,38 @@
+//! Criterion benchmark: behavioral-synthesis estimation throughput —
+//! one transform+estimate evaluation per iteration, across unroll sizes.
+//!
+//! The paper contrasts estimation (seconds) with full synthesis (hours);
+//! the estimator's speed is what makes exploring the space feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defacto::prelude::*;
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate");
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let ex = Explorer::new(&fir);
+    for factors in [vec![1i64, 1], vec![4, 4], vec![16, 8], vec![64, 32]] {
+        let u = UnrollVector(factors.clone());
+        group.bench_with_input(BenchmarkId::new("FIR", format!("{u}")), &u, |b, u| {
+            b.iter(|| std::hint::black_box(ex.evaluate(u).expect("evaluates")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_only(c: &mut Criterion) {
+    use defacto_xform::{transform, TransformOptions};
+    let mut group = c.benchmark_group("transform");
+    let (_, sobel) = defacto_kernels::paper_kernels().remove(4);
+    let opts = TransformOptions::default();
+    for factors in [vec![1i64, 1], vec![4, 4]] {
+        let u = UnrollVector(factors.clone());
+        group.bench_with_input(BenchmarkId::new("SOBEL", format!("{u}")), &u, |b, u| {
+            b.iter(|| std::hint::black_box(transform(&sobel, u, &opts).expect("transforms")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate, bench_transform_only);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark: end-to-end design-space-exploration time per
+//! kernel — the reproduction's analog of the paper's "the algorithm
+//! executed in less than 5 minutes for each application".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defacto::prelude::*;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        for (label, mem) in [
+            ("pipelined", MemoryModel::wildstar_pipelined()),
+            ("non_pipelined", MemoryModel::wildstar_non_pipelined()),
+        ] {
+            let id = format!("{name}/{label}");
+            let kernel = kernel.clone();
+            group.bench_function(&id, |b| {
+                b.iter(|| {
+                    let ex = Explorer::new(&kernel).memory(mem.clone());
+                    std::hint::black_box(ex.explore().expect("search succeeds"))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_sweep");
+    group.sample_size(10);
+    // One representative kernel: the MM space has 18 points.
+    let (_, kernel) = defacto_kernels::paper_kernels().remove(1);
+    group.bench_function("MM/pipelined", |b| {
+        b.iter(|| {
+            let ex = Explorer::new(&kernel);
+            std::hint::black_box(ex.sweep().expect("sweep succeeds"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_exhaustive);
+criterion_main!(benches);

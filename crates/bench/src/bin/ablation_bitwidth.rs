@@ -1,0 +1,75 @@
+//! Ablation: bit-width narrowing (paper §2.4 — FPGAs "benefit from
+//! non-standard numeric formats (reduced data widths)").
+//!
+//! The FIR kernel with value-range annotations on its input arrays is
+//! estimated with and without narrowing, across data widths. Narrower
+//! data buys smaller multipliers and registers — and sometimes faster
+//! designs (1-cycle multipliers below 8 bits).
+
+use defacto::prelude::*;
+use defacto_bench::report::{fnum, render_table};
+
+fn annotated_fir(signal_bits: u32, coeff_bits: u32) -> Kernel {
+    let s_hi = (1i64 << (signal_bits - 1)) - 1;
+    let c_hi = (1i64 << (coeff_bits - 1)) - 1;
+    parse_kernel(&format!(
+        "kernel fir {{
+           in S: i32[96] range {}..{s_hi};
+           in C: i32[32] range {}..{c_hi};
+           inout D: i32[64];
+           for j in 0..64 {{ for i in 0..32 {{
+             D[j] = D[j] + S[i + j] * C[i]; }} }}
+         }}",
+        -s_hi - 1,
+        -c_hi - 1,
+    ))
+    .expect("annotated FIR parses")
+}
+
+fn main() {
+    let u = UnrollVector(vec![4, 4]);
+    let mut rows = Vec::new();
+    for (label, sbits, cbits) in [
+        ("declared i32", 32, 32),
+        ("16-bit data", 16, 16),
+        ("12/8-bit data", 12, 8),
+        ("10/7-bit data", 10, 7),
+        ("8-bit data", 8, 8),
+    ] {
+        let k = annotated_fir(sbits, cbits);
+        let wide = Explorer::new(&k).evaluate(&u).expect("evaluates").estimate;
+        let narrow = Explorer::new(&k)
+            .bitwidth_narrowing(true)
+            .evaluate(&u)
+            .expect("evaluates")
+            .estimate;
+        rows.push(vec![
+            label.to_string(),
+            wide.slices.to_string(),
+            narrow.slices.to_string(),
+            fnum(wide.slices as f64 / narrow.slices as f64, 2),
+            wide.cycles.to_string(),
+            narrow.cycles.to_string(),
+        ]);
+    }
+    println!("== Ablation: bit-width narrowing, FIR at unroll (4,4) ==");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "data range",
+                "slices (declared)",
+                "slices (narrowed)",
+                "area ratio",
+                "cycles (decl)",
+                "cycles (narrow)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Range annotations let the estimator bind multipliers at the data's true\n\
+         width instead of the declared C int — the §2.4 \"reduced data widths\"\n\
+         advantage of FPGAs over fixed-width processors."
+    );
+}

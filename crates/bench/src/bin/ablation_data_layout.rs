@@ -1,0 +1,45 @@
+//! Ablation: value of custom data layout (array renaming + memory
+//! mapping). Without it every array contends for a single memory.
+
+use defacto::prelude::*;
+use defacto_bench::report::{fnum, render_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for bk in defacto_bench::kernels() {
+        let multi = Explorer::new(&bk.kernel);
+        let r = multi.explore().expect("search succeeds");
+        let u = r.selected.unroll.clone();
+        let single = Explorer::new(&bk.kernel).options(TransformOptions {
+            custom_layout: false,
+            ..TransformOptions::default()
+        });
+        let em = multi.evaluate(&u).expect("evaluates").estimate;
+        let es = single.evaluate(&u).expect("evaluates").estimate;
+        rows.push(vec![
+            bk.name.to_string(),
+            format!("{u}"),
+            em.cycles.to_string(),
+            es.cycles.to_string(),
+            fnum(es.cycles as f64 / em.cycles as f64, 2),
+            fnum(em.balance, 3),
+            fnum(es.balance, 3),
+        ]);
+    }
+    println!("== Ablation: custom data layout vs single memory ==");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel",
+                "unroll",
+                "cycles (layout)",
+                "cycles (single)",
+                "slowdown",
+                "B (layout)",
+                "B (single)"
+            ],
+            &rows
+        )
+    );
+}

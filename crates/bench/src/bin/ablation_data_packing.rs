@@ -1,0 +1,67 @@
+//! Ablation: small-type packing (paper §4 — "more customized data layouts
+//! arise from packing small data types").
+//!
+//! The u8/i16 kernels (PAT, SOBEL, JAC, DILATE) move narrow elements over
+//! 32-bit memories; packing four `u8` (or two `i16`) per word multiplies
+//! effective fetch bandwidth.
+
+use defacto::prelude::*;
+use defacto_bench::report::{fnum, render_table};
+use defacto_synth::SynthesisOptions;
+
+fn main() {
+    let mut rows = Vec::new();
+    for name in ["PAT", "JAC", "SOBEL", "DILATE", "FIR"] {
+        let kernel = defacto_kernels::extended_kernels()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, k)| k)
+            .expect("kernel exists");
+        let ex = Explorer::new(&kernel);
+        let r = ex.explore().expect("search succeeds");
+        let u = r.selected.unroll.clone();
+        let plain = ex.evaluate(&u).expect("evaluates").estimate;
+        let packed = Explorer::new(&kernel)
+            .synthesis(SynthesisOptions {
+                pack_small_types: true,
+                ..SynthesisOptions::default()
+            })
+            .evaluate(&u)
+            .expect("evaluates")
+            .estimate;
+        rows.push(vec![
+            name.to_string(),
+            format!("{u}"),
+            plain.memory_busy_cycles.to_string(),
+            packed.memory_busy_cycles.to_string(),
+            plain.cycles.to_string(),
+            packed.cycles.to_string(),
+            fnum(plain.balance, 3),
+            fnum(packed.balance, 3),
+        ]);
+    }
+    println!("== Ablation: small-type packing (4×u8 / 2×i16 per 32-bit word) ==");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel",
+                "unroll",
+                "mem busy",
+                "mem busy (packed)",
+                "cycles",
+                "cycles (packed)",
+                "balance",
+                "balance (packed)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Packing shares word fetches between neighbouring small elements when they\n\
+         occur in the same loop body (PAT's 19-wide string window, SOBEL/DILATE's\n\
+         3x3 windows). JAC regresses: its same-word pairs recur across iterations\n\
+         (not modeled as shared) while packing forgoes the phase-balanced layout.\n\
+         FIR's full-width i32 data is unaffected (a no-op sanity check)."
+    );
+}

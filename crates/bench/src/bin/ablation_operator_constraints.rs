@@ -1,0 +1,46 @@
+//! Ablation: designer operator bounds (paper §2.3 — "the designer might
+//! request a design that uses two multipliers").
+//!
+//! Sweeps the multiplier budget for the FIR selected design and shows
+//! the cycles/area trade-off the bounded schedules realize.
+
+use defacto::prelude::*;
+use defacto_bench::report::{fnum, render_table};
+use defacto_synth::{estimate_constrained, HwOp, ResourceConstraints};
+
+fn main() {
+    let bk = defacto_bench::kernel_by_name("FIR");
+    let ex = Explorer::new(&bk.kernel);
+    let u = UnrollVector(vec![4, 4]);
+    let design = ex.design(&u).expect("transforms");
+    let mem = MemoryModel::wildstar_pipelined();
+    let dev = FpgaDevice::virtex1000();
+
+    let mut rows = Vec::new();
+    for muls in [None, Some(8), Some(4), Some(2), Some(1)] {
+        let constraints = match muls {
+            None => ResourceConstraints::new(),
+            Some(n) => ResourceConstraints::new().with_limit(HwOp::Mul, n),
+        };
+        let e = estimate_constrained(&design, &mem, &dev, &constraints);
+        rows.push(vec![
+            muls.map(|n| n.to_string()).unwrap_or_else(|| "free".into()),
+            e.cycles.to_string(),
+            e.slices.to_string(),
+            fnum(e.balance, 3),
+            fnum(e.exec_time_us(), 1),
+        ]);
+    }
+    println!("== Ablation: multiplier budget, FIR at unroll {u} ==");
+    println!(
+        "{}",
+        render_table(
+            &["multipliers", "cycles", "slices", "balance", "time (µs)"],
+            &rows
+        )
+    );
+    println!(
+        "Bounding the multipliers serializes the unrolled MACs: fewer slices, more\n\
+         cycles — the §2.3 constraint mode a designer uses to hit an area target."
+    );
+}

@@ -1,0 +1,57 @@
+//! Ablation: how much of the win comes from scalar replacement and
+//! redundant-write elimination (DESIGN.md §5).
+//!
+//! For each kernel (pipelined memories), evaluates the search's selected
+//! design with (a) everything on, (b) redundant-write elimination off,
+//! (c) scalar replacement off entirely.
+
+use defacto::prelude::*;
+use defacto_bench::report::{fnum, render_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for bk in defacto_bench::kernels() {
+        let full = Explorer::new(&bk.kernel);
+        let r = full.explore().expect("search succeeds");
+        let u = r.selected.unroll.clone();
+
+        let no_rwe = Explorer::new(&bk.kernel).options(TransformOptions {
+            redundant_write_elim: false,
+            ..TransformOptions::default()
+        });
+        let no_sr = Explorer::new(&bk.kernel).options(TransformOptions {
+            scalar_replacement: false,
+            ..TransformOptions::default()
+        });
+        let e_full = full.evaluate(&u).expect("evaluates").estimate;
+        let e_norwe = no_rwe.evaluate(&u).expect("evaluates").estimate;
+        let e_nosr = no_sr.evaluate(&u).expect("evaluates").estimate;
+        for (tag, e) in [("full", &e_full), ("no-RWE", &e_norwe), ("no-SR", &e_nosr)] {
+            rows.push(vec![
+                bk.name.to_string(),
+                format!("{u}"),
+                tag.to_string(),
+                e.cycles.to_string(),
+                e.bits_from_memory.to_string(),
+                e.slices.to_string(),
+                fnum(e.balance, 3),
+            ]);
+        }
+    }
+    println!("== Ablation: scalar replacement / redundant-write elimination ==");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel",
+                "unroll",
+                "config",
+                "cycles",
+                "bits from memory",
+                "slices",
+                "balance"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 4: balance, execution cycles and area for
+//! FIR (non-pipelined memory accesses).
+
+fn main() {
+    let fig = defacto_bench::figures::regenerate(
+        "fig04_fir_nonpipelined",
+        "FIR",
+        defacto::prelude::MemoryModel::wildstar_non_pipelined(),
+    );
+    defacto_bench::figures::print_figure(&fig);
+    if let Err(e) = defacto_bench::figures::check_cycle_monotonicity(&fig) {
+        eprintln!("monotonicity warning: {e}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 5: balance, execution cycles and area for
+//! FIR (pipelined memory accesses).
+
+fn main() {
+    let fig = defacto_bench::figures::regenerate(
+        "fig05_fir_pipelined",
+        "FIR",
+        defacto::prelude::MemoryModel::wildstar_pipelined(),
+    );
+    defacto_bench::figures::print_figure(&fig);
+    if let Err(e) = defacto_bench::figures::check_cycle_monotonicity(&fig) {
+        eprintln!("monotonicity warning: {e}");
+    }
+}

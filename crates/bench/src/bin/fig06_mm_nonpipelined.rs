@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 6: balance, execution cycles and area for
+//! MM (non-pipelined memory accesses).
+
+fn main() {
+    let fig = defacto_bench::figures::regenerate(
+        "fig06_mm_nonpipelined",
+        "MM",
+        defacto::prelude::MemoryModel::wildstar_non_pipelined(),
+    );
+    defacto_bench::figures::print_figure(&fig);
+    if let Err(e) = defacto_bench::figures::check_cycle_monotonicity(&fig) {
+        eprintln!("monotonicity warning: {e}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 7: balance, execution cycles and area for
+//! MM (pipelined memory accesses).
+
+fn main() {
+    let fig = defacto_bench::figures::regenerate(
+        "fig07_mm_pipelined",
+        "MM",
+        defacto::prelude::MemoryModel::wildstar_pipelined(),
+    );
+    defacto_bench::figures::print_figure(&fig);
+    if let Err(e) = defacto_bench::figures::check_cycle_monotonicity(&fig) {
+        eprintln!("monotonicity warning: {e}");
+    }
+}

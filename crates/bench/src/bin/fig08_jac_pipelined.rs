@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 8: balance, execution cycles and area for
+//! JAC (pipelined memory accesses).
+
+fn main() {
+    let fig = defacto_bench::figures::regenerate(
+        "fig08_jac_pipelined",
+        "JAC",
+        defacto::prelude::MemoryModel::wildstar_pipelined(),
+    );
+    defacto_bench::figures::print_figure(&fig);
+    if let Err(e) = defacto_bench::figures::check_cycle_monotonicity(&fig) {
+        eprintln!("monotonicity warning: {e}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 9: balance, execution cycles and area for
+//! PAT (pipelined memory accesses).
+
+fn main() {
+    let fig = defacto_bench::figures::regenerate(
+        "fig09_pat_pipelined",
+        "PAT",
+        defacto::prelude::MemoryModel::wildstar_pipelined(),
+    );
+    defacto_bench::figures::print_figure(&fig);
+    if let Err(e) = defacto_bench::figures::check_cycle_monotonicity(&fig) {
+        eprintln!("monotonicity warning: {e}");
+    }
+}

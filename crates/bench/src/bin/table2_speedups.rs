@@ -1,0 +1,7 @@
+//! Regenerates paper Table 2: speedup of the selected design over the
+//! no-unrolling baseline, per kernel and memory model.
+
+fn main() {
+    let rows = defacto_bench::tables::table2_speedups();
+    defacto_bench::tables::print_table2(&rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's search-efficiency claim (§6.3): the search
+//! visits only a fraction of a percent of the full design space.
+
+fn main() {
+    let rows = defacto_bench::tables::search_stats();
+    defacto_bench::tables::print_search_stats(&rows);
+}

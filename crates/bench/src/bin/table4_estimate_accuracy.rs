@@ -1,0 +1,8 @@
+//! Regenerates the paper's §6.4 estimate-accuracy study through the
+//! place-and-route simulator: cycle counts never change; clocks degrade
+//! and area inflates with design size.
+
+fn main() {
+    let rows = defacto_bench::tables::estimate_accuracy();
+    defacto_bench::tables::print_estimate_accuracy(&rows);
+}

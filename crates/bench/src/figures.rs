@@ -1,0 +1,193 @@
+//! The balance / execution-cycles / area sweep behind Figures 4–10.
+//!
+//! Each paper figure plots, for one kernel and memory model, three panels
+//! against the inner-loop unroll factor with one curve per outer-loop
+//! factor: (a) balance, (b) execution cycles, (c) design area with the
+//! device-capacity line. A square marks the design the search selects.
+//! This module regenerates the same series as text and JSON.
+
+use crate::report::{fnum, render_table};
+use defacto::prelude::*;
+use serde::Serialize;
+
+/// One evaluated grid point of a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigurePoint {
+    /// Unroll factors, outermost first.
+    pub unroll: Vec<i64>,
+    /// Balance `B = F/C`.
+    pub balance: f64,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Area in slices.
+    pub slices: u32,
+    /// Whether the design fits the device.
+    pub fits: bool,
+    /// Whether the search selected this design (the paper's square box).
+    pub selected: bool,
+}
+
+/// A regenerated figure: every point of the design space plus the
+/// search's selection.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure id, e.g. "fig05".
+    pub id: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Memory model label.
+    pub memory: String,
+    /// Device capacity in slices (the vertical line of panel (c)).
+    pub capacity_slices: u32,
+    /// All evaluated points.
+    pub points: Vec<FigurePoint>,
+    /// The selected design's unroll factors.
+    pub selected: Vec<i64>,
+    /// Points the search visited, in order.
+    pub visited: Vec<Vec<i64>>,
+}
+
+/// Run the full sweep plus the search for one kernel/memory model.
+///
+/// # Panics
+///
+/// Panics if exploration fails (the bench kernels are all well-formed).
+pub fn regenerate(id: &str, kernel_name: &str, mem: MemoryModel) -> Figure {
+    let bk = crate::kernel_by_name(kernel_name);
+    let mem_label = if mem.pipelined {
+        "pipelined"
+    } else {
+        "non-pipelined"
+    };
+    let device = FpgaDevice::virtex1000();
+    let ex = Explorer::new(&bk.kernel)
+        .memory(mem.clone())
+        .device(device.clone());
+    let result = ex.explore().expect("search succeeds");
+    let sweep = ex.sweep().expect("sweep succeeds");
+
+    let points: Vec<FigurePoint> = sweep
+        .iter()
+        .map(|d| FigurePoint {
+            unroll: d.unroll.factors().to_vec(),
+            balance: d.estimate.balance,
+            cycles: d.estimate.cycles,
+            slices: d.estimate.slices,
+            fits: d.estimate.fits,
+            selected: d.unroll == result.selected.unroll,
+        })
+        .collect();
+
+    Figure {
+        id: id.to_string(),
+        kernel: bk.name.to_string(),
+        memory: mem_label.to_string(),
+        capacity_slices: device.capacity_slices,
+        points,
+        selected: result.selected.unroll.factors().to_vec(),
+        visited: result
+            .visited
+            .iter()
+            .map(|v| v.unroll.factors().to_vec())
+            .collect(),
+    }
+}
+
+/// Print a figure the way the paper's panels read: one row per design
+/// point, plus the selection and search trace, plus a JSON block.
+pub fn print_figure(fig: &Figure) {
+    println!(
+        "== {}: {} ({} memory accesses) ==",
+        fig.id, fig.kernel, fig.memory
+    );
+    println!(
+        "device capacity: {} slices; designs beyond it are unrealizable",
+        fig.capacity_slices
+    );
+    let rows: Vec<Vec<String>> = fig
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:?}", p.unroll),
+                fnum(p.balance, 3),
+                p.cycles.to_string(),
+                p.slices.to_string(),
+                if p.fits { "yes" } else { "NO" }.to_string(),
+                if p.selected { "<== selected" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["unroll", "balance", "cycles", "slices", "fits", ""],
+            &rows
+        )
+    );
+    println!(
+        "search visited {} of {} designs: {:?}",
+        fig.visited.len(),
+        fig.points.len(),
+        fig.visited
+    );
+    println!("selected design: {:?}", fig.selected);
+    println!(
+        "--- json ---\n{}",
+        serde_json::to_string(&fig).expect("figure serializes")
+    );
+}
+
+/// Assert the paper's monotonicity observations on a figure's points
+/// (used by integration tests and as a self-check in the binaries):
+/// along each outer-factor curve, execution cycles are non-increasing in
+/// the inner factor (Observation 2). Returns a human-readable violation
+/// if any.
+pub fn check_cycle_monotonicity(fig: &Figure) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let Some(first) = fig.points.first() else {
+        return Ok(());
+    };
+    let levels = first.unroll.len();
+    // The inner axis is the deepest level that actually varies across the
+    // sweep (pinned levels are constant).
+    let axis = (0..levels)
+        .rev()
+        .find(|&l| fig.points.iter().any(|p| p.unroll[l] != first.unroll[l]))
+        .unwrap_or(levels - 1);
+    let mut curves: BTreeMap<Vec<i64>, Vec<(i64, u64)>> = BTreeMap::new();
+    for p in &fig.points {
+        let mut key = p.unroll.clone();
+        let inner = key.remove(axis);
+        curves.entry(key).or_default().push((inner, p.cycles));
+    }
+    for (outer, mut curve) in curves {
+        curve.sort();
+        for w in curve.windows(2) {
+            // Allow a modelling slack on top of the paper's
+            // "monotonically nonincreasing": at extreme full-unroll
+            // corners the port scheduler's bank patterns add ~10% noise.
+            if w[1].1 as f64 > w[0].1 as f64 * 1.15 {
+                return Err(format!(
+                    "{}: cycles increased along curve {:?}: {:?} -> {:?}",
+                    fig.id, outer, w[0], w[1]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regenerate_small_figure() {
+        let fig = regenerate("figtest", "MM", MemoryModel::wildstar_pipelined());
+        assert_eq!(fig.points.len(), 18);
+        assert_eq!(fig.points.iter().filter(|p| p.selected).count(), 1);
+        assert!(!fig.visited.is_empty());
+        check_cycle_monotonicity(&fig).unwrap();
+    }
+}

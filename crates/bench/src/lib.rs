@@ -1,0 +1,70 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each `fig*`/`table*` binary prints the rows/series the paper reports
+//! (plus a machine-readable JSON block), using the helpers here:
+//!
+//! - [`kernels`] — the five paper kernels with their evaluation
+//!   configurations;
+//! - [`figures`] — the balance/cycles/area sweep behind Figures 4–10;
+//! - [`tables`] — Table 2 (speedups), the search-statistics table and the
+//!   §6.4 estimate-accuracy table;
+//! - [`report`] — plain-text table printing.
+
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+use defacto::prelude::*;
+
+/// A kernel in the evaluation suite.
+pub struct BenchKernel {
+    /// Paper name (FIR, MM, PAT, JAC, SOBEL).
+    pub name: &'static str,
+    /// The kernel at the paper's size.
+    pub kernel: Kernel,
+}
+
+/// The five paper kernels.
+pub fn kernels() -> Vec<BenchKernel> {
+    defacto_kernels::paper_kernels()
+        .into_iter()
+        .map(|(name, kernel)| BenchKernel { name, kernel })
+        .collect()
+}
+
+/// Look up one kernel by its paper name.
+///
+/// # Panics
+///
+/// Panics when the name is unknown — bench binaries hard-code valid
+/// names.
+pub fn kernel_by_name(name: &str) -> BenchKernel {
+    kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("unknown kernel `{name}`"))
+}
+
+/// The two memory models of the paper's evaluation.
+pub fn memory_models() -> [(&'static str, MemoryModel); 2] {
+    [
+        ("pipelined", MemoryModel::wildstar_pipelined()),
+        ("non-pipelined", MemoryModel::wildstar_non_pipelined()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_five_kernels() {
+        assert_eq!(kernels().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn unknown_kernel_panics() {
+        kernel_by_name("NOPE");
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal plain-text table rendering for the bench binaries.
+
+/// Render rows as a fixed-width table with a header and a rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with fixed precision, rendering infinities readably.
+pub fn fnum(v: f64, prec: usize) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        }
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with("   2"));
+    }
+
+    #[test]
+    fn fnum_handles_inf() {
+        assert_eq!(fnum(f64::INFINITY, 2), "inf");
+        assert_eq!(fnum(1.234, 2), "1.23");
+    }
+}

@@ -1,0 +1,378 @@
+//! Implementation of the `defacto` command-line tool.
+//!
+//! ```text
+//! defacto explore <file> [options]   run the balance-guided search
+//! defacto sweep   <file> [options]   evaluate every design in the space
+//! defacto analyze <file> [options]   saturation & dependence analysis
+//! defacto vhdl    <file> [options]   emit behavioral VHDL
+//! defacto schedule <file> [options]  Gantt chart of the steady-state body
+//!
+//! options:
+//!   --memory pipelined|non-pipelined   memory model   (default pipelined)
+//!   --memories N                       external memories (default 4)
+//!   --device xcv300|xcv1000|xc2v6000   target device  (default xcv1000)
+//!   --unroll a,b,...                   fixed unroll vector (vhdl; default: explore)
+//!   --json                             machine-readable output
+//! ```
+//!
+//! The binary is a thin wrapper over [`run`], which is fully testable.
+
+use defacto::prelude::*;
+use defacto_synth::{describe_schedule, emit_vhdl, main_body_schedule};
+use std::fmt::Write as _;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Which subcommand to run.
+    pub command: Command,
+    /// Path of the kernel file.
+    pub file: String,
+    /// Memory model.
+    pub memory: MemoryModel,
+    /// Target device.
+    pub device: FpgaDevice,
+    /// Fixed unroll vector, when given.
+    pub unroll: Option<UnrollVector>,
+    /// Emit JSON instead of tables.
+    pub json: bool,
+}
+
+/// The tool's subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Balance-guided search.
+    Explore,
+    /// Exhaustive sweep.
+    Sweep,
+    /// Saturation/dependence analysis only.
+    Analyze,
+    /// Behavioral VHDL emission.
+    Vhdl,
+    /// ASCII Gantt chart of the steady-state innermost body's schedule.
+    Schedule,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage string printed on bad invocations.
+pub const USAGE: &str = "usage: defacto <explore|sweep|analyze|vhdl|schedule> <file.kernel> \
+[--memory pipelined|non-pipelined] [--memories N] \
+[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--json]";
+
+/// Parse command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`UsageError`] for unknown commands, flags or malformed
+/// values.
+pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("explore") => Command::Explore,
+        Some("sweep") => Command::Sweep,
+        Some("analyze") => Command::Analyze,
+        Some("vhdl") => Command::Vhdl,
+        Some("schedule") => Command::Schedule,
+        Some(other) => return Err(UsageError(format!("unknown command `{other}`\n{USAGE}"))),
+        None => return Err(UsageError(USAGE.to_string())),
+    };
+    let file = it
+        .next()
+        .ok_or_else(|| UsageError(format!("missing kernel file\n{USAGE}")))?
+        .clone();
+
+    let mut memories = 4usize;
+    let mut pipelined = true;
+    let mut device = FpgaDevice::virtex1000();
+    let mut unroll = None;
+    let mut json = false;
+
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--memory" => match it.next().map(String::as_str) {
+                Some("pipelined") => pipelined = true,
+                Some("non-pipelined") => pipelined = false,
+                other => {
+                    return Err(UsageError(format!(
+                        "--memory expects pipelined|non-pipelined, got {other:?}"
+                    )))
+                }
+            },
+            "--memories" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| UsageError("--memories expects a positive integer".into()))?;
+                memories = v;
+            }
+            "--device" => {
+                device = match it.next().map(String::as_str) {
+                    Some("xcv300") => FpgaDevice::virtex300(),
+                    Some("xcv1000") => FpgaDevice::virtex1000(),
+                    Some("xc2v6000") => FpgaDevice::virtex2_6000(),
+                    other => {
+                        return Err(UsageError(format!(
+                            "--device expects xcv300|xcv1000|xc2v6000, got {other:?}"
+                        )))
+                    }
+                };
+            }
+            "--unroll" => {
+                let text = it
+                    .next()
+                    .ok_or_else(|| UsageError("--unroll expects a,b,...".into()))?;
+                let factors: Result<Vec<i64>, _> =
+                    text.split(',').map(|t| t.trim().parse::<i64>()).collect();
+                let factors =
+                    factors.map_err(|_| UsageError(format!("bad unroll vector `{text}`")))?;
+                if factors.iter().any(|&f| f < 1) {
+                    return Err(UsageError(format!("bad unroll vector `{text}`")));
+                }
+                unroll = Some(UnrollVector(factors));
+            }
+            "--json" => json = true,
+            other => return Err(UsageError(format!("unknown flag `{other}`\n{USAGE}"))),
+        }
+    }
+
+    let memory = if pipelined {
+        MemoryModel::pipelined(memories)
+    } else {
+        MemoryModel::non_pipelined(memories)
+    };
+    Ok(Cli {
+        command,
+        file,
+        memory,
+        device,
+        unroll,
+        json,
+    })
+}
+
+/// Run a parsed command against kernel source text, producing the output
+/// string (the binary prints it).
+///
+/// # Errors
+///
+/// Propagates parse/exploration failures as boxed errors.
+pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let kernel = parse_kernel(source)?;
+    let explorer = Explorer::new(&kernel)
+        .memory(cli.memory.clone())
+        .device(cli.device.clone());
+    let mut out = String::new();
+
+    match cli.command {
+        Command::Explore => {
+            let r = explorer.explore()?;
+            if cli.json {
+                out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
+                    "kernel": kernel.name(),
+                    "selected": r.selected,
+                    "visited": r.visited.len(),
+                    "space_size": r.space_size,
+                    "termination": format!("{:?}", r.termination),
+                }))?);
+            } else {
+                writeln!(out, "kernel `{}` on {}", kernel.name(), cli.device)?;
+                writeln!(
+                    out,
+                    "selected unroll {} -> {} cycles ({:.1} us), {} slices, balance {:.3}",
+                    r.selected.unroll,
+                    r.selected.estimate.cycles,
+                    r.selected.estimate.exec_time_us(),
+                    r.selected.estimate.slices,
+                    r.selected.estimate.balance
+                )?;
+                writeln!(
+                    out,
+                    "visited {} of {} designs ({:?})",
+                    r.visited.len(),
+                    r.space_size,
+                    r.termination
+                )?;
+            }
+        }
+        Command::Sweep => {
+            let sweep = explorer.sweep()?;
+            if cli.json {
+                out.push_str(&serde_json::to_string_pretty(&sweep)?);
+            } else {
+                writeln!(
+                    out,
+                    "{:>12} {:>9} {:>9} {:>8} {:>5}",
+                    "unroll", "balance", "cycles", "slices", "fits"
+                )?;
+                for d in &sweep {
+                    writeln!(
+                        out,
+                        "{:>12} {:>9.3} {:>9} {:>8} {:>5}",
+                        d.unroll.to_string(),
+                        d.estimate.balance,
+                        d.estimate.cycles,
+                        d.estimate.slices,
+                        if d.estimate.fits { "yes" } else { "NO" }
+                    )?;
+                }
+            }
+        }
+        Command::Analyze => {
+            let (sat, space) = explorer.analyze()?;
+            if cli.json {
+                out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
+                    "kernel": kernel.name(),
+                    "read_sets": sat.read_sets,
+                    "write_sets": sat.write_sets,
+                    "psat": sat.psat,
+                    "unrollable": sat.unrollable,
+                    "u_init": sat.u_init,
+                    "space_size": space.size(),
+                }))?);
+            } else {
+                writeln!(out, "kernel `{}`", kernel.name())?;
+                writeln!(
+                    out,
+                    "steady uniformly generated sets: R={} W={}",
+                    sat.read_sets, sat.write_sets
+                )?;
+                writeln!(out, "saturation product Psat = {}", sat.psat)?;
+                writeln!(out, "explored loops: {:?}", sat.unrollable)?;
+                writeln!(out, "initial point U_init = {}", sat.u_init)?;
+                writeln!(out, "design space: {} candidates", space.size())?;
+            }
+        }
+        Command::Vhdl => {
+            let unroll = match &cli.unroll {
+                Some(u) => u.clone(),
+                None => explorer.explore()?.selected.unroll,
+            };
+            let design = explorer.design(&unroll)?;
+            out.push_str(&emit_vhdl(&design));
+        }
+        Command::Schedule => {
+            let unroll = match &cli.unroll {
+                Some(u) => u.clone(),
+                None => explorer.explore()?.selected.unroll,
+            };
+            let design = explorer.design(&unroll)?;
+            let (dfg, sched) = main_body_schedule(&design, &cli.memory);
+            writeln!(
+                out,
+                "steady-state innermost body of `{}` at unroll {} ({}):",
+                kernel.name(),
+                unroll,
+                cli.memory
+            )?;
+            out.push_str(&describe_schedule(&dfg, &sched));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cli = parse_args(&argv(
+            "explore fir.kernel --memory non-pipelined --memories 2 --device xcv300 --json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Explore);
+        assert_eq!(cli.file, "fir.kernel");
+        assert!(!cli.memory.pipelined);
+        assert_eq!(cli.memory.num_memories, 2);
+        assert_eq!(cli.device.name, "XCV300");
+        assert!(cli.json);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("frobnicate x")).is_err());
+        assert!(parse_args(&argv("explore")).is_err());
+        assert!(parse_args(&argv("explore f --memory sideways")).is_err());
+        assert!(parse_args(&argv("explore f --memories 0")).is_err());
+        assert!(parse_args(&argv("explore f --unroll 2,x")).is_err());
+        assert!(parse_args(&argv("explore f --unroll 0,1")).is_err());
+        assert!(parse_args(&argv("explore f --what")).is_err());
+    }
+
+    #[test]
+    fn explore_runs_end_to_end() {
+        let cli = parse_args(&argv("explore fir.kernel")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("selected unroll"));
+        assert!(out.contains("visited"));
+    }
+
+    #[test]
+    fn explore_json_is_valid() {
+        let cli = parse_args(&argv("explore fir.kernel --json")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["kernel"], "fir");
+        assert!(v["selected"]["estimate"]["cycles"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn analyze_reports_saturation() {
+        let cli = parse_args(&argv("analyze fir.kernel")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("Psat = 4"), "{out}");
+        assert!(out.contains("42 candidates"), "{out}");
+    }
+
+    #[test]
+    fn sweep_lists_every_design() {
+        let cli = parse_args(&argv("sweep fir.kernel")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        // Header plus 42 designs.
+        assert_eq!(out.lines().count(), 43, "{out}");
+    }
+
+    #[test]
+    fn vhdl_with_fixed_unroll() {
+        let cli = parse_args(&argv("vhdl fir.kernel --unroll 2,2")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("entity fir is"));
+        assert!(out.contains("unroll: (2,2)"));
+    }
+
+    #[test]
+    fn schedule_prints_gantt() {
+        let cli = parse_args(&argv("schedule fir.kernel --unroll 2,2")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("steady-state innermost body"), "{out}");
+        assert!(out.contains("load S"), "{out}");
+        assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn bad_kernel_source_errors() {
+        let cli = parse_args(&argv("explore x.kernel")).unwrap();
+        assert!(run(&cli, "kernel broken {").is_err());
+    }
+}

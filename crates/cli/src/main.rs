@@ -1,0 +1,32 @@
+//! The `defacto` command-line tool: FPGA design space exploration for
+//! kernel files. See [`defacto_cli::USAGE`] or run with no arguments.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match defacto_cli::parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", cli.file);
+            return ExitCode::from(1);
+        }
+    };
+    match defacto_cli::run(&cli, &source) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

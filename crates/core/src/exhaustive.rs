@@ -1,0 +1,90 @@
+//! Exhaustive sweep of the design space.
+//!
+//! The paper's figures plot *every* point of the space to show where the
+//! search's selection falls; this module provides that ground truth, and
+//! the ablation benchmarks use it as the "no pruning" baseline.
+
+use crate::error::Result;
+use crate::explorer::EvaluatedDesign;
+use crate::space::DesignSpace;
+use defacto_xform::UnrollVector;
+
+/// Evaluate every member of `space` with `eval`, in iteration order.
+///
+/// # Errors
+///
+/// Propagates the first evaluation failure.
+pub fn exhaustive_sweep<E>(space: &DesignSpace, mut eval: E) -> Result<Vec<EvaluatedDesign>>
+where
+    E: FnMut(&UnrollVector) -> Result<EvaluatedDesign>,
+{
+    let mut out = Vec::with_capacity(space.size() as usize);
+    for u in space.iter() {
+        out.push(eval(&u)?);
+    }
+    Ok(out)
+}
+
+/// The fastest design in a sweep; ties go to the smaller design, then the
+/// lexicographically smaller unroll vector (fully deterministic).
+pub fn best_performance(sweep: &[EvaluatedDesign]) -> Option<&EvaluatedDesign> {
+    sweep.iter().filter(|d| d.estimate.fits).min_by_key(|d| {
+        (
+            d.estimate.cycles,
+            d.estimate.slices,
+            d.unroll.factors().to_vec(),
+        )
+    })
+}
+
+/// The smallest design within `tolerance` (relative) of the best cycle
+/// count — the paper's criterion 3 applied to ground truth.
+pub fn smallest_comparable(sweep: &[EvaluatedDesign], tolerance: f64) -> Option<&EvaluatedDesign> {
+    let best = best_performance(sweep)?;
+    let limit = (best.estimate.cycles as f64 * (1.0 + tolerance)) as u64;
+    sweep
+        .iter()
+        .filter(|d| d.estimate.fits && d.estimate.cycles <= limit)
+        .min_by_key(|d| {
+            (
+                d.estimate.slices,
+                d.estimate.cycles,
+                d.unroll.factors().to_vec(),
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+    use defacto_ir::parse_kernel;
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    #[test]
+    fn sweep_covers_whole_space() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let sweep = ex.sweep().unwrap();
+        assert_eq!(sweep.len(), 42);
+        let best = best_performance(&sweep).unwrap();
+        assert!(best.estimate.fits);
+        // The best fitting design beats the baseline.
+        let base = sweep.iter().find(|d| d.unroll.product() == 1).unwrap();
+        assert!(best.estimate.cycles < base.estimate.cycles);
+    }
+
+    #[test]
+    fn smallest_comparable_prefers_smaller_area() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let sweep = ex.sweep().unwrap();
+        let best = best_performance(&sweep).unwrap();
+        let small = smallest_comparable(&sweep, 0.05).unwrap();
+        assert!(small.estimate.slices <= best.estimate.slices);
+        assert!(small.estimate.cycles as f64 <= best.estimate.cycles as f64 * 1.05);
+    }
+}

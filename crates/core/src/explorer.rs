@@ -1,0 +1,282 @@
+//! The [`Explorer`] facade: one builder tying together transformation,
+//! estimation, saturation analysis and the Figure-2 search.
+
+use crate::error::Result;
+use crate::saturation::{saturation_analysis, SaturationInfo};
+use crate::search::{run_search, SearchConfig, SearchResult};
+use crate::space::DesignSpace;
+use defacto_ir::Kernel;
+use defacto_synth::{estimate_opts, Estimate, FpgaDevice, MemoryModel, SynthesisOptions};
+use defacto_xform::{transform, TransformOptions, TransformedDesign, UnrollVector};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EvaluatedDesign {
+    /// The unroll-factor vector.
+    pub unroll: UnrollVector,
+    /// Its behavioral-synthesis estimate.
+    pub estimate: Estimate,
+}
+
+/// Design-space explorer for one kernel.
+///
+/// Defaults match the paper's platform: 4 pipelined WildStar memories and
+/// a Virtex-1000 at 40 ns, with every transformation enabled.
+#[derive(Debug, Clone)]
+pub struct Explorer<'k> {
+    kernel: &'k Kernel,
+    mem: MemoryModel,
+    device: FpgaDevice,
+    opts: TransformOptions,
+    synthesis: SynthesisOptions,
+    config: SearchConfig,
+    explore_override: Option<Vec<bool>>,
+}
+
+impl<'k> Explorer<'k> {
+    /// Start exploring `kernel` with the paper's default platform.
+    pub fn new(kernel: &'k Kernel) -> Self {
+        Explorer {
+            kernel,
+            mem: MemoryModel::wildstar_pipelined(),
+            device: FpgaDevice::virtex1000(),
+            opts: TransformOptions::default(),
+            synthesis: SynthesisOptions::default(),
+            config: SearchConfig::default(),
+            explore_override: None,
+        }
+    }
+
+    /// Use a different memory model (the number of memories propagates to
+    /// the transformation options).
+    pub fn memory(mut self, mem: MemoryModel) -> Self {
+        self.opts.num_memories = mem.num_memories;
+        self.mem = mem;
+        self
+    }
+
+    /// Target a different device.
+    pub fn device(mut self, device: FpgaDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Override the transformation options (e.g. for ablations). The
+    /// memory count is forced back in sync with the memory model.
+    pub fn options(mut self, opts: TransformOptions) -> Self {
+        self.opts = TransformOptions {
+            num_memories: self.mem.num_memories,
+            ..opts
+        };
+        self
+    }
+
+    /// Override the synthesis-side options: designer operator bounds
+    /// (paper §2.3) and bit-width narrowing (paper §2.4).
+    pub fn synthesis(mut self, synthesis: SynthesisOptions) -> Self {
+        self.synthesis = synthesis;
+        self
+    }
+
+    /// Enable/disable bit-width narrowing from value-range analysis.
+    pub fn bitwidth_narrowing(mut self, on: bool) -> Self {
+        self.synthesis.bitwidth_narrowing = on;
+        self
+    }
+
+    /// Tolerance band around `B = 1` that counts as balanced.
+    pub fn balance_tolerance(mut self, tol: f64) -> Self {
+        self.config.balance_tolerance = tol;
+        self
+    }
+
+    /// Force the per-loop exploration flags (outermost first), overriding
+    /// the saturation analysis' choice of memory-varying loops.
+    pub fn explore_levels(mut self, levels: &[bool]) -> Self {
+        self.explore_override = Some(levels.to_vec());
+        self
+    }
+
+    /// The transformation options in effect.
+    pub fn transform_options(&self) -> &TransformOptions {
+        &self.opts
+    }
+
+    /// Transform the kernel at one unroll vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation failures (e.g. non-dividing factors).
+    pub fn design(&self, unroll: &UnrollVector) -> Result<TransformedDesign> {
+        Ok(transform(self.kernel, unroll, &self.opts)?)
+    }
+
+    /// Evaluate one unroll vector: transform + behavioral-synthesis
+    /// estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation failures.
+    pub fn evaluate(&self, unroll: &UnrollVector) -> Result<EvaluatedDesign> {
+        let design = self.design(unroll)?;
+        let est = estimate_opts(&design, &self.mem, &self.device, &self.synthesis);
+        Ok(EvaluatedDesign {
+            unroll: unroll.clone(),
+            estimate: est,
+        })
+    }
+
+    /// Saturation analysis and the design space for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the kernel is not a perfect loop nest.
+    pub fn analyze(&self) -> Result<(SaturationInfo, DesignSpace)> {
+        saturation_analysis(self.kernel, &self.opts, self.explore_override.as_deref())
+    }
+
+    /// Run the paper's Figure-2 search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or evaluation failures.
+    pub fn explore(&self) -> Result<SearchResult> {
+        let (sat, space) = self.analyze()?;
+        run_search(&space, &sat, &self.config, |u| {
+            Ok(self.evaluate(u)?.estimate)
+        })
+    }
+
+    /// Execute the transformed design at `unroll` on concrete inputs
+    /// through the reference interpreter — functional verification of the
+    /// exact hardware-bound code, with its memory-traffic profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation and interpretation failures.
+    pub fn simulate(
+        &self,
+        unroll: &UnrollVector,
+        inputs: &[(&str, Vec<i64>)],
+    ) -> Result<(defacto_ir::Workspace, defacto_ir::ExecStats)> {
+        let design = self.design(unroll)?;
+        defacto_ir::run_with_inputs(&design.kernel, inputs)
+            .map_err(|e| crate::DseError::Xform(defacto_xform::XformError::Ir(e)))
+    }
+
+    /// Evaluate *every* design in the space (the exhaustive baseline the
+    /// paper's figures plot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn sweep(&self) -> Result<Vec<EvaluatedDesign>> {
+        let (_, space) = self.analyze()?;
+        crate::exhaustive::exhaustive_sweep(&space, |u| self.evaluate(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::parse_kernel;
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    #[test]
+    fn evaluate_baseline() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let d = ex.evaluate(&UnrollVector(vec![1, 1])).unwrap();
+        assert!(d.estimate.cycles > 0);
+        assert!(d.estimate.fits);
+    }
+
+    #[test]
+    fn explore_fir_pipelined_selects_fast_small_design() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let result = ex.explore().unwrap();
+        let base = ex.evaluate(&UnrollVector(vec![1, 1])).unwrap();
+        // The selected design is substantially faster than the baseline.
+        let speedup = base.estimate.cycles as f64 / result.selected.estimate.cycles as f64;
+        assert!(speedup > 2.0, "speedup {speedup}");
+        assert!(result.selected.estimate.fits);
+        // Only a fraction of the 42-point space is visited.
+        assert!(
+            result.visited.len() < 12,
+            "visited {}",
+            result.visited.len()
+        );
+    }
+
+    #[test]
+    fn explore_is_deterministic() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let a = ex.explore().unwrap();
+        let b = ex.explore().unwrap();
+        assert_eq!(a.selected.unroll, b.selected.unroll);
+        assert_eq!(a.visited.len(), b.visited.len());
+    }
+
+    #[test]
+    fn non_pipelined_fir_is_memory_bound_at_init() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k).memory(MemoryModel::wildstar_non_pipelined());
+        let r = ex.explore().unwrap();
+        // The paper: without pipelining, FIR designs are always memory
+        // bound; the search stops at (or near) the saturation point.
+        assert!(r.selected.estimate.balance < 1.0 + 0.10);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn evaluated_design_serde_round_trips() {
+        let k = parse_kernel(FIR).unwrap();
+        let d = Explorer::new(&k)
+            .evaluate(&UnrollVector(vec![2, 2]))
+            .unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: EvaluatedDesign = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn simulate_runs_the_transformed_design() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let s: Vec<i64> = (0..96).map(|x| x % 13).collect();
+        let c: Vec<i64> = (0..32).map(|x| x % 7).collect();
+        let (ws, stats) = ex
+            .simulate(
+                &UnrollVector(vec![4, 2]),
+                &[("S", s.clone()), ("C", c.clone())],
+            )
+            .unwrap();
+        assert_eq!(
+            ws.array("D").unwrap(),
+            defacto_kernels::fir::reference(&s, &c).as_slice()
+        );
+        // Scalar replacement cut the traffic relative to 4 accesses per
+        // original iteration.
+        assert!(stats.memory_accesses() < 4 * 2048);
+    }
+
+    #[test]
+    fn small_device_space_constrains() {
+        let k = parse_kernel(FIR).unwrap();
+        let tiny = FpgaDevice {
+            name: "tiny".into(),
+            capacity_slices: 2500,
+            clock_ns: 40,
+        };
+        let ex = Explorer::new(&k).device(tiny.clone());
+        let r = ex.explore().unwrap();
+        assert!(r.selected.estimate.fits);
+        assert!(r.selected.estimate.slices <= tiny.capacity_slices);
+    }
+}

@@ -1,0 +1,432 @@
+//! The design-space-exploration algorithm (paper Figure 2).
+//!
+//! Starting from the saturation set, the search exploits the
+//! monotonicity of balance (non-decreasing before the saturation point,
+//! non-increasing after — Observation 3) to binary-search the crossover
+//! between compute-bound and memory-bound designs, doubling the unroll
+//! product while only compute-bound designs are seen, and halving back
+//! when a memory-bound or over-capacity design appears. The result is a
+//! design close to the best performance in the space that is also the
+//! smallest among comparable designs — after visiting only a handful of
+//! points.
+
+use crate::error::Result;
+use crate::explorer::EvaluatedDesign;
+use crate::saturation::SaturationInfo;
+use crate::space::DesignSpace;
+use defacto_synth::Estimate;
+use defacto_xform::UnrollVector;
+use std::collections::HashMap;
+
+/// Tuning knobs of the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Designs with `|B − 1| ≤ tolerance` count as balanced.
+    pub balance_tolerance: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            balance_tolerance: 0.10,
+        }
+    }
+}
+
+/// Why the search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// A balanced design was found.
+    Balanced,
+    /// The initial (saturation) design was already memory bound.
+    MemoryBoundAtInit,
+    /// The search was limited by device capacity.
+    SpaceConstrained,
+    /// Binary search between compute- and memory-bound points converged.
+    Converged,
+    /// Unrolling was exhausted while still compute bound.
+    ExhaustedCompute,
+}
+
+/// Outcome of one exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The selected design.
+    pub selected: EvaluatedDesign,
+    /// Every design evaluated, in visit order (no duplicates).
+    pub visited: Vec<EvaluatedDesign>,
+    /// Size of the full design space.
+    pub space_size: u64,
+    /// Why the search stopped.
+    pub termination: Termination,
+    /// The saturation analysis that seeded the search.
+    pub saturation: SaturationInfo,
+}
+
+impl SearchResult {
+    /// Fraction of the design space evaluated.
+    pub fn fraction_explored(&self) -> f64 {
+        if self.space_size == 0 {
+            0.0
+        } else {
+            self.visited.len() as f64 / self.space_size as f64
+        }
+    }
+}
+
+/// Run the Figure-2 search over `space`, evaluating candidate designs
+/// with `eval` (results are cached, so re-visits are free and `visited`
+/// holds unique points in first-visit order).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn run_search<E>(
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+    cfg: &SearchConfig,
+    mut eval: E,
+) -> Result<SearchResult>
+where
+    E: FnMut(&UnrollVector) -> Result<Estimate>,
+{
+    let mut cache: HashMap<UnrollVector, Estimate> = HashMap::new();
+    let mut visited: Vec<EvaluatedDesign> = Vec::new();
+    let mut visit = |u: &UnrollVector,
+                     cache: &mut HashMap<UnrollVector, Estimate>,
+                     visited: &mut Vec<EvaluatedDesign>|
+     -> Result<Estimate> {
+        if let Some(e) = cache.get(u) {
+            return Ok(e.clone());
+        }
+        let e = eval(u)?;
+        cache.insert(u.clone(), e.clone());
+        visited.push(EvaluatedDesign {
+            unroll: u.clone(),
+            estimate: e.clone(),
+        });
+        Ok(e)
+    };
+
+    let u_base = space.base_vector();
+    let u_max = restricted_max(space, sat);
+    let psat_product = sat.u_init.product().max(1);
+
+    let mut u_curr = sat.u_init.clone();
+    let mut u_cb: Option<UnrollVector> = None;
+    let mut u_mb: Option<UnrollVector> = None;
+    let termination;
+
+    loop {
+        let est = visit(&u_curr, &mut cache, &mut visited)?;
+
+        if !est.fits {
+            if u_curr == sat.u_init {
+                // FindLargestFit(Ubase, Uinit): the largest design at or
+                // below the saturation point that fits, regardless of
+                // balance — it maximizes available parallelism.
+                u_curr = find_largest_fit(space, sat, &u_base, &u_curr, &mut |u| {
+                    visit(u, &mut cache, &mut visited)
+                })?;
+                termination = Termination::SpaceConstrained;
+                break;
+            }
+            // Halve back toward the last compute-bound fitting design.
+            let lower = u_cb.clone().unwrap_or_else(|| u_base.clone());
+            match select_between(space, sat, psat_product, &lower, &u_curr) {
+                Some(next) if next != u_curr && Some(&next) != u_cb.as_ref() => {
+                    u_curr = next;
+                    continue;
+                }
+                _ => {
+                    u_curr = lower;
+                    // Make sure the fallback is evaluated.
+                    visit(&u_curr, &mut cache, &mut visited)?;
+                    termination = Termination::SpaceConstrained;
+                    break;
+                }
+            }
+        }
+
+        let b = est.balance;
+        if (b - 1.0).abs() <= cfg.balance_tolerance {
+            termination = Termination::Balanced;
+            break;
+        }
+        if b < 1.0 {
+            // Memory bound.
+            u_mb = Some(u_curr.clone());
+            if u_curr == sat.u_init {
+                termination = Termination::MemoryBoundAtInit;
+                break;
+            }
+            let lower = u_cb.clone().unwrap_or_else(|| u_base.clone());
+            match select_between(space, sat, psat_product, &lower, &u_curr) {
+                Some(next) if next != u_curr && Some(&next) != u_cb.as_ref() => u_curr = next,
+                _ => {
+                    u_curr = lower;
+                    visit(&u_curr, &mut cache, &mut visited)?;
+                    termination = Termination::Converged;
+                    break;
+                }
+            }
+        } else {
+            // Compute bound.
+            u_cb = Some(u_curr.clone());
+            match &u_mb {
+                None => {
+                    // Only compute-bound designs so far: double.
+                    match increase(space, sat, &u_curr, &u_max) {
+                        Some(next) if next != u_curr => u_curr = next,
+                        _ => {
+                            termination = Termination::ExhaustedCompute;
+                            break;
+                        }
+                    }
+                }
+                Some(mb) => {
+                    let mb = mb.clone();
+                    match select_between(space, sat, psat_product, &u_curr, &mb) {
+                        Some(next) if next != u_curr => u_curr = next,
+                        _ => {
+                            termination = Termination::Converged;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let selected_est = cache.get(&u_curr).expect("current point evaluated").clone();
+    Ok(SearchResult {
+        selected: EvaluatedDesign {
+            unroll: u_curr,
+            estimate: selected_est,
+        },
+        visited,
+        space_size: space.size(),
+        termination,
+        saturation: sat.clone(),
+    })
+}
+
+/// The largest vector of the space restricted to unrollable loops.
+fn restricted_max(space: &DesignSpace, sat: &SaturationInfo) -> UnrollVector {
+    let max = space.max_vector();
+    UnrollVector(
+        max.factors()
+            .iter()
+            .zip(&sat.unrollable)
+            .map(|(&f, &on)| if on { f } else { 1 })
+            .collect(),
+    )
+}
+
+/// `Increase(U)`: the preferred member with `P(Uout) = 2·P(Uin)` and
+/// `Uin ≤ Uout ≤ Umax`; `None` when no such member remains.
+fn increase(
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+    u: &UnrollVector,
+    u_max: &UnrollVector,
+) -> Option<UnrollVector> {
+    let target = u.product().checked_mul(2)?;
+    let members = space.members_with_product(target, u, u_max);
+    sat.pick_growth(&members)
+}
+
+/// `SelectBetween(Usmall, Ularge)`: the preferred member whose product is
+/// a multiple of `P(Uinit)` as close as possible to the midpoint
+/// `(P(Usmall)+P(Ularge))/2`, strictly between the two products;
+/// `None` when no point remains (the search has converged).
+fn select_between(
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+    psat_product: i64,
+    small: &UnrollVector,
+    large: &UnrollVector,
+) -> Option<UnrollVector> {
+    let ps = small.product();
+    let pl = large.product();
+    if pl <= ps {
+        return None;
+    }
+    let mid = (ps + pl) / 2;
+    // Candidate products: multiples of P(Uinit) strictly between, closest
+    // to the midpoint first.
+    let mut products: Vec<i64> = (1..)
+        .map(|c| c * psat_product)
+        .take_while(|&p| p < pl)
+        .filter(|&p| p > ps)
+        .collect();
+    products.sort_by_key(|&p| ((p - mid).abs(), p));
+    for p in products {
+        let members = space.members_with_product(p, small, large);
+        if let Some(m) = sat.pick_growth(&members) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// `FindLargestFit(Ubase, Uinit)`: evaluate members between base and the
+/// saturation point in decreasing product order until one fits.
+fn find_largest_fit(
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+    base: &UnrollVector,
+    init: &UnrollVector,
+    visit: &mut dyn FnMut(&UnrollVector) -> Result<Estimate>,
+) -> Result<UnrollVector> {
+    let mut products: Vec<i64> = (1..init.product()).collect();
+    products.sort_unstable_by(|a, b| b.cmp(a));
+    for p in products {
+        let members = space.members_with_product(p, base, init);
+        if let Some(m) = sat.pick_growth(&members) {
+            let est = visit(&m)?;
+            if est.fits {
+                return Ok(m);
+            }
+        }
+    }
+    Ok(base.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::saturation::SaturationInfo;
+
+    /// Build a synthetic saturation info over a 2-deep 64×32 space.
+    fn synthetic() -> (DesignSpace, SaturationInfo) {
+        let space = DesignSpace::new(&[64, 32], &[true, true]);
+        let base = space.base_vector();
+        let sat_set = space.members_with_product(4, &base, &space.max_vector());
+        let info = SaturationInfo {
+            read_sets: 2,
+            write_sets: 1,
+            psat: 4,
+            unrollable: vec![true, true],
+            sat_set: sat_set.clone(),
+            u_init: UnrollVector(vec![4, 1]),
+            preference: vec![0, 1],
+        };
+        (space, info)
+    }
+
+    /// A fake estimator: balance crosses from compute bound to memory
+    /// bound at product `cross`; area grows linearly with product and
+    /// exceeds capacity above `cap_product`.
+    fn fake_eval(cross: i64, cap_product: i64) -> impl FnMut(&UnrollVector) -> Result<Estimate> {
+        move |u: &UnrollVector| {
+            let p = u.product();
+            let balance = cross as f64 / p as f64; // >1 below cross
+            Ok(Estimate {
+                cycles: (100_000 / p as u64).max(1),
+                slices: (p * 100) as u32,
+                memory_busy_cycles: p as u64,
+                compute_busy_cycles: cross as u64,
+                bits_from_memory: 0,
+                registers: 0,
+                balance,
+                clock_ns: 40,
+                fits: p <= cap_product,
+            })
+        }
+    }
+
+    #[test]
+    fn finds_balanced_crossover() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        let r = run_search(&space, &sat, &cfg, fake_eval(64, 10_000)).unwrap();
+        // Balance = 64/p: balanced at p = 64.
+        assert_eq!(r.selected.unroll.product(), 64);
+        assert_eq!(r.termination, Termination::Balanced);
+        // Visits a handful of points, not the whole space.
+        assert!(r.visited.len() <= 8, "visited {}", r.visited.len());
+        assert!(r.fraction_explored() < 0.25);
+    }
+
+    #[test]
+    fn memory_bound_at_init_stops_immediately() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        let r = run_search(&space, &sat, &cfg, fake_eval(1, 10_000)).unwrap();
+        assert_eq!(r.termination, Termination::MemoryBoundAtInit);
+        assert_eq!(r.selected.unroll, sat.u_init);
+        assert_eq!(r.visited.len(), 1);
+    }
+
+    #[test]
+    fn capacity_limits_the_search() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        // Always compute bound, capacity at product 16.
+        let r = run_search(&space, &sat, &cfg, fake_eval(100_000, 16)).unwrap();
+        assert!(r.selected.estimate.fits);
+        assert_eq!(r.selected.unroll.product(), 16);
+        assert_eq!(r.termination, Termination::SpaceConstrained);
+    }
+
+    #[test]
+    fn capacity_exceeded_at_init_falls_back() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        // Nothing above product 2 fits.
+        let r = run_search(&space, &sat, &cfg, fake_eval(100_000, 2)).unwrap();
+        assert!(r.selected.estimate.fits);
+        assert_eq!(r.selected.unroll.product(), 2);
+        assert_eq!(r.termination, Termination::SpaceConstrained);
+    }
+
+    #[test]
+    fn exhausts_compute_bound_space() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        // Always compute bound, everything fits: unroll to the max.
+        let r = run_search(&space, &sat, &cfg, fake_eval(100_000_000, 1 << 60)).unwrap();
+        assert_eq!(r.termination, Termination::ExhaustedCompute);
+        assert_eq!(r.selected.unroll.product(), 2048);
+    }
+
+    #[test]
+    fn converges_between_bounds_without_balanced_point() {
+        let (space, sat) = synthetic();
+        // Sharp transition: B = 10 below product 32, B = 0.2 at and
+        // above. No balanced point exists.
+        let eval = |u: &UnrollVector| {
+            let p = u.product();
+            let balance = if p < 32 { 10.0 } else { 0.2 };
+            Ok(Estimate {
+                cycles: (100_000 / p as u64).max(1),
+                slices: 100,
+                memory_busy_cycles: 1,
+                compute_busy_cycles: 1,
+                bits_from_memory: 0,
+                registers: 0,
+                balance,
+                clock_ns: 40,
+                fits: true,
+            })
+        };
+        let cfg = SearchConfig::default();
+        let r = run_search(&space, &sat, &cfg, eval).unwrap();
+        // Converges to the largest compute-bound product below 32.
+        assert!(r.selected.estimate.balance > 1.0);
+        assert_eq!(r.termination, Termination::Converged);
+        assert_eq!(r.selected.unroll.product(), 16);
+    }
+
+    #[test]
+    fn visited_has_no_duplicates() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        let r = run_search(&space, &sat, &cfg, fake_eval(64, 10_000)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for v in &r.visited {
+            assert!(seen.insert(v.unroll.clone()), "duplicate {}", v.unroll);
+        }
+    }
+}

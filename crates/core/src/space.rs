@@ -1,0 +1,211 @@
+//! The design space: divisor unroll-factor vectors.
+//!
+//! Behavioral synthesis needs constant loop bounds, so the system
+//! explores unroll factors that evenly divide each loop's trip count —
+//! no cleanup code, every candidate synthesizable. Loops that do not
+//! contribute memory parallelism (e.g. the innermost MM loop after
+//! loop-invariant code motion removed its accesses) can be pinned to a
+//! factor of 1.
+
+use defacto_xform::UnrollVector;
+
+/// The set of candidate unroll vectors for one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpace {
+    /// Allowed factors per loop level, ascending, always containing 1.
+    factors_per_level: Vec<Vec<i64>>,
+}
+
+impl DesignSpace {
+    /// Build the space from per-loop trip counts; `explore[l] == false`
+    /// pins loop `l` to factor 1.
+    pub fn new(trip_counts: &[i64], explore: &[bool]) -> Self {
+        let factors_per_level = trip_counts
+            .iter()
+            .zip(explore)
+            .map(|(&n, &on)| if on { divisors(n) } else { vec![1] })
+            .collect();
+        DesignSpace { factors_per_level }
+    }
+
+    /// Number of loop levels.
+    pub fn levels(&self) -> usize {
+        self.factors_per_level.len()
+    }
+
+    /// Allowed factors at `level`, ascending.
+    pub fn factors_at(&self, level: usize) -> &[i64] {
+        &self.factors_per_level[level]
+    }
+
+    /// Total number of candidate vectors.
+    pub fn size(&self) -> u64 {
+        self.factors_per_level
+            .iter()
+            .map(|f| f.len() as u64)
+            .product()
+    }
+
+    /// Is `u` a member of the space?
+    pub fn contains(&self, u: &UnrollVector) -> bool {
+        u.factors().len() == self.levels()
+            && u.factors()
+                .iter()
+                .zip(&self.factors_per_level)
+                .all(|(f, allowed)| allowed.contains(f))
+    }
+
+    /// The maximal vector (full unrolling of explored loops).
+    pub fn max_vector(&self) -> UnrollVector {
+        UnrollVector(
+            self.factors_per_level
+                .iter()
+                .map(|f| *f.last().expect("divisors nonempty"))
+                .collect(),
+        )
+    }
+
+    /// The baseline vector (no unrolling).
+    pub fn base_vector(&self) -> UnrollVector {
+        UnrollVector(vec![1; self.levels()])
+    }
+
+    /// Iterate over every vector in the space (outer levels vary
+    /// slowest).
+    pub fn iter(&self) -> impl Iterator<Item = UnrollVector> + '_ {
+        let mut idx = vec![0usize; self.levels()];
+        let mut done = self.size() == 0;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let v = UnrollVector(
+                idx.iter()
+                    .zip(&self.factors_per_level)
+                    .map(|(&i, f)| f[i])
+                    .collect(),
+            );
+            // Advance, innermost fastest.
+            let mut l = self.levels();
+            loop {
+                if l == 0 {
+                    done = true;
+                    break;
+                }
+                l -= 1;
+                idx[l] += 1;
+                if idx[l] < self.factors_per_level[l].len() {
+                    break;
+                }
+                idx[l] = 0;
+            }
+            Some(v)
+        })
+    }
+
+    /// All members with the given product whose factors lie between `lo`
+    /// and `hi` (component-wise, inclusive). Used by the search's
+    /// `Increase`/`SelectBetween` steps.
+    pub fn members_with_product(
+        &self,
+        product: i64,
+        lo: &UnrollVector,
+        hi: &UnrollVector,
+    ) -> Vec<UnrollVector> {
+        let mut out = Vec::new();
+        let mut cur = Vec::with_capacity(self.levels());
+        self.enumerate_product(0, product, lo, hi, &mut cur, &mut out);
+        out
+    }
+
+    fn enumerate_product(
+        &self,
+        level: usize,
+        remaining: i64,
+        lo: &UnrollVector,
+        hi: &UnrollVector,
+        cur: &mut Vec<i64>,
+        out: &mut Vec<UnrollVector>,
+    ) {
+        if level == self.levels() {
+            if remaining == 1 {
+                out.push(UnrollVector(cur.clone()));
+            }
+            return;
+        }
+        for &f in &self.factors_per_level[level] {
+            if f < lo.factors()[level] || f > hi.factors()[level] || remaining % f != 0 {
+                continue;
+            }
+            cur.push(f);
+            self.enumerate_product(level + 1, remaining / f, lo, hi, cur, out);
+            cur.pop();
+        }
+    }
+}
+
+/// Positive divisors of `n`, ascending (divisors of 1 when `n < 1`).
+pub fn divisors(n: i64) -> Vec<i64> {
+    let n = n.max(1);
+    let mut out: Vec<i64> = (1..=n).filter(|d| n % d == 0).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisor_lists() {
+        assert_eq!(divisors(32), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(0), vec![1]);
+    }
+
+    #[test]
+    fn fir_space_size() {
+        // 64 has 7 divisors, 32 has 6: 42 candidate designs.
+        let s = DesignSpace::new(&[64, 32], &[true, true]);
+        assert_eq!(s.size(), 42);
+        assert_eq!(s.iter().count(), 42);
+        assert_eq!(s.max_vector(), UnrollVector(vec![64, 32]));
+        assert_eq!(s.base_vector(), UnrollVector(vec![1, 1]));
+    }
+
+    #[test]
+    fn pinned_levels() {
+        let s = DesignSpace::new(&[32, 4, 16], &[true, true, false]);
+        assert_eq!(s.size(), 6 * 3);
+        assert!(s.contains(&UnrollVector(vec![8, 2, 1])));
+        assert!(!s.contains(&UnrollVector(vec![8, 2, 2])));
+        assert!(!s.contains(&UnrollVector(vec![5, 1, 1])));
+    }
+
+    #[test]
+    fn members_with_product() {
+        let s = DesignSpace::new(&[64, 32], &[true, true]);
+        let lo = s.base_vector();
+        let hi = s.max_vector();
+        let m4 = s.members_with_product(4, &lo, &hi);
+        // (1,4), (2,2), (4,1)
+        assert_eq!(m4.len(), 3);
+        assert!(m4.contains(&UnrollVector(vec![2, 2])));
+        // Bounded below by (2,1): only (2,2) and (4,1).
+        let bounded = s.members_with_product(4, &UnrollVector(vec![2, 1]), &hi);
+        assert_eq!(bounded.len(), 2);
+        // Product not representable by divisors.
+        assert!(s.members_with_product(3, &lo, &hi).is_empty());
+    }
+
+    #[test]
+    fn iteration_covers_space_without_duplicates() {
+        let s = DesignSpace::new(&[4, 4], &[true, true]);
+        let mut all: Vec<UnrollVector> = s.iter().collect();
+        assert_eq!(all.len(), 9);
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 9);
+    }
+}

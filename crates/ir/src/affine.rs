@@ -1,0 +1,383 @@
+//! Affine expressions over loop index variables.
+//!
+//! Every array subscript in the kernel language is an [`AffineExpr`]:
+//! a linear combination `a1*i1 + a2*i2 + ... + an*in + b` of the loop
+//! index variables with integer coefficients plus an integer constant.
+//! Affine form is what makes exact dependence testing, uniformly generated
+//! set classification, and data layout possible, and the parser rejects any
+//! subscript that cannot be normalized into this shape.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine (linear + constant) integer expression over named loop
+/// variables.
+///
+/// Coefficients are stored sparsely; a variable absent from the map has
+/// coefficient zero. The representation is canonical: zero coefficients are
+/// never stored, so `==` is structural equality of the mathematical object.
+///
+/// ```
+/// use defacto_ir::AffineExpr;
+///
+/// let e = AffineExpr::var("i") + AffineExpr::var("j") * 2 + AffineExpr::constant(3);
+/// assert_eq!(e.coeff("i"), 1);
+/// assert_eq!(e.coeff("j"), 2);
+/// assert_eq!(e.constant_term(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AffineExpr {
+    coeffs: BTreeMap<String, i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1 * name`.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.into(), 1);
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Build from explicit `(variable, coefficient)` terms plus a constant.
+    ///
+    /// Terms with the same variable are summed; zero terms are dropped.
+    pub fn from_terms<I, S>(terms: I, constant: i64) -> Self
+    where
+        I: IntoIterator<Item = (S, i64)>,
+        S: Into<String>,
+    {
+        let mut e = AffineExpr::constant(constant);
+        for (v, c) in terms {
+            e.add_term(v.into(), c);
+        }
+        e
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: &str) -> i64 {
+        self.coeffs.get(var).copied().unwrap_or(0)
+    }
+
+    /// The constant term `b`.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterate over `(variable, coefficient)` pairs with non-zero
+    /// coefficients, in variable-name order.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.coeffs.iter().map(|(v, c)| (v.as_str(), *c))
+    }
+
+    /// Names of variables with non-zero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = &str> + '_ {
+        self.coeffs.keys().map(String::as_str)
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True if the expression is a constant (no variable terms).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// True if `var` does not appear (coefficient zero) — i.e. the
+    /// expression is invariant with respect to that loop.
+    pub fn is_invariant_in(&self, var: &str) -> bool {
+        self.coeff(var) == 0
+    }
+
+    /// The coefficient vector restricted to an ordered list of loop
+    /// variables — the shape used to decide whether two references are
+    /// *uniformly generated* (identical coefficient vectors).
+    pub fn coeff_vector(&self, vars: &[&str]) -> Vec<i64> {
+        vars.iter().map(|v| self.coeff(v)).collect()
+    }
+
+    /// Add `c * var` in place.
+    pub fn add_term(&mut self, var: String, c: i64) {
+        if c == 0 {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.coeffs.entry(var) {
+            Entry::Occupied(mut o) => {
+                *o.get_mut() += c;
+                if *o.get() == 0 {
+                    o.remove();
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(c);
+            }
+        }
+    }
+
+    /// Evaluate with a lookup for variable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookup` returns `None` for a variable that appears in the
+    /// expression; the interpreter guarantees all loop variables are bound.
+    pub fn eval(&self, lookup: impl Fn(&str) -> Option<i64>) -> i64 {
+        let mut acc = self.constant;
+        for (v, c) in &self.coeffs {
+            let val =
+                lookup(v).unwrap_or_else(|| panic!("affine eval: unbound loop variable `{v}`"));
+            acc += c * val;
+        }
+        acc
+    }
+
+    /// Substitute `var := replacement` (an arbitrary affine expression) and
+    /// return the result. Used by loop normalization (`i := i' + lb`),
+    /// unrolling (`i := i + k`), and tiling (`i := tile*T + i'`).
+    ///
+    /// ```
+    /// use defacto_ir::AffineExpr;
+    /// let e = AffineExpr::var("i") * 3 + AffineExpr::constant(1);
+    /// let r = e.substitute("i", &(AffineExpr::var("i") + AffineExpr::constant(2)));
+    /// assert_eq!(r.coeff("i"), 3);
+    /// assert_eq!(r.constant_term(), 7);
+    /// ```
+    pub fn substitute(&self, var: &str, replacement: &AffineExpr) -> AffineExpr {
+        let c = self.coeff(var);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(var);
+        out + replacement.clone() * c
+    }
+
+    /// Offset the expression by substituting `var := var + delta`.
+    ///
+    /// This is the unroll-and-jam rewrite for the unrolled copies of a loop
+    /// body.
+    pub fn offset_var(&self, var: &str, delta: i64) -> AffineExpr {
+        let mut out = self.clone();
+        out.constant += self.coeff(var) * delta;
+        out
+    }
+
+    /// Rename a variable, keeping its coefficient.
+    pub fn rename_var(&self, from: &str, to: &str) -> AffineExpr {
+        match self.coeffs.get(from).copied() {
+            None => self.clone(),
+            Some(c) => {
+                let mut out = self.clone();
+                out.coeffs.remove(from);
+                out.add_term(to.to_string(), c);
+                out
+            }
+        }
+    }
+
+    /// The difference `self - other` if the two expressions are *uniformly
+    /// generated* (identical coefficients on every variable); `None`
+    /// otherwise. For uniformly generated pairs this difference is the
+    /// constant dependence offset.
+    pub fn constant_difference(&self, other: &AffineExpr) -> Option<i64> {
+        if self.coeffs == other.coeffs {
+            Some(self.constant - other.constant)
+        } else {
+            None
+        }
+    }
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+
+    fn add(self, rhs: AffineExpr) -> AffineExpr {
+        let mut out = self;
+        out.constant += rhs.constant;
+        for (v, c) in rhs.coeffs {
+            out.add_term(v, c);
+        }
+        out
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+
+    fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for AffineExpr {
+    type Output = AffineExpr;
+
+    fn neg(self) -> AffineExpr {
+        self * -1
+    }
+}
+
+impl Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+
+    fn mul(self, rhs: i64) -> AffineExpr {
+        if rhs == 0 {
+            return AffineExpr::new();
+        }
+        let mut out = self;
+        out.constant *= rhs;
+        for c in out.coeffs.values_mut() {
+            *c *= rhs;
+        }
+        out
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(c: i64) -> Self {
+        AffineExpr::constant(c)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                match *c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    c => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else {
+                match *c {
+                    1 => write!(f, " + {v}")?,
+                    -1 => write!(f, " - {v}")?,
+                    c if c > 0 => write!(f, " + {c}*{v}")?,
+                    c => write!(f, " - {}*{v}", -c)?,
+                }
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ij(a: i64, b: i64, c: i64) -> AffineExpr {
+        AffineExpr::from_terms([("i", a), ("j", b)], c)
+    }
+
+    #[test]
+    fn canonical_zero_coefficients_are_dropped() {
+        let e = ij(1, 0, 0);
+        assert_eq!(e.num_vars(), 1);
+        let z = e.clone() - e;
+        assert!(z.is_constant());
+        assert_eq!(z, AffineExpr::constant(0));
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op)]
+    fn arithmetic() {
+        let e = ij(1, 2, 3);
+        let g = ij(4, -2, 1);
+        assert_eq!(e.clone() + g.clone(), ij(5, 0, 4));
+        assert_eq!(e.clone() - g.clone(), ij(-3, 4, 2));
+        assert_eq!(e.clone() * 3, ij(3, 6, 9));
+        assert_eq!(e * 0, AffineExpr::constant(0));
+        assert_eq!(-g, ij(-4, 2, -1));
+    }
+
+    #[test]
+    fn eval_and_invariance() {
+        let e = ij(2, 0, 5);
+        let v = e.eval(|v| match v {
+            "i" => Some(10),
+            _ => None,
+        });
+        assert_eq!(v, 25);
+        assert!(e.is_invariant_in("j"));
+        assert!(!e.is_invariant_in("i"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound loop variable")]
+    fn eval_unbound_panics() {
+        AffineExpr::var("k").eval(|_| None);
+    }
+
+    #[test]
+    fn substitution_and_offset() {
+        // e = 3i + j + 1; i := 2t + 4  =>  6t + j + 13
+        let e = ij(3, 1, 1);
+        let r = e.substitute("i", &(AffineExpr::var("t") * 2 + AffineExpr::constant(4)));
+        assert_eq!(r, AffineExpr::from_terms([("t", 6), ("j", 1)], 13));
+
+        let o = ij(3, 1, 1).offset_var("i", 2);
+        assert_eq!(o, ij(3, 1, 7));
+        // Offsetting an invariant variable is a no-op.
+        assert_eq!(ij(0, 1, 0).offset_var("i", 9), ij(0, 1, 0));
+    }
+
+    #[test]
+    fn rename() {
+        let e = ij(3, 1, 1);
+        let r = e.rename_var("i", "ii");
+        assert_eq!(r.coeff("ii"), 3);
+        assert_eq!(r.coeff("i"), 0);
+        assert_eq!(r.coeff("j"), 1);
+    }
+
+    #[test]
+    fn uniformly_generated_difference() {
+        let a = ij(1, 1, 2); // i + j + 2
+        let b = ij(1, 1, 0); // i + j
+        assert_eq!(a.constant_difference(&b), Some(2));
+        let c = ij(1, 2, 0);
+        assert_eq!(a.constant_difference(&c), None);
+    }
+
+    #[test]
+    fn coeff_vector_ordering() {
+        let e = ij(1, 2, 0);
+        assert_eq!(e.coeff_vector(&["j", "i", "k"]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ij(1, 2, 3).to_string(), "i + 2*j + 3");
+        assert_eq!(ij(-1, 0, -3).to_string(), "-i - 3");
+        assert_eq!(AffineExpr::constant(0).to_string(), "0");
+        assert_eq!(ij(0, -1, 0).to_string(), "-j");
+    }
+}

@@ -1,0 +1,213 @@
+//! Fluent construction of kernels without going through the parser.
+//!
+//! ```
+//! use defacto_ir::{AffineExpr, ArrayKind, Expr, KernelBuilder, ScalarType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let i = AffineExpr::var("i");
+//! let kernel = KernelBuilder::new("scale")
+//!     .array("A", ScalarType::I32, &[16], ArrayKind::In)
+//!     .array("B", ScalarType::I32, &[16], ArrayKind::Out)
+//!     .nest(&[("i", 16)], |b| {
+//!         b.store1("B", i.clone(), Expr::mul(Expr::load1("A", i.clone()), 2.into()));
+//!     })
+//!     .build()?;
+//! assert_eq!(kernel.perfect_nest().unwrap().depth(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::affine::AffineExpr;
+use crate::decl::{ArrayDecl, ArrayKind, ScalarDecl};
+use crate::error::Result;
+use crate::expr::{ArrayAccess, Expr};
+use crate::kernel::Kernel;
+use crate::stmt::{LValue, Loop, Stmt};
+use crate::types::ScalarType;
+
+/// Builder for [`Kernel`] values.
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<ScalarDecl>,
+    body: Vec<Stmt>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Declare an array.
+    pub fn array(
+        mut self,
+        name: impl Into<String>,
+        ty: ScalarType,
+        dims: &[usize],
+        kind: ArrayKind,
+    ) -> Self {
+        self.arrays
+            .push(ArrayDecl::new(name, ty, dims.to_vec(), kind));
+        self
+    }
+
+    /// Declare a scalar.
+    pub fn scalar(mut self, name: impl Into<String>, ty: ScalarType) -> Self {
+        self.scalars.push(ScalarDecl::new(name, ty));
+        self
+    }
+
+    /// Build a perfect loop nest: `dims` gives `(var, trip_count)` pairs
+    /// outermost-first, and `f` populates the innermost body through a
+    /// [`BodyBuilder`].
+    pub fn nest(mut self, dims: &[(&str, i64)], f: impl FnOnce(&mut BodyBuilder)) -> Self {
+        let mut bb = BodyBuilder::default();
+        f(&mut bb);
+        let mut body = bb.stmts;
+        for &(var, trip) in dims.iter().rev() {
+            body = vec![Stmt::For(Loop::new(var, 0, trip, body))];
+        }
+        self.body.extend(body);
+        self
+    }
+
+    /// Append a raw statement to the kernel body.
+    pub fn push_stmt(mut self, s: Stmt) -> Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Validate and produce the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from [`Kernel::new`].
+    pub fn build(self) -> Result<Kernel> {
+        Kernel::new(self.name, self.arrays, self.scalars, self.body)
+    }
+}
+
+/// Collects innermost-body statements for [`KernelBuilder::nest`].
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl BodyBuilder {
+    /// `array[idx] = value;` for a 1-D array.
+    pub fn store1(&mut self, array: &str, idx: AffineExpr, value: Expr) -> &mut Self {
+        self.stmts.push(Stmt::assign(
+            LValue::Array(ArrayAccess::new(array, vec![idx])),
+            value,
+        ));
+        self
+    }
+
+    /// `array[i0][i1] = value;` for a 2-D array.
+    pub fn store2(
+        &mut self,
+        array: &str,
+        i0: AffineExpr,
+        i1: AffineExpr,
+        value: Expr,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::assign(
+            LValue::Array(ArrayAccess::new(array, vec![i0, i1])),
+            value,
+        ));
+        self
+    }
+
+    /// `scalar = value;`
+    pub fn set(&mut self, scalar: &str, value: Expr) -> &mut Self {
+        self.stmts.push(Stmt::assign(LValue::scalar(scalar), value));
+        self
+    }
+
+    /// `if (cond) { then }` with no else branch.
+    pub fn if_then(&mut self, cond: Expr, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut bb = BodyBuilder::default();
+        f(&mut bb);
+        self.stmts.push(Stmt::If {
+            cond,
+            then_body: bb.stmts,
+            else_body: vec![],
+        });
+        self
+    }
+
+    /// Append a raw statement.
+    pub fn stmt(&mut self, s: Stmt) -> &mut Self {
+        self.stmts.push(s);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn builds_two_deep_nest() {
+        let i = AffineExpr::var("i");
+        let j = AffineExpr::var("j");
+        let k = KernelBuilder::new("fir")
+            .array("S", ScalarType::I32, &[96], ArrayKind::In)
+            .array("C", ScalarType::I32, &[32], ArrayKind::In)
+            .array("D", ScalarType::I32, &[64], ArrayKind::InOut)
+            .nest(&[("j", 64), ("i", 32)], |b| {
+                b.store1(
+                    "D",
+                    j.clone(),
+                    Expr::add(
+                        Expr::load1("D", j.clone()),
+                        Expr::mul(
+                            Expr::load1("S", i.clone() + j.clone()),
+                            Expr::load1("C", i.clone()),
+                        ),
+                    ),
+                );
+            })
+            .build()
+            .unwrap();
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(nest.vars(), vec!["j", "i"]);
+        assert_eq!(nest.trip_counts(), vec![64, 32]);
+    }
+
+    #[test]
+    fn builder_if_then() {
+        let i = AffineExpr::var("i");
+        let k = KernelBuilder::new("clip")
+            .array("A", ScalarType::I16, &[8], ArrayKind::InOut)
+            .nest(&[("i", 8)], |b| {
+                b.if_then(
+                    Expr::bin(BinOp::Gt, Expr::load1("A", i.clone()), Expr::Int(100)),
+                    |t| {
+                        t.store1("A", i.clone(), Expr::Int(100));
+                    },
+                );
+            })
+            .build()
+            .unwrap();
+        assert!(k.perfect_nest().is_some());
+    }
+
+    #[test]
+    fn invalid_kernel_is_reported() {
+        let err = KernelBuilder::new("bad")
+            .nest(&[("i", 4)], |b| {
+                b.store1("missing", AffineExpr::var("i"), Expr::Int(0));
+            })
+            .build();
+        assert!(err.is_err());
+    }
+}

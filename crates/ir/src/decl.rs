@@ -1,0 +1,203 @@
+//! Array and scalar declarations.
+
+use crate::types::ScalarType;
+use std::fmt;
+
+/// How an array participates in the kernel's dataflow.
+///
+/// The distinction matters for the hardware mapping: `In` arrays live in
+/// external memory and are only read, `Out` arrays are only written, and
+/// `InOut` arrays are both. All of them occupy off-chip memory banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// Read-only input.
+    In,
+    /// Write-only output.
+    Out,
+    /// Read and written.
+    InOut,
+}
+
+impl fmt::Display for ArrayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayKind::In => f.write_str("in"),
+            ArrayKind::Out => f.write_str("out"),
+            ArrayKind::InOut => f.write_str("inout"),
+        }
+    }
+}
+
+/// Declaration of a (possibly multi-dimensional) array variable residing in
+/// the FPGA board's external memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayDecl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Extent of each dimension (row-major layout).
+    pub dims: Vec<usize>,
+    /// Dataflow direction.
+    pub kind: ArrayKind,
+    /// Optional value-range annotation (`range lo..hi`, inclusive): the
+    /// programmer's promise about element values, used by bit-width
+    /// narrowing. Must lie within the element type's range.
+    pub range: Option<(i64, i64)>,
+}
+
+impl ArrayDecl {
+    /// Construct a declaration.
+    pub fn new(name: impl Into<String>, ty: ScalarType, dims: Vec<usize>, kind: ArrayKind) -> Self {
+        ArrayDecl {
+            name: name.into(),
+            ty,
+            dims,
+            kind,
+            range: None,
+        }
+    }
+
+    /// Attach a value-range annotation (inclusive bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or exceeds the element type.
+    pub fn with_range(mut self, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty range {lo}..{hi}");
+        assert!(
+            self.ty.wrap(lo) == lo && self.ty.wrap(hi) == hi,
+            "range {lo}..{hi} exceeds {}",
+            self.ty
+        );
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the array has zero elements (a degenerate declaration).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flatten per-dimension indices into a row-major element offset, or
+    /// `None` when any index is out of range.
+    pub fn flatten(&self, idx: &[i64]) -> Option<i64> {
+        if idx.len() != self.dims.len() {
+            return None;
+        }
+        let mut off: i64 = 0;
+        for (i, (&v, &d)) in idx.iter().zip(&self.dims).enumerate() {
+            if v < 0 || v >= d as i64 {
+                return None;
+            }
+            let _ = i;
+            off = off * d as i64 + v;
+        }
+        Some(off)
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.kind, self.name, self.ty)?;
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        if let Some((lo, hi)) = self.range {
+            write!(f, " range {lo}..{hi}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Declaration of a scalar variable.
+///
+/// Source-level scalars are rare in the paper's domain; most scalars in
+/// transformed code are compiler-introduced registers from scalar
+/// replacement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScalarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Value type.
+    pub ty: ScalarType,
+    /// True for registers introduced by the compiler (they map to on-chip
+    /// FPGA registers rather than programmer state).
+    pub compiler_temp: bool,
+}
+
+impl ScalarDecl {
+    /// Declare a source-level scalar.
+    pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
+        ScalarDecl {
+            name: name.into(),
+            ty,
+            compiler_temp: false,
+        }
+    }
+
+    /// Declare a compiler-introduced register.
+    pub fn temp(name: impl Into<String>, ty: ScalarType) -> Self {
+        ScalarDecl {
+            name: name.into(),
+            ty,
+            compiler_temp: true,
+        }
+    }
+}
+
+impl fmt::Display for ScalarDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "var {}: {}", self.name, self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_row_major() {
+        let a = ArrayDecl::new("A", ScalarType::I32, vec![4, 8], ArrayKind::In);
+        assert_eq!(a.len(), 32);
+        assert_eq!(a.flatten(&[0, 0]), Some(0));
+        assert_eq!(a.flatten(&[1, 0]), Some(8));
+        assert_eq!(a.flatten(&[3, 7]), Some(31));
+        assert_eq!(a.flatten(&[4, 0]), None);
+        assert_eq!(a.flatten(&[0, -1]), None);
+        assert_eq!(a.flatten(&[0]), None);
+    }
+
+    #[test]
+    fn display() {
+        let a = ArrayDecl::new("S", ScalarType::I16, vec![96], ArrayKind::In);
+        assert_eq!(a.to_string(), "in S: i16[96]");
+        let r = ArrayDecl::new("S", ScalarType::I16, vec![96], ArrayKind::In).with_range(-100, 100);
+        assert_eq!(r.to_string(), "in S: i16[96] range -100..100");
+        let s = ScalarDecl::new("acc", ScalarType::I32);
+        assert_eq!(s.to_string(), "var acc: i32");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn range_outside_type_panics() {
+        let _ = ArrayDecl::new("A", ScalarType::I8, vec![4], ArrayKind::In).with_range(-1, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let _ = ArrayDecl::new("A", ScalarType::I32, vec![4], ArrayKind::In).with_range(5, 4);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = ArrayDecl::new("Z", ScalarType::I8, vec![0, 4], ArrayKind::Out);
+        assert!(a.is_empty());
+    }
+}

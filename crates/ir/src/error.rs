@@ -1,0 +1,119 @@
+//! Error types shared across the IR crate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors raised while parsing, validating, or interpreting kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A lexical or syntactic error in the kernel DSL.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A subscript expression was not affine in the loop index variables.
+    NonAffine(String),
+    /// A name was referenced but never declared.
+    Undeclared(String),
+    /// A name was declared more than once.
+    Redeclared(String),
+    /// An array was accessed with the wrong number of subscripts.
+    DimensionMismatch {
+        /// The array name.
+        array: String,
+        /// Number of dimensions in the declaration.
+        declared: usize,
+        /// Number of subscripts at the access site.
+        used: usize,
+    },
+    /// An array access evaluated to an index outside the declared extent.
+    OutOfBounds {
+        /// The array name.
+        array: String,
+        /// The flattened element index that was requested.
+        index: i64,
+        /// Number of elements in the array.
+        len: usize,
+    },
+    /// A loop was malformed (zero/negative step, or bounds out of order).
+    MalformedLoop(String),
+    /// Any other structural validation failure.
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            IrError::NonAffine(e) => write!(f, "subscript expression is not affine: {e}"),
+            IrError::Undeclared(n) => write!(f, "use of undeclared name `{n}`"),
+            IrError::Redeclared(n) => write!(f, "name `{n}` declared more than once"),
+            IrError::DimensionMismatch {
+                array,
+                declared,
+                used,
+            } => write!(
+                f,
+                "array `{array}` has {declared} dimension(s) but was accessed with {used}"
+            ),
+            IrError::OutOfBounds { array, index, len } => write!(
+                f,
+                "access to `{array}` out of bounds: element {index} of {len}"
+            ),
+            IrError::MalformedLoop(m) => write!(f, "malformed loop: {m}"),
+            IrError::Invalid(m) => write!(f, "invalid kernel: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            IrError::Parse {
+                line: 1,
+                col: 2,
+                msg: "unexpected token".into(),
+            },
+            IrError::NonAffine("i*i".into()),
+            IrError::Undeclared("x".into()),
+            IrError::Redeclared("x".into()),
+            IrError::DimensionMismatch {
+                array: "A".into(),
+                declared: 2,
+                used: 1,
+            },
+            IrError::OutOfBounds {
+                array: "A".into(),
+                index: 99,
+                len: 10,
+            },
+            IrError::MalformedLoop("step 0".into()),
+            IrError::Invalid("empty body".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

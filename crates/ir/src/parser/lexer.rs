@@ -1,0 +1,280 @@
+//! Hand-written lexer for the kernel DSL.
+
+use crate::error::{IrError, Result};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An unsigned integer literal (negation is an operator).
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `?`
+    Question,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Line of the first character.
+    pub line: usize,
+    /// Column of the first character.
+    pub col: usize,
+}
+
+/// Tokenize `src`, appending an [`TokenKind::Eof`] sentinel.
+///
+/// Comments run from `//` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] on an unrecognized character or an integer
+/// literal that overflows `i64`.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr, $l:expr, $c:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line: $l,
+                col: $c,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                col += i - start;
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                col += i - start;
+                let value: i64 = text.parse().map_err(|_| IrError::Parse {
+                    line: tl,
+                    col: tc,
+                    msg: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            '{' => push!(TokenKind::LBrace, 1, tl, tc),
+            '}' => push!(TokenKind::RBrace, 1, tl, tc),
+            '(' => push!(TokenKind::LParen, 1, tl, tc),
+            ')' => push!(TokenKind::RParen, 1, tl, tc),
+            '[' => push!(TokenKind::LBracket, 1, tl, tc),
+            ']' => push!(TokenKind::RBracket, 1, tl, tc),
+            ';' => push!(TokenKind::Semi, 1, tl, tc),
+            ':' => push!(TokenKind::Colon, 1, tl, tc),
+            ',' => push!(TokenKind::Comma, 1, tl, tc),
+            '?' => push!(TokenKind::Question, 1, tl, tc),
+            '+' => push!(TokenKind::Plus, 1, tl, tc),
+            '-' => push!(TokenKind::Minus, 1, tl, tc),
+            '*' => push!(TokenKind::Star, 1, tl, tc),
+            '/' => push!(TokenKind::Slash, 1, tl, tc),
+            '%' => push!(TokenKind::Percent, 1, tl, tc),
+            '&' => push!(TokenKind::Amp, 1, tl, tc),
+            '|' => push!(TokenKind::Pipe, 1, tl, tc),
+            '^' => push!(TokenKind::Caret, 1, tl, tc),
+            '~' => push!(TokenKind::Tilde, 1, tl, tc),
+            '.' if chars.get(i + 1) == Some(&'.') => push!(TokenKind::DotDot, 2, tl, tc),
+            '=' if chars.get(i + 1) == Some(&'=') => push!(TokenKind::EqEq, 2, tl, tc),
+            '=' => push!(TokenKind::Assign, 1, tl, tc),
+            '!' if chars.get(i + 1) == Some(&'=') => push!(TokenKind::Ne, 2, tl, tc),
+            '<' if chars.get(i + 1) == Some(&'=') => push!(TokenKind::Le, 2, tl, tc),
+            '<' if chars.get(i + 1) == Some(&'<') => push!(TokenKind::Shl, 2, tl, tc),
+            '<' => push!(TokenKind::Lt, 1, tl, tc),
+            '>' if chars.get(i + 1) == Some(&'=') => push!(TokenKind::Ge, 2, tl, tc),
+            '>' if chars.get(i + 1) == Some(&'>') => push!(TokenKind::Shr, 2, tl, tc),
+            '>' => push!(TokenKind::Gt, 1, tl, tc),
+            other => {
+                return Err(IrError::Parse {
+                    line: tl,
+                    col: tc,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_symbols() {
+        assert_eq!(
+            kinds("a[i+1] = 2;"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("i".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::RBracket,
+                TokenKind::Assign,
+                TokenKind::Int(2),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> .."),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::DotDot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x // comment with symbols = + {\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(matches!(err, IrError::Parse { col: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(lex("999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Textual front end for the kernel DSL.
+//!
+//! The grammar covers exactly the paper's input domain — see the crate
+//! docs for an example. Subscript expressions are parsed as general
+//! arithmetic and then *normalized to affine form*; anything that cannot be
+//! normalized (e.g. `A[i*i]`) is rejected with [`crate::IrError::NonAffine`].
+
+mod lexer;
+mod parse;
+
+use crate::error::Result;
+use crate::kernel::Kernel;
+
+pub use lexer::{Token, TokenKind};
+
+/// Parse a kernel from DSL source text.
+///
+/// # Errors
+///
+/// Returns [`crate::IrError::Parse`] for lexical/syntactic problems,
+/// [`crate::IrError::NonAffine`] for non-affine subscripts, and the
+/// validation errors of [`Kernel::new`] for semantic problems.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = defacto_ir::parse_kernel(
+///     "kernel copy {
+///        in  A: i16[8];
+///        out B: i16[8];
+///        for i in 0..8 { B[i] = A[i]; }
+///      }",
+/// )?;
+/// assert_eq!(k.arrays().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_kernel(src: &str) -> Result<Kernel> {
+    let tokens = lexer::lex(src)?;
+    parse::Parser::new(tokens).parse_kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::print_kernel;
+
+    const FIR: &str = "kernel fir {
+  in S: i32[96];
+  in C: i32[32];
+  inout D: i32[64];
+  for j in 0..64 {
+    for i in 0..32 {
+      D[j] = D[j] + S[i + j] * C[i];
+    }
+  }
+}";
+
+    #[test]
+    fn parses_fir() {
+        let k = parse_kernel(FIR).unwrap();
+        assert_eq!(k.name(), "fir");
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(nest.trip_counts(), vec![64, 32]);
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let k = parse_kernel(FIR).unwrap();
+        let printed = print_kernel(&k);
+        let k2 = parse_kernel(&printed).unwrap();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn parses_2d_arrays_and_if() {
+        let src = "kernel thresh {
+          in A: u8[16][16];
+          out B: u8[16][16];
+          for i in 0..16 {
+            for j in 0..16 {
+              if (A[i][j] > 128) { B[i][j] = 255; } else { B[i][j] = 0; }
+            }
+          }
+        }";
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.array("A").unwrap().dims, vec![16, 16]);
+    }
+
+    #[test]
+    fn parses_negative_offsets_and_coefficients() {
+        let src = "kernel st {
+          in A: i16[64];
+          out B: i16[64];
+          for i in 1..63 {
+            B[i] = A[i - 1] + A[2*i - 2] + A[i + 1];
+          }
+        }";
+        let k = parse_kernel(src).unwrap();
+        let acc = crate::stmt::collect_accesses(k.body());
+        let a2 = &acc[1].0;
+        assert_eq!(a2.indices[0].coeff("i"), 2);
+        assert_eq!(a2.indices[0].constant_term(), -2);
+    }
+
+    #[test]
+    fn rejects_nonaffine_subscript() {
+        let src = "kernel bad {
+          in A: i32[16];
+          out B: i32[16];
+          for i in 0..4 { B[i] = A[i * i]; }
+        }";
+        let err = parse_kernel(src).unwrap_err();
+        assert!(matches!(err, crate::IrError::NonAffine(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_kernel("kernel x {").is_err());
+        assert!(parse_kernel("for i in 0..4 {}").is_err());
+        assert!(parse_kernel("kernel x { in A: i32[4]; for i in 0..4 { A[i] = ; } }").is_err());
+    }
+
+    #[test]
+    fn parses_step_loops_and_rotate() {
+        let src = "kernel s {
+          in A: i32[16];
+          out B: i32[16];
+          var r0: i32;
+          var r1: i32;
+          for i in 0..16 step 2 {
+            B[i] = A[i] + r0;
+            rotate(r0, r1);
+          }
+        }";
+        let k = parse_kernel(src).unwrap();
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(nest.loop_at(0).step, 2);
+        assert_eq!(nest.loop_at(0).trip_count(), 8);
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let err = parse_kernel("kernel x {\n  in A i32[4];\n}").unwrap_err();
+        match err {
+            crate::IrError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn select_expression_parses() {
+        let src = "kernel sel {
+          in A: i32[8];
+          out B: i32[8];
+          for i in 0..8 { B[i] = A[i] > 0 ? A[i] : 0 - A[i]; }
+        }";
+        let k = parse_kernel(src).unwrap();
+        let printed = print_kernel(&k);
+        assert_eq!(parse_kernel(&printed).unwrap(), k);
+    }
+
+    #[test]
+    fn abs_and_shift_parse() {
+        let src = "kernel a {
+          in A: i32[8];
+          out B: i32[8];
+          for i in 0..8 { B[i] = abs(A[i]) >> 2; }
+        }";
+        assert!(parse_kernel(src).is_ok());
+    }
+}

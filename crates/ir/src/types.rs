@@ -1,0 +1,154 @@
+//! Scalar element types supported by the kernel language.
+//!
+//! The paper's target domain is multimedia: image and signal processing on
+//! 8- and 16-bit data, plus 32-bit integer accumulation. Bit widths matter
+//! throughout the system — the balance metric is defined over *data bits*
+//! fetched and consumed per cycle, and operator area scales with width.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A fixed-width integer element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// Signed 8-bit integer.
+    I8,
+    /// Signed 16-bit integer.
+    I16,
+    /// Signed 32-bit integer.
+    I32,
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Unsigned 32-bit integer.
+    U32,
+}
+
+impl ScalarType {
+    /// Width of the type in bits.
+    ///
+    /// ```
+    /// use defacto_ir::ScalarType;
+    /// assert_eq!(ScalarType::I16.bits(), 16);
+    /// ```
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarType::I8 | ScalarType::U8 => 8,
+            ScalarType::I16 | ScalarType::U16 => 16,
+            ScalarType::I32 | ScalarType::U32 => 32,
+        }
+    }
+
+    /// Whether values of this type are sign-extended.
+    pub fn is_signed(self) -> bool {
+        matches!(self, ScalarType::I8 | ScalarType::I16 | ScalarType::I32)
+    }
+
+    /// Wrap an arbitrary integer into this type's value range, mirroring the
+    /// two's-complement truncation a hardware datapath of this width
+    /// performs.
+    ///
+    /// ```
+    /// use defacto_ir::ScalarType;
+    /// assert_eq!(ScalarType::U8.wrap(257), 1);
+    /// assert_eq!(ScalarType::I8.wrap(130), -126);
+    /// assert_eq!(ScalarType::I32.wrap(-5), -5);
+    /// ```
+    pub fn wrap(self, v: i64) -> i64 {
+        match self {
+            ScalarType::I8 => v as i8 as i64,
+            ScalarType::I16 => v as i16 as i64,
+            ScalarType::I32 => v as i32 as i64,
+            ScalarType::U8 => v as u8 as i64,
+            ScalarType::U16 => v as u16 as i64,
+            ScalarType::U32 => v as u32 as i64,
+        }
+    }
+
+    /// All supported types, in declaration order.
+    pub fn all() -> [ScalarType; 6] {
+        [
+            ScalarType::I8,
+            ScalarType::I16,
+            ScalarType::I32,
+            ScalarType::U8,
+            ScalarType::U16,
+            ScalarType::U32,
+        ]
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::I8 => "i8",
+            ScalarType::I16 => "i16",
+            ScalarType::I32 => "i32",
+            ScalarType::U8 => "u8",
+            ScalarType::U16 => "u16",
+            ScalarType::U32 => "u32",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ScalarType {
+    type Err = crate::IrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "i8" => Ok(ScalarType::I8),
+            "i16" => Ok(ScalarType::I16),
+            "i32" => Ok(ScalarType::I32),
+            "u8" => Ok(ScalarType::U8),
+            "u16" => Ok(ScalarType::U16),
+            "u32" => Ok(ScalarType::U32),
+            other => Err(crate::IrError::Invalid(format!(
+                "unknown scalar type `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_signedness() {
+        assert_eq!(ScalarType::I8.bits(), 8);
+        assert_eq!(ScalarType::U32.bits(), 32);
+        assert!(ScalarType::I16.is_signed());
+        assert!(!ScalarType::U16.is_signed());
+    }
+
+    #[test]
+    fn wrap_preserves_in_range_values() {
+        for t in ScalarType::all() {
+            assert_eq!(t.wrap(0), 0);
+            assert_eq!(t.wrap(1), 1);
+            if t.is_signed() {
+                assert_eq!(t.wrap(-1), -1);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_truncates() {
+        assert_eq!(ScalarType::U8.wrap(256), 0);
+        assert_eq!(ScalarType::U8.wrap(-1), 255);
+        assert_eq!(ScalarType::I16.wrap(32768), -32768);
+        assert_eq!(ScalarType::U16.wrap(65536 + 7), 7);
+        assert_eq!(ScalarType::I32.wrap(1 << 33), 0);
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for t in ScalarType::all() {
+            let s = t.to_string();
+            assert_eq!(s.parse::<ScalarType>().unwrap(), t);
+        }
+        assert!("f32".parse::<ScalarType>().is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! 2-D image correlation — the first workload the paper's introduction
+//! names ("image correlation, Laplacian image operators, erosion/dilation
+//! operators and edge detection").
+//!
+//! A `t×t` template slides over an `n×n` image; each output position
+//! accumulates the pointwise product of template and window.
+
+use defacto_ir::{parse_kernel, Kernel};
+
+/// Paper-scale correlation: an 8×8 template over a 24×24 image
+/// (16×16 output positions).
+pub fn kernel() -> Kernel {
+    kernel_sized(24, 8)
+}
+
+/// Correlation of a `t×t` template over an `n×n` image.
+///
+/// # Panics
+///
+/// Panics if `t == 0` or `t > n`.
+pub fn kernel_sized(n: usize, t: usize) -> Kernel {
+    assert!(t > 0 && t <= n, "degenerate correlation size");
+    let out = n - t;
+    let src = format!(
+        "kernel correlate {{
+           in I: i16[{n}][{n}];
+           in T: i16[{t}][{t}];
+           inout R: i16[{out}][{out}];
+           for y in 0..{out} {{
+             for x in 0..{out} {{
+               for v in 0..{t} {{
+                 for u in 0..{t} {{
+                   R[y][x] = R[y][x] + I[y + v][x + u] * T[v][u];
+                 }}
+               }}
+             }}
+           }}
+         }}"
+    );
+    parse_kernel(&src).expect("generated correlation parses")
+}
+
+/// Reference implementation over flattened row-major arrays.
+pub fn reference(image: &[i64], template: &[i64], n: usize, t: usize) -> Vec<i64> {
+    let out = n - t;
+    let mut r = vec![0i64; out * out];
+    for y in 0..out {
+        for x in 0..out {
+            for v in 0..t {
+                for u in 0..t {
+                    let acc = r[y * out + x] + image[(y + v) * n + (x + u)] * template[v * t + u];
+                    r[y * out + x] = acc as i16 as i64;
+                }
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::image;
+    use defacto_ir::run_with_inputs;
+
+    #[test]
+    fn matches_reference() {
+        let k = kernel_sized(12, 4);
+        let img: Vec<i64> = image(12, 5).iter().map(|v| v % 16).collect();
+        let tpl: Vec<i64> = image(4, 6).iter().map(|v| v % 8).collect();
+        let (ws, _) = run_with_inputs(&k, &[("I", img.clone()), ("T", tpl.clone())]).unwrap();
+        assert_eq!(
+            ws.array("R").unwrap(),
+            reference(&img, &tpl, 12, 4).as_slice()
+        );
+    }
+
+    #[test]
+    fn matching_template_peaks_at_its_location() {
+        // A template equal to a window of the image correlates maximally
+        // there for a non-negative image.
+        let n = 10;
+        let t = 3;
+        let mut img = vec![1i64; n * n];
+        // Bright blob at (4,5).
+        for v in 0..t {
+            for u in 0..t {
+                img[(4 + v) * n + 5 + u] = 9;
+            }
+        }
+        let tpl = vec![9i64; t * t];
+        let k = kernel_sized(n, t);
+        let (ws, _) = run_with_inputs(&k, &[("I", img.clone()), ("T", tpl.clone())]).unwrap();
+        let r = ws.array("R").unwrap();
+        let out = n - t;
+        let (best, _) = r.iter().enumerate().max_by_key(|(_, &v)| v).unwrap();
+        assert_eq!((best / out, best % out), (4, 5));
+    }
+
+    #[test]
+    fn four_deep_nest() {
+        let k = kernel();
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(nest.depth(), 4);
+        assert_eq!(nest.trip_counts(), vec![16, 16, 8, 8]);
+    }
+}

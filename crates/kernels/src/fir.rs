@@ -1,0 +1,81 @@
+//! FIR filter: integer multiply-accumulate over 32 consecutive elements
+//! of a 64-element output (paper Figure 1(a)).
+
+use defacto_ir::{parse_kernel, Kernel};
+
+/// The paper's FIR: `D[j] += S[i+j] * C[i]` for `j ∈ [0,64)`,
+/// `i ∈ [0,32)`.
+pub fn kernel() -> Kernel {
+    kernel_sized(64, 32)
+}
+
+/// FIR with `n_out` outputs and `n_taps` filter taps.
+///
+/// # Panics
+///
+/// Panics if either size is zero (the generated kernel would be
+/// degenerate).
+pub fn kernel_sized(n_out: usize, n_taps: usize) -> Kernel {
+    assert!(n_out > 0 && n_taps > 0, "degenerate FIR size");
+    let src = format!(
+        "kernel fir {{
+           in S: i32[{}];
+           in C: i32[{n_taps}];
+           inout D: i32[{n_out}];
+           for j in 0..{n_out} {{
+             for i in 0..{n_taps} {{
+               D[j] = D[j] + S[i + j] * C[i];
+             }}
+           }}
+         }}",
+        n_out + n_taps,
+    );
+    parse_kernel(&src).expect("generated FIR parses")
+}
+
+/// Reference implementation over `i64` (wrapping to `i32` on store, as
+/// the hardware does).
+pub fn reference(s: &[i64], c: &[i64]) -> Vec<i64> {
+    let n_taps = c.len();
+    let n_out = s.len() - n_taps;
+    let mut d = vec![0i64; n_out];
+    for j in 0..n_out {
+        for i in 0..n_taps {
+            d[j] = (d[j] + s[i + j] * c[i]) as i32 as i64;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::signal;
+    use defacto_ir::run_with_inputs;
+
+    #[test]
+    fn matches_reference() {
+        let k = kernel();
+        let s = signal(96, 11);
+        let c = signal(32, 23);
+        let (ws, _) = run_with_inputs(&k, &[("S", s.clone()), ("C", c.clone())]).unwrap();
+        assert_eq!(ws.array("D").unwrap(), reference(&s, &c).as_slice());
+    }
+
+    #[test]
+    fn sized_variant_scales() {
+        let k = kernel_sized(16, 8);
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(nest.trip_counts(), vec![16, 8]);
+        let s = signal(24, 5);
+        let c = signal(8, 7);
+        let (ws, _) = run_with_inputs(&k, &[("S", s.clone()), ("C", c.clone())]).unwrap();
+        assert_eq!(ws.array("D").unwrap(), reference(&s, &c).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_size_panics() {
+        kernel_sized(0, 4);
+    }
+}

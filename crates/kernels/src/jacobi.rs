@@ -1,0 +1,80 @@
+//! JAC: 4-point Jacobi stencil averaging over a 2-D array.
+
+use defacto_ir::{parse_kernel, Kernel};
+
+/// The paper's JAC: a 32×32 interior sweep over a 34×34 array.
+pub fn kernel() -> Kernel {
+    kernel_sized(34)
+}
+
+/// JAC over an `n×n` array (interior `(n-2)×(n-2)`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn kernel_sized(n: usize) -> Kernel {
+    assert!(n >= 3, "JAC needs at least a 3×3 array");
+    let hi = n - 1;
+    let src = format!(
+        "kernel jac {{
+           in A: i16[{n}][{n}];
+           out B: i16[{n}][{n}];
+           for i in 1..{hi} {{
+             for j in 1..{hi} {{
+               B[i][j] = (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]) / 4;
+             }}
+           }}
+         }}"
+    );
+    parse_kernel(&src).expect("generated JAC parses")
+}
+
+/// Reference implementation over a flattened `n×n` grid; the border of
+/// the output stays zero.
+pub fn reference(a: &[i64], n: usize) -> Vec<i64> {
+    let mut b = vec![0i64; n * n];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let sum = a[(i - 1) * n + j] + a[(i + 1) * n + j] + a[i * n + j - 1] + a[i * n + j + 1];
+            // C-style truncating division, wrapped to i16.
+            b[i * n + j] = (sum / 4) as i16 as i64;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::image;
+    use defacto_ir::run_with_inputs;
+
+    #[test]
+    fn matches_reference() {
+        let k = kernel();
+        let a = image(34, 99);
+        let (ws, _) = run_with_inputs(&k, &[("A", a.clone())]).unwrap();
+        assert_eq!(ws.array("B").unwrap(), reference(&a, 34).as_slice());
+    }
+
+    #[test]
+    fn interior_trip_counts() {
+        let k = kernel();
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(nest.trip_counts(), vec![32, 32]);
+    }
+
+    #[test]
+    fn constant_field_averages_to_itself() {
+        let k = kernel_sized(6);
+        let a = vec![40i64; 36];
+        let (ws, _) = run_with_inputs(&k, &[("A", a)]).unwrap();
+        let b = ws.array("B").unwrap();
+        for i in 1..5 {
+            for j in 1..5 {
+                assert_eq!(b[i * 6 + j], 40);
+            }
+        }
+        assert_eq!(b[0], 0); // border untouched
+    }
+}

@@ -1,0 +1,82 @@
+//! The five multimedia kernels of the PLDI 2002 DEFACTO evaluation.
+//!
+//! Each module provides the kernel at the paper's published size, a
+//! parameterized generator for scaling studies, a plain-Rust reference
+//! implementation used as a semantics oracle, and deterministic random
+//! input generators.
+//!
+//! | module | paper workload |
+//! |---|---|
+//! | [`fir`]    | integer multiply-accumulate over 32 consecutive elements of a 64-element output (FIR filter) |
+//! | [`matmul`] | dense 32×16 by 16×4 integer matrix multiply (MM) |
+//! | [`pattern`]| length-16 character pattern match over a length-64 string (PAT) |
+//! | [`jacobi`] | 4-point stencil averaging over a 2-D array (JAC) |
+//! | [`sobel`]  | 3×3-window edge detection over an integer image (SOBEL) |
+//!
+//! [`correlation`] and [`morphology`] add the remaining workload classes
+//! the paper's introduction names (image correlation, erosion/dilation).
+
+pub mod correlation;
+pub mod fir;
+pub mod jacobi;
+pub mod matmul;
+pub mod morphology;
+pub mod pattern;
+pub mod sobel;
+pub mod workload;
+
+use defacto_ir::Kernel;
+
+/// All five paper kernels at their published sizes, with their paper
+/// names. The extended suite in [`extended_kernels`] adds the other
+/// workloads the paper's introduction motivates.
+pub fn paper_kernels() -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("FIR", fir::kernel()),
+        ("MM", matmul::kernel()),
+        ("PAT", pattern::kernel()),
+        ("JAC", jacobi::kernel()),
+        ("SOBEL", sobel::kernel()),
+    ]
+}
+
+/// The paper kernels plus image correlation and erosion/dilation — the
+/// full set of application classes named in the paper's introduction.
+pub fn extended_kernels() -> Vec<(&'static str, Kernel)> {
+    let mut all = paper_kernels();
+    all.push(("CORR", correlation::kernel()));
+    all.push(("DILATE", morphology::kernel(morphology::Morphology::Dilate)));
+    all.push(("ERODE", morphology::kernel(morphology::Morphology::Erode)));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build_and_have_perfect_nests() {
+        for (name, k) in paper_kernels() {
+            let nest = k
+                .perfect_nest()
+                .unwrap_or_else(|| panic!("{name} is not a perfect nest"));
+            assert!(nest.depth() >= 2, "{name}");
+            assert!(nest.total_iterations() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn kernel_names_match_paper() {
+        let names: Vec<&str> = paper_kernels().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["FIR", "MM", "PAT", "JAC", "SOBEL"]);
+    }
+
+    #[test]
+    fn extended_suite_builds() {
+        let all = extended_kernels();
+        assert_eq!(all.len(), 8);
+        for (name, k) in all {
+            assert!(k.perfect_nest().is_some(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Grayscale erosion and dilation — morphological operators from the
+//! paper's introduction ("erosion/dilation operators").
+//!
+//! Over a 3×3 structuring element, dilation takes the window maximum and
+//! erosion the minimum. Max/min lower to compare+select chains in the
+//! kernel language, exercising `Select` nodes end to end.
+
+use defacto_ir::{parse_kernel, Kernel};
+
+/// Which morphological operator to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Morphology {
+    /// 3×3 window maximum.
+    Dilate,
+    /// 3×3 window minimum.
+    Erode,
+}
+
+/// Paper-scale morphology: a 3×3 window over a 34×34 8-bit image
+/// (32×32 interior).
+pub fn kernel(op: Morphology) -> Kernel {
+    kernel_sized(op, 34)
+}
+
+/// Morphology over an `n×n` image.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn kernel_sized(op: Morphology, n: usize) -> Kernel {
+    assert!(n >= 3, "morphology needs at least a 3×3 image");
+    let hi = n - 1;
+    let cmp = match op {
+        Morphology::Dilate => ">",
+        Morphology::Erode => "<",
+    };
+    let name = match op {
+        Morphology::Dilate => "dilate",
+        Morphology::Erode => "erode",
+    };
+    // Reduce the 3×3 window with a chain of compare/select steps.
+    let mut body = String::from("m = I[i - 1][j - 1];\n");
+    for (dv, du) in [
+        (-1i64, 0i64),
+        (-1, 1),
+        (0, -1),
+        (0, 0),
+        (0, 1),
+        (1, -1),
+        (1, 0),
+        (1, 1),
+    ] {
+        let idx = |d: i64, var: &str| -> String {
+            match d {
+                0 => format!("[{var}]"),
+                d if d > 0 => format!("[{var} + {d}]"),
+                d => format!("[{var} - {}]", -d),
+            }
+        };
+        body.push_str(&format!(
+            "m = I{r}{c} {cmp} m ? I{r}{c} : m;\n",
+            r = idx(dv, "i"),
+            c = idx(du, "j"),
+        ));
+    }
+    let src = format!(
+        "kernel {name} {{
+           in I: u8[{n}][{n}];
+           out O: u8[{n}][{n}];
+           var m: u8;
+           for i in 1..{hi} {{
+             for j in 1..{hi} {{
+               {body}
+               O[i][j] = m;
+             }}
+           }}
+         }}"
+    );
+    parse_kernel(&src).expect("generated morphology parses")
+}
+
+/// Reference implementation over a flattened `n×n` image; borders stay
+/// zero.
+pub fn reference(op: Morphology, img: &[i64], n: usize) -> Vec<i64> {
+    let mut out = vec![0i64; n * n];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let mut m = img[(i - 1) * n + (j - 1)];
+            for dv in -1i64..=1 {
+                for du in -1i64..=1 {
+                    let v = img[((i as i64 + dv) * n as i64 + j as i64 + du) as usize];
+                    m = match op {
+                        Morphology::Dilate => m.max(v),
+                        Morphology::Erode => m.min(v),
+                    };
+                }
+            }
+            out[i * n + j] = m;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::image;
+    use defacto_ir::run_with_inputs;
+
+    #[test]
+    fn dilation_matches_reference() {
+        let k = kernel(Morphology::Dilate);
+        let img = image(34, 77);
+        let (ws, _) = run_with_inputs(&k, &[("I", img.clone())]).unwrap();
+        assert_eq!(
+            ws.array("O").unwrap(),
+            reference(Morphology::Dilate, &img, 34).as_slice()
+        );
+    }
+
+    #[test]
+    fn erosion_matches_reference() {
+        let k = kernel(Morphology::Erode);
+        let img = image(34, 78);
+        let (ws, _) = run_with_inputs(&k, &[("I", img.clone())]).unwrap();
+        assert_eq!(
+            ws.array("O").unwrap(),
+            reference(Morphology::Erode, &img, 34).as_slice()
+        );
+    }
+
+    #[test]
+    fn dilation_grows_bright_spots() {
+        let n = 8;
+        let mut img = vec![0i64; n * n];
+        img[3 * n + 3] = 200;
+        let k = kernel_sized(Morphology::Dilate, n);
+        let (ws, _) = run_with_inputs(&k, &[("I", img)]).unwrap();
+        let o = ws.array("O").unwrap();
+        // The 3×3 neighbourhood of (3,3) lights up.
+        for i in 2..=4 {
+            for j in 2..=4 {
+                assert_eq!(o[i * n + j], 200, "({i},{j})");
+            }
+        }
+        assert_eq!(o[n + 1], 0);
+    }
+
+    #[test]
+    fn erosion_removes_isolated_spots() {
+        let n = 8;
+        let mut img = vec![100i64; n * n];
+        img[3 * n + 3] = 255; // isolated peak disappears under erosion
+        let k = kernel_sized(Morphology::Erode, n);
+        let (ws, _) = run_with_inputs(&k, &[("I", img)]).unwrap();
+        let o = ws.array("O").unwrap();
+        assert_eq!(o[3 * n + 3], 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! PAT: character pattern matching — a length-16 pattern slid over a
+//! length-64 input string, counting per-position character matches.
+
+use defacto_ir::{parse_kernel, Kernel};
+
+/// The paper's PAT: pattern length 16 over a string of length 64
+/// (48 alignment positions).
+pub fn kernel() -> Kernel {
+    kernel_sized(64, 16)
+}
+
+/// PAT with a string of `n` characters and a pattern of `m`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > n`.
+pub fn kernel_sized(n: usize, m: usize) -> Kernel {
+    assert!(m > 0 && m <= n, "degenerate PAT size");
+    let positions = n - m;
+    let src = format!(
+        "kernel pat {{
+           in S: u8[{n}];
+           in P: u8[{m}];
+           inout M: i16[{positions}];
+           for j in 0..{positions} {{
+             for i in 0..{m} {{
+               M[j] = M[j] + (S[i + j] == P[i]);
+             }}
+           }}
+         }}"
+    );
+    parse_kernel(&src).expect("generated PAT parses")
+}
+
+/// Reference implementation: `M[j]` counts matching characters of the
+/// pattern aligned at position `j`.
+pub fn reference(s: &[i64], p: &[i64]) -> Vec<i64> {
+    let positions = s.len() - p.len();
+    (0..positions)
+        .map(|j| {
+            p.iter()
+                .enumerate()
+                .filter(|(i, &pc)| s[i + j] == pc)
+                .count() as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::text;
+    use defacto_ir::run_with_inputs;
+
+    #[test]
+    fn matches_reference() {
+        let k = kernel();
+        let s = text(64, 41);
+        let p = text(16, 42);
+        let (ws, _) = run_with_inputs(&k, &[("S", s.clone()), ("P", p.clone())]).unwrap();
+        assert_eq!(ws.array("M").unwrap(), reference(&s, &p).as_slice());
+    }
+
+    #[test]
+    fn exact_match_counts_full_pattern() {
+        let k = kernel_sized(8, 4);
+        let s: Vec<i64> = vec![1, 2, 3, 4, 1, 2, 3, 4];
+        let p: Vec<i64> = vec![1, 2, 3, 4];
+        let (ws, _) = run_with_inputs(&k, &[("S", s.clone()), ("P", p.clone())]).unwrap();
+        let m = ws.array("M").unwrap();
+        assert_eq!(m[0], 4);
+        assert_eq!(m, reference(&s, &p).as_slice());
+    }
+
+    #[test]
+    fn nest_shape() {
+        let nest = kernel().perfect_nest().unwrap().trip_counts();
+        assert_eq!(nest, vec![48, 16]);
+    }
+}

@@ -1,0 +1,104 @@
+//! SOBEL: 3×3-window edge detection over an integer image, with the
+//! customary |gx|+|gy| magnitude and 255 clamp.
+
+use defacto_ir::{parse_kernel, Kernel};
+
+/// The paper's SOBEL: a 32×32 interior sweep over a 34×34 8-bit image.
+pub fn kernel() -> Kernel {
+    kernel_sized(34)
+}
+
+/// SOBEL over an `n×n` image (interior `(n-2)×(n-2)`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn kernel_sized(n: usize) -> Kernel {
+    assert!(n >= 3, "SOBEL needs at least a 3×3 image");
+    let hi = n - 1;
+    let src = format!(
+        "kernel sobel {{
+           in I: u8[{n}][{n}];
+           out E: i16[{n}][{n}];
+           var gx: i16;
+           var gy: i16;
+           var mag: i16;
+           for i in 1..{hi} {{
+             for j in 1..{hi} {{
+               gx = (I[i - 1][j + 1] + 2 * I[i][j + 1] + I[i + 1][j + 1])
+                  - (I[i - 1][j - 1] + 2 * I[i][j - 1] + I[i + 1][j - 1]);
+               gy = (I[i + 1][j - 1] + 2 * I[i + 1][j] + I[i + 1][j + 1])
+                  - (I[i - 1][j - 1] + 2 * I[i - 1][j] + I[i - 1][j + 1]);
+               mag = abs(gx) + abs(gy);
+               E[i][j] = mag > 255 ? 255 : mag;
+             }}
+           }}
+         }}"
+    );
+    parse_kernel(&src).expect("generated SOBEL parses")
+}
+
+/// Reference implementation over a flattened `n×n` image.
+pub fn reference(img: &[i64], n: usize) -> Vec<i64> {
+    let at = |i: usize, j: usize| img[i * n + j];
+    let mut e = vec![0i64; n * n];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let gx = (at(i - 1, j + 1) + 2 * at(i, j + 1) + at(i + 1, j + 1))
+                - (at(i - 1, j - 1) + 2 * at(i, j - 1) + at(i + 1, j - 1));
+            let gy = (at(i + 1, j - 1) + 2 * at(i + 1, j) + at(i + 1, j + 1))
+                - (at(i - 1, j - 1) + 2 * at(i - 1, j) + at(i - 1, j + 1));
+            let gx = gx as i16 as i64;
+            let gy = gy as i16 as i64;
+            let mag = (gx.abs() + gy.abs()) as i16 as i64;
+            e[i * n + j] = if mag > 255 { 255 } else { mag };
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::image;
+    use defacto_ir::run_with_inputs;
+
+    #[test]
+    fn matches_reference() {
+        let k = kernel();
+        let img = image(34, 7);
+        let (ws, _) = run_with_inputs(&k, &[("I", img.clone())]).unwrap();
+        assert_eq!(ws.array("E").unwrap(), reference(&img, 34).as_slice());
+    }
+
+    #[test]
+    fn flat_image_has_zero_edges() {
+        let k = kernel_sized(8);
+        let img = vec![100i64; 64];
+        let (ws, _) = run_with_inputs(&k, &[("I", img)]).unwrap();
+        assert!(ws.array("E").unwrap().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn vertical_edge_detected_and_clamped() {
+        // Left half 0, right half 200: a strong vertical edge at the
+        // boundary columns, clamped to 255.
+        let n = 8;
+        let mut img = vec![0i64; n * n];
+        for i in 0..n {
+            for j in n / 2..n {
+                img[i * n + j] = 200;
+            }
+        }
+        let k = kernel_sized(n);
+        let (ws, _) = run_with_inputs(&k, &[("I", img.clone())]).unwrap();
+        let e = ws.array("E").unwrap();
+        let mid = n / 2;
+        // Edge columns respond strongly...
+        assert_eq!(e[3 * n + mid - 1], 255);
+        assert_eq!(e[3 * n + mid], 255);
+        // ...flat regions do not.
+        assert_eq!(e[3 * n + 1], 0);
+        assert_eq!(e, reference(&img, n).as_slice());
+    }
+}

@@ -1,0 +1,85 @@
+//! Designer resource constraints (paper §2.3).
+//!
+//! Behavioral synthesis lets the designer bound the number of operator
+//! instances: "the designer might request a design that uses two
+//! multipliers and takes at most 10 clock cycles". Monet then serializes
+//! operations onto the limited units. [`ResourceConstraints`] carries
+//! those bounds into the scheduler; a constrained schedule is longer but
+//! the allocation (and hence area) respects the limits.
+
+use crate::oplib::HwOp;
+use std::collections::HashMap;
+
+/// Upper bounds on operator instances per class.
+///
+/// Classes without an entry are unbounded (the scheduler allocates from
+/// observed concurrency, as plain ASAP synthesis does).
+///
+/// ```
+/// use defacto_synth::{HwOp, ResourceConstraints};
+///
+/// let c = ResourceConstraints::new().with_limit(HwOp::Mul, 2);
+/// assert_eq!(c.limit(HwOp::Mul), Some(2));
+/// assert_eq!(c.limit(HwOp::AddSub), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceConstraints {
+    limits: HashMap<HwOp, u32>,
+}
+
+impl ResourceConstraints {
+    /// No limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound `op` to at most `units` instances (0 is clamped to 1 — a
+    /// datapath that needs an operator class cannot have none of it).
+    pub fn with_limit(mut self, op: HwOp, units: u32) -> Self {
+        self.limits.insert(op, units.max(1));
+        self
+    }
+
+    /// The bound for `op`, if any.
+    pub fn limit(&self, op: HwOp) -> Option<u32> {
+        self.limits.get(&op).copied()
+    }
+
+    /// True when no class is bounded.
+    pub fn is_unbounded(&self) -> bool {
+        self.limits.is_empty()
+    }
+
+    /// Iterate over `(class, bound)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (HwOp, u32)> + '_ {
+        self.limits.iter().map(|(op, u)| (*op, *u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clamps_to_one() {
+        let c = ResourceConstraints::new().with_limit(HwOp::Mul, 0);
+        assert_eq!(c.limit(HwOp::Mul), Some(1));
+    }
+
+    #[test]
+    fn unbounded_by_default() {
+        let c = ResourceConstraints::new();
+        assert!(c.is_unbounded());
+        assert_eq!(c.limit(HwOp::Div), None);
+    }
+
+    #[test]
+    fn iteration() {
+        let c = ResourceConstraints::new()
+            .with_limit(HwOp::Mul, 2)
+            .with_limit(HwOp::AddSub, 4);
+        let m: HashMap<HwOp, u32> = c.iter().collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&HwOp::Mul], 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! FPGA device models.
+//!
+//! The paper targets the Annapolis WildStar board's Xilinx Virtex-1000
+//! parts and fixes the synthesis clock at 40 ns (25 MHz). Capacity is
+//! expressed in *slices* — the Virtex unit of two 4-input LUTs plus two
+//! flip-flops — and a design is realizable only if its estimated slice
+//! count fits the device.
+
+use std::fmt;
+
+/// A target FPGA device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FpgaDevice {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of logic slices available.
+    pub capacity_slices: u32,
+    /// Target clock period in nanoseconds (the paper fixes 40 ns).
+    pub clock_ns: u32,
+}
+
+impl FpgaDevice {
+    /// The Xilinx Virtex-1000 class device of the paper's evaluation:
+    /// 12,288 slices, 40 ns clock.
+    pub fn virtex1000() -> Self {
+        FpgaDevice {
+            name: "XCV1000".to_string(),
+            capacity_slices: 12_288,
+            clock_ns: 40,
+        }
+    }
+
+    /// A smaller Virtex-300 class device, useful for exercising
+    /// capacity-constrained searches.
+    pub fn virtex300() -> Self {
+        FpgaDevice {
+            name: "XCV300".to_string(),
+            capacity_slices: 3_072,
+            clock_ns: 40,
+        }
+    }
+
+    /// A larger Virtex-II 6000 class device (33,792 slices), for
+    /// exploring how the search scales with capacity.
+    pub fn virtex2_6000() -> Self {
+        FpgaDevice {
+            name: "XC2V6000".to_string(),
+            capacity_slices: 33_792,
+            clock_ns: 40,
+        }
+    }
+
+    /// Does a design of `slices` fit on this device?
+    pub fn fits(&self, slices: u32) -> bool {
+        slices <= self.capacity_slices
+    }
+
+    /// Clock frequency in MHz implied by the clock period.
+    pub fn clock_mhz(&self) -> f64 {
+        1000.0 / self.clock_ns as f64
+    }
+}
+
+impl Default for FpgaDevice {
+    fn default() -> Self {
+        FpgaDevice::virtex1000()
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} slices @ {} ns)",
+            self.name, self.capacity_slices, self.clock_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex1000_matches_paper_parameters() {
+        let d = FpgaDevice::virtex1000();
+        assert_eq!(d.capacity_slices, 12_288);
+        assert_eq!(d.clock_ns, 40);
+        assert!((d.clock_mhz() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_is_inclusive() {
+        let d = FpgaDevice::virtex300();
+        assert!(d.fits(3_072));
+        assert!(!d.fits(3_073));
+    }
+
+    #[test]
+    fn default_is_the_paper_device() {
+        assert_eq!(FpgaDevice::default(), FpgaDevice::virtex1000());
+    }
+}

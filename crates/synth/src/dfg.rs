@@ -1,0 +1,706 @@
+//! Datapath dataflow-graph construction.
+//!
+//! A straight-line segment of the transformed kernel (no loops) lowers to
+//! a DFG whose nodes are memory accesses, priced datapath operators,
+//! register rotations, and a shared source for live-in values (loop
+//! indices, registers carried from earlier segments, constants). Edges
+//! are data dependences plus the memory-ordering edges needed for
+//! same-array accesses.
+//!
+//! `if` statements lower to predicated form: both branches evaluate,
+//! scalar targets merge through multiplexers, and memory accesses issue
+//! unconditionally — the paper's generated code "always performs
+//! conditional memory accesses" precisely so scheduling sees a uniform
+//! body.
+
+use crate::oplib::HwOp;
+use defacto_analysis::{Interval, RangeInfo};
+use defacto_ir::{ArrayAccess, BinOp, Expr, Kernel, LValue, Stmt};
+use defacto_xform::layout::ArrayLayout;
+use defacto_xform::MemoryBinding;
+use std::collections::HashMap;
+
+/// Index of a node in its [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// What a DFG node does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Values available at cycle 0: constants, loop indices, live-in
+    /// registers.
+    Source,
+    /// A memory read from `bank`.
+    Load {
+        /// Array being read.
+        array: String,
+        /// Physical memory bank (from the data layout).
+        bank: usize,
+        /// Element width.
+        bits: u32,
+        /// Memory-word class: loads of the same `(array, bank, word)`
+        /// fetch the same packed word and share one port slot. Unique per
+        /// node when packing is disabled.
+        word: i64,
+    },
+    /// A memory write to `bank`.
+    Store {
+        /// Array being written.
+        array: String,
+        /// Physical memory bank.
+        bank: usize,
+        /// Element width.
+        bits: u32,
+    },
+    /// A datapath operator instance.
+    Op {
+        /// Operator class.
+        op: HwOp,
+        /// Operand width.
+        bits: u32,
+    },
+    /// A parallel register rotation (one cycle, no operator area).
+    Rotate {
+        /// Number of registers in the chain.
+        regs: usize,
+        /// Register width.
+        bits: u32,
+    },
+}
+
+/// One DFG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// What it computes.
+    pub kind: NodeKind,
+    /// Data/ordering predecessors.
+    pub preds: Vec<NodeId>,
+}
+
+/// A dataflow graph for one straight-line segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// All nodes, in creation (topological) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterator over memory access nodes.
+    pub fn memory_nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Load { .. } | NodeKind::Store { .. }))
+    }
+
+    fn push(&mut self, kind: NodeKind, preds: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, kind, preds });
+        id
+    }
+}
+
+/// Build the DFG of a straight-line statement list.
+///
+/// `kernel` provides element/scalar types; `binding` provides the memory
+/// bank of every access. Nested loops are not allowed here — the
+/// estimator walks loop structure itself and hands only straight-line
+/// segments to this builder.
+///
+/// # Panics
+///
+/// Panics if `stmts` contains a `For` statement.
+pub fn build_dfg(stmts: &[Stmt], kernel: &Kernel, binding: &MemoryBinding) -> Dfg {
+    build_dfg_opts(stmts, kernel, binding, &DfgOptions::default())
+}
+
+/// Construction options for [`build_dfg_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfgOptions<'a> {
+    /// Value-range information for bit-width narrowing (paper §2.4).
+    pub ranges: Option<&'a RangeInfo>,
+    /// Memory word width for small-type packing (paper §4: "packing small
+    /// data types"): loads of elements sharing a word share one fetch.
+    pub pack_word_bits: Option<u32>,
+}
+
+/// Like [`build_dfg`], with optional value-range information: when
+/// present, operator widths come from the inferred intervals instead of
+/// the declared C types — the bit-width narrowing of paper §2.4.
+pub fn build_dfg_ranged(
+    stmts: &[Stmt],
+    kernel: &Kernel,
+    binding: &MemoryBinding,
+    ranges: Option<&RangeInfo>,
+) -> Dfg {
+    build_dfg_opts(
+        stmts,
+        kernel,
+        binding,
+        &DfgOptions {
+            ranges,
+            pack_word_bits: None,
+        },
+    )
+}
+
+/// The most general DFG construction entry point.
+pub fn build_dfg_opts(
+    stmts: &[Stmt],
+    kernel: &Kernel,
+    binding: &MemoryBinding,
+    opts: &DfgOptions<'_>,
+) -> Dfg {
+    let mut b = Builder {
+        dfg: Dfg::default(),
+        kernel,
+        binding,
+        ranges: opts.ranges,
+        pack_word_bits: opts.pack_word_bits,
+        defs: HashMap::new(),
+        def_ranges: HashMap::new(),
+        source: None,
+        last_store: HashMap::new(),
+        loads_since_store: HashMap::new(),
+    };
+    for s in stmts {
+        b.stmt(s);
+    }
+    b.dfg
+}
+
+struct Builder<'a> {
+    dfg: Dfg,
+    kernel: &'a Kernel,
+    binding: &'a MemoryBinding,
+    /// Value-range information for bit-width narrowing, when enabled.
+    ranges: Option<&'a RangeInfo>,
+    /// Memory word width for small-type packing, when enabled.
+    pack_word_bits: Option<u32>,
+    /// Current producer of each scalar.
+    defs: HashMap<String, NodeId>,
+    /// Value interval of each scalar's current definition (narrowing).
+    def_ranges: HashMap<String, Interval>,
+    /// Lazily created shared source node.
+    source: Option<NodeId>,
+    /// Last store per array (for load→store ordering).
+    last_store: HashMap<String, NodeId>,
+    /// Loads since the last store, per array (for store→load ordering).
+    loads_since_store: HashMap<String, Vec<NodeId>>,
+}
+
+impl Builder<'_> {
+    fn source(&mut self) -> NodeId {
+        match self.source {
+            Some(s) => s,
+            None => {
+                let s = self.dfg.push(NodeKind::Source, vec![]);
+                self.source = Some(s);
+                s
+            }
+        }
+    }
+
+    fn scalar_bits(&self, name: &str) -> u32 {
+        let declared = self
+            .kernel
+            .scalar(name)
+            .map(|d| d.ty.bits())
+            // Loop index variables: 16-bit counters.
+            .unwrap_or(16);
+        match self.ranges {
+            Some(info) => info.var(name).bits().min(declared),
+            None => declared,
+        }
+    }
+
+    /// Value interval of a scalar read under narrowing.
+    fn scalar_interval(&self, name: &str) -> Option<Interval> {
+        let info = self.ranges?;
+        Some(
+            self.def_ranges
+                .get(name)
+                .copied()
+                .unwrap_or_else(|| info.var(name)),
+        )
+    }
+
+    fn array_bits(&self, array: &str) -> u32 {
+        self.kernel.array(array).map(|a| a.ty.bits()).unwrap_or(32)
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let (v, _, iv) = self.expr(rhs);
+                match lhs {
+                    LValue::Scalar(n) => {
+                        self.defs.insert(n.clone(), v);
+                        if let (Some(info), Some(iv)) = (self.ranges, iv) {
+                            // Values wrap at the declared register width.
+                            let ty = self
+                                .kernel
+                                .scalar(n)
+                                .map(|d| d.ty)
+                                .unwrap_or(defacto_ir::ScalarType::I32);
+                            let _ = info;
+                            self.def_ranges.insert(n.clone(), iv.clamp_to(ty));
+                        }
+                    }
+                    LValue::Array(a) => {
+                        self.store(a, v);
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let (c, _, _) = self.expr(cond);
+                // Predicated execution: evaluate both branches, mux scalar
+                // defs, issue memory accesses unconditionally.
+                let saved: HashMap<String, NodeId> = self.defs.clone();
+                for st in then_body {
+                    self.stmt(st);
+                }
+                let then_defs = std::mem::replace(&mut self.defs, saved.clone());
+                for st in else_body {
+                    self.stmt(st);
+                }
+                let else_defs = std::mem::replace(&mut self.defs, saved.clone());
+                let mut merged = saved.clone();
+                let mut touched: Vec<&String> = then_defs.keys().chain(else_defs.keys()).collect();
+                touched.sort();
+                touched.dedup();
+                for name in touched {
+                    let t = then_defs.get(name).copied();
+                    let e = else_defs.get(name).copied();
+                    let pre = saved.get(name).copied();
+                    let (t, e) = (t.or(pre), e.or(pre));
+                    match (t, e) {
+                        (Some(tv), Some(ev)) if tv == ev => {
+                            merged.insert(name.clone(), tv);
+                        }
+                        (Some(tv), Some(ev)) => {
+                            let bits = self.scalar_bits(name);
+                            let mux = self.dfg.push(
+                                NodeKind::Op {
+                                    op: HwOp::Mux,
+                                    bits,
+                                },
+                                vec![c, tv, ev],
+                            );
+                            merged.insert(name.clone(), mux);
+                        }
+                        (Some(tv), None) | (None, Some(tv)) => {
+                            // Defined on one path only and not before:
+                            // keep the defined value (estimation only).
+                            merged.insert(name.clone(), tv);
+                        }
+                        (None, None) => {}
+                    }
+                }
+                self.defs = merged;
+            }
+            Stmt::Rotate(regs) => {
+                let bits = regs.first().map(|r| self.scalar_bits(r)).unwrap_or(32);
+                let mut preds: Vec<NodeId> = regs
+                    .iter()
+                    .filter_map(|r| self.defs.get(r).copied())
+                    .collect();
+                preds.sort();
+                preds.dedup();
+                let rot = self.dfg.push(
+                    NodeKind::Rotate {
+                        regs: regs.len(),
+                        bits,
+                    },
+                    preds,
+                );
+                // The rotation redefines every register in the chain.
+                if self.ranges.is_some() {
+                    let all = regs
+                        .iter()
+                        .filter_map(|r| self.scalar_interval(r))
+                        .reduce(Interval::union);
+                    if let Some(all) = all {
+                        for r in regs {
+                            self.def_ranges.insert(r.clone(), all);
+                        }
+                    }
+                }
+                for r in regs {
+                    self.defs.insert(r.clone(), rot);
+                }
+            }
+            Stmt::For(_) => panic!("build_dfg: loops must be handled by the estimator"),
+        }
+    }
+
+    fn store(&mut self, a: &ArrayAccess, value: NodeId) {
+        let bits = self.array_bits(&a.array);
+        let bank = self.binding.bank_of(a);
+        let mut preds = vec![value];
+        if let Some(&prev) = self.last_store.get(&a.array) {
+            preds.push(prev);
+        }
+        preds.extend(self.loads_since_store.remove(&a.array).unwrap_or_default());
+        preds.sort();
+        preds.dedup();
+        let st = self.dfg.push(
+            NodeKind::Store {
+                array: a.array.clone(),
+                bank,
+                bits,
+            },
+            preds,
+        );
+        self.last_store.insert(a.array.clone(), st);
+    }
+
+    /// Returns the producing node, the operator width to price it at,
+    /// and (under narrowing) the value interval.
+    fn expr(&mut self, e: &Expr) -> (NodeId, u32, Option<Interval>) {
+        match e {
+            Expr::Int(v) => {
+                let iv = self.ranges.map(|_| Interval::point(*v));
+                let bits = match iv {
+                    Some(i) => i.bits(),
+                    None => 32,
+                };
+                (self.source(), bits, iv)
+            }
+            Expr::Scalar(n) => {
+                let iv = self.scalar_interval(n);
+                let bits = match iv {
+                    Some(i) => i.bits().min(self.scalar_bits(n).max(1)),
+                    None => self.scalar_bits(n),
+                };
+                match self.defs.get(n).copied() {
+                    Some(d) => (d, bits, iv),
+                    None => (self.source(), bits, iv),
+                }
+            }
+            Expr::Load(a) => {
+                // Memory transfers move whole declared-width elements; the
+                // *value* may be narrower under an annotation.
+                let mem_bits = self.array_bits(&a.array);
+                let iv = self.ranges.map(|info| info.array(&a.array));
+                let bits = match iv {
+                    Some(i) => i.bits().min(mem_bits),
+                    None => mem_bits,
+                };
+                // Word class: elements of a small-typed array packed into
+                // one memory word share a fetch; otherwise every load is
+                // its own word. Packing also changes the layout — packed
+                // arrays distribute cyclically by *word* (phaseless), so
+                // the elements of one word actually live together.
+                let (bank, word) = match self.pack_word_bits {
+                    Some(word_bits) if mem_bits < word_bits => {
+                        let epw = (word_bits / mem_bits).max(1) as i64;
+                        let word = self.binding.flat_offset(a).div_euclid(epw);
+                        let bank = match self.binding.layout(&a.array) {
+                            Some(ArrayLayout::Single { bank }) => bank,
+                            _ => {
+                                word.rem_euclid(self.binding.num_memories().max(1) as i64) as usize
+                            }
+                        };
+                        (bank, word)
+                    }
+                    _ => (self.binding.bank_of(a), self.dfg.len() as i64 + (1 << 40)),
+                };
+                let mut preds = Vec::new();
+                if let Some(&prev) = self.last_store.get(&a.array) {
+                    preds.push(prev);
+                }
+                let ld = self.dfg.push(
+                    NodeKind::Load {
+                        array: a.array.clone(),
+                        bank,
+                        bits: mem_bits,
+                        word,
+                    },
+                    preds,
+                );
+                self.loads_since_store
+                    .entry(a.array.clone())
+                    .or_default()
+                    .push(ld);
+                (ld, bits, iv)
+            }
+            Expr::Unary(op, inner) => {
+                let (v, bits, iv) = self.expr(inner);
+                let riv = iv.map(|i| match op {
+                    defacto_ir::UnOp::Neg => i.neg(),
+                    defacto_ir::UnOp::Abs => i.abs(),
+                    defacto_ir::UnOp::Not => Interval::new(
+                        i.hi.saturating_neg().saturating_sub(1),
+                        i.lo.saturating_neg().saturating_sub(1),
+                    ),
+                });
+                let rbits = riv.map(Interval::bits).unwrap_or(bits);
+                let node = self.dfg.push(
+                    NodeKind::Op {
+                        op: HwOp::of_unop(*op),
+                        bits: rbits,
+                    },
+                    vec![v],
+                );
+                (node, rbits, riv)
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                // Strength reduction information: constant (power-of-two)
+                // right operand. Multiplication is commutative, so a
+                // constant left operand counts too.
+                let (const_side, pow2) = match (&**lhs, &**rhs, op) {
+                    (_, Expr::Int(v), _) => (true, v.abs().count_ones() == 1),
+                    (Expr::Int(v), _, BinOp::Mul) => (true, v.abs().count_ones() == 1),
+                    _ => (false, false),
+                };
+                let (a, ba, ia) = self.expr(lhs);
+                let (b, bb, ib) = self.expr(rhs);
+                let riv = match (ia, ib) {
+                    (Some(x), Some(y)) => Some(match op {
+                        BinOp::Add => x.add(y),
+                        BinOp::Sub => x.sub(y),
+                        BinOp::Mul => x.mul(y),
+                        BinOp::Div => x.div(y),
+                        BinOp::Rem => x.rem(y),
+                        BinOp::Shl => {
+                            if y.lo == y.hi && (0..32).contains(&y.lo) {
+                                x.mul(Interval::point(1i64 << y.lo))
+                            } else {
+                                Interval::of_type(defacto_ir::ScalarType::I32)
+                            }
+                        }
+                        BinOp::Shr => {
+                            if y.lo == y.hi && (0..32).contains(&y.lo) {
+                                x.div(Interval::point(1i64 << y.lo))
+                            } else {
+                                x.union(Interval::point(0))
+                            }
+                        }
+                        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                            Interval::new(0, 1)
+                        }
+                        BinOp::And | BinOp::Or | BinOp::Xor => {
+                            let bits = x.union(y).bits().min(62);
+                            if x.lo >= 0 && y.lo >= 0 {
+                                Interval::new(0, (1i64 << bits) - 1)
+                            } else {
+                                Interval::new(-(1i64 << (bits - 1)).max(1), (1i64 << bits) - 1)
+                            }
+                        }
+                    }),
+                    _ => None,
+                };
+                // Operator width: interval-driven under narrowing (the
+                // wider operand still has to flow through the unit),
+                // declared-width rule otherwise.
+                let bits = match (riv, ia, ib) {
+                    (Some(r), Some(x), Some(y)) => {
+                        r.bits().max(x.bits()).max(y.bits()).min(ba.max(bb).max(1))
+                    }
+                    _ => ba.max(bb),
+                };
+                let hw = HwOp::of_binop(*op, const_side, pow2);
+                let node = self.dfg.push(NodeKind::Op { op: hw, bits }, vec![a, b]);
+                let out_bits = if op.is_comparison() { 1 } else { bits };
+                (node, out_bits, riv)
+            }
+            Expr::Select(c, t, f) => {
+                let (cn, _, _) = self.expr(c);
+                let (tn, bt, it) = self.expr(t);
+                let (fn_, bf, if_) = self.expr(f);
+                let riv = match (it, if_) {
+                    (Some(x), Some(y)) => Some(x.union(y)),
+                    _ => None,
+                };
+                let bits = riv.map(Interval::bits).unwrap_or_else(|| bt.max(bf));
+                let node = self.dfg.push(
+                    NodeKind::Op {
+                        op: HwOp::Mux,
+                        bits,
+                    },
+                    vec![cn, tn, fn_],
+                );
+                (node, bits, riv)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::parse_kernel;
+    use defacto_xform::assign_memories;
+
+    fn dfg_for(src: &str) -> (Dfg, Kernel) {
+        let k = parse_kernel(src).unwrap();
+        let binding = assign_memories(&k, 4);
+        let nest = k.perfect_nest().unwrap();
+        let dfg = build_dfg(nest.innermost_body(), &k, &binding);
+        (dfg, k)
+    }
+
+    #[test]
+    fn fir_body_structure() {
+        let (dfg, _) = dfg_for(
+            "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+               for j in 0..64 { for i in 0..32 {
+                 D[j] = D[j] + S[i + j] * C[i]; } } }",
+        );
+        let loads = dfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Load { .. }))
+            .count();
+        let stores = dfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .count();
+        let ops = dfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Op { .. }))
+            .count();
+        assert_eq!(loads, 3);
+        assert_eq!(stores, 1);
+        assert_eq!(ops, 2); // one mul, one add
+
+        // The store depends (transitively) on the add.
+        let store = dfg
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .unwrap();
+        assert!(!store.preds.is_empty());
+    }
+
+    #[test]
+    fn predicated_if_makes_mux_and_unconditional_store() {
+        let (dfg, _) = dfg_for(
+            "kernel p { in A: i32[8]; out B: i32[8]; var t: i32;
+               for i in 0..8 {
+                 if (A[i] > 0) { t = A[i]; } else { t = 0 - A[i]; }
+                 B[i] = t;
+               } }",
+        );
+        let muxes = dfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Op { op: HwOp::Mux, .. }))
+            .count();
+        assert_eq!(muxes, 1);
+        let stores = dfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn memory_ordering_edges() {
+        // Store then load of the same array: the load must wait.
+        let (dfg, _) = dfg_for(
+            "kernel so { inout A: i32[8];
+               for i in 0..4 {
+                 A[i] = 1;
+                 A[i + 4] = A[i] + 1;
+               } }",
+        );
+        let nodes = dfg.nodes();
+        let first_store = nodes
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .unwrap();
+        let load_after = nodes
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Load { .. }))
+            .unwrap();
+        assert!(load_after.preds.contains(&first_store.id));
+    }
+
+    #[test]
+    fn strength_reduced_mul_by_constant() {
+        let (dfg, _) = dfg_for(
+            "kernel sr { in A: i32[8]; out B: i32[8];
+               for i in 0..8 { B[i] = A[i] * 4 + A[i] * 3; } }",
+        );
+        let shifts = dfg
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    NodeKind::Op {
+                        op: HwOp::ConstShift,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let muls = dfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Op { op: HwOp::Mul, .. }))
+            .count();
+        assert_eq!(shifts, 1); // ×4
+        assert_eq!(muls, 1); // ×3
+    }
+
+    #[test]
+    fn rotate_node_redefines_registers() {
+        let k = parse_kernel(
+            "kernel r { out B: i32[2]; var r0: i32; var r1: i32;
+               for i in 0..2 {
+                 r0 = 1;
+                 rotate(r0, r1);
+                 B[i] = r0;
+               } }",
+        )
+        .unwrap();
+        let binding = assign_memories(&k, 1);
+        let nest = k.perfect_nest().unwrap();
+        let dfg = build_dfg(nest.innermost_body(), &k, &binding);
+        let rot = dfg
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Rotate { .. }))
+            .unwrap();
+        // The store of B[i] uses r0 as redefined by the rotation.
+        let store = dfg
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .unwrap();
+        assert!(store.preds.contains(&rot.id));
+    }
+
+    #[test]
+    #[should_panic(expected = "loops must be handled")]
+    fn loops_rejected() {
+        let k = parse_kernel("kernel l { out B: i32[4]; for i in 0..4 { B[i] = 0; } }").unwrap();
+        let binding = assign_memories(&k, 1);
+        build_dfg(k.body(), &k, &binding);
+    }
+}

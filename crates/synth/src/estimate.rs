@@ -1,0 +1,556 @@
+//! The behavioral-synthesis estimator.
+//!
+//! Walks the transformed kernel's (possibly imperfect) loop structure,
+//! schedules every straight-line segment, and aggregates:
+//!
+//! - **cycles** — total execution time at the fixed 40 ns clock, with one
+//!   FSM cycle of loop overhead per iteration and one of loop setup;
+//! - **memory/compute busy time** — the denominators of the paper's
+//!   fetch rate `F` and consumption rate `C`; their ratio is the balance
+//!   metric (`B > 1`: compute bound, `B < 1`: memory bound);
+//! - **slices** — datapath operators at their schedule-derived
+//!   allocation (shared across segments, as behavioral synthesis reuses
+//!   operators between peeled and steady bodies), registers, memory
+//!   interfaces, loop counters and the control FSM.
+
+use crate::constraints::ResourceConstraints;
+use crate::device::FpgaDevice;
+use crate::memory::MemoryModel;
+use crate::oplib::{
+    op_spec, register_slices, HwOp, FSM_BASE_SLICES, FSM_SLICES_PER_STATE, MEMORY_INTERFACE_SLICES,
+};
+use crate::schedule::{schedule_dfg_prioritized, ListPriority, OpUsage};
+use defacto_analysis::{infer_ranges, RangeInfo};
+use defacto_ir::{Kernel, Stmt};
+use defacto_xform::TransformedDesign;
+use std::collections::HashMap;
+
+/// One FSM cycle per loop iteration (index update + branch).
+const LOOP_ITER_OVERHEAD: u64 = 1;
+/// One FSM cycle to enter a loop (index reset).
+const LOOP_SETUP_OVERHEAD: u64 = 1;
+/// Slices for one loop's 16-bit counter + bound comparator.
+const LOOP_CONTROL_SLICES: u32 = 12;
+
+/// A behavioral-synthesis estimate for one design point.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Estimate {
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Estimated area in slices.
+    pub slices: u32,
+    /// Aggregate memory-limited time (Σ per-segment max bank occupancy ×
+    /// executions).
+    pub memory_busy_cycles: u64,
+    /// Aggregate compute-limited time (Σ per-segment operator critical
+    /// path × executions).
+    pub compute_busy_cycles: u64,
+    /// Total bits moved to/from external memory.
+    pub bits_from_memory: u64,
+    /// On-chip registers (scalar variables of the design).
+    pub registers: usize,
+    /// The design's balance `B = F/C` (±∞ guarded; 1.0 when both idle).
+    pub balance: f64,
+    /// Clock period used (ns).
+    pub clock_ns: u32,
+    /// Whether the design fits the device.
+    pub fits: bool,
+}
+
+impl Estimate {
+    /// Wall-clock execution time in microseconds.
+    pub fn exec_time_us(&self) -> f64 {
+        self.cycles as f64 * self.clock_ns as f64 / 1000.0
+    }
+
+    /// True when the design is memory bound (`B < 1`).
+    pub fn memory_bound(&self) -> bool {
+        self.balance < 1.0
+    }
+
+    /// True when the design is compute bound (`B > 1`).
+    pub fn compute_bound(&self) -> bool {
+        self.balance > 1.0
+    }
+}
+
+#[derive(Default)]
+struct Aggregate {
+    // Dynamic quantities (scaled by trip counts).
+    cycles: u64,
+    mem_busy: u64,
+    comp_busy: u64,
+    bits: u64,
+    // Static quantities (structural, not scaled).
+    op_usage: HashMap<(HwOp, u32), OpUsage>,
+    fsm_states: u64,
+    loops: u32,
+}
+
+impl Aggregate {
+    fn merge_static(&mut self, other: &Aggregate) {
+        for (k, u) in &other.op_usage {
+            let e = self.op_usage.entry(*k).or_default();
+            // Operators are shared across segments: allocation is the max
+            // concurrency anywhere; uses accumulate (they contend for the
+            // shared units through multiplexers).
+            e.max_concurrent = e.max_concurrent.max(u.max_concurrent);
+            e.total_uses += u.total_uses;
+        }
+        self.fsm_states += other.fsm_states;
+        self.loops += other.loops;
+    }
+}
+
+/// Estimate a transformed design against a memory model and device.
+///
+/// The balance metric compares the design's aggregate fetch rate `F`
+/// (bits ÷ memory-busy time) with its consumption rate `C` (bits ÷
+/// compute-critical time); since the numerators agree, `B` reduces to
+/// compute time over memory time.
+pub fn estimate(design: &TransformedDesign, mem: &MemoryModel, dev: &FpgaDevice) -> Estimate {
+    estimate_opts(design, mem, dev, &SynthesisOptions::default())
+}
+
+/// Like [`estimate`] but with designer operator bounds (paper §2.3): the
+/// schedule serializes onto the limited units, trading cycles for area.
+pub fn estimate_constrained(
+    design: &TransformedDesign,
+    mem: &MemoryModel,
+    dev: &FpgaDevice,
+    constraints: &ResourceConstraints,
+) -> Estimate {
+    estimate_opts(
+        design,
+        mem,
+        dev,
+        &SynthesisOptions {
+            constraints: constraints.clone(),
+            ..SynthesisOptions::default()
+        },
+    )
+}
+
+/// Synthesis-side options for [`estimate_opts`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Designer operator bounds (paper §2.3).
+    pub constraints: ResourceConstraints,
+    /// Bit-width narrowing from value-range analysis (paper §2.4): bind
+    /// operators and registers at the widths the inferred intervals need
+    /// instead of the declared C types.
+    pub bitwidth_narrowing: bool,
+    /// Small-type packing (paper §4): elements of arrays narrower than
+    /// the memory word share fetches (e.g. four `u8` pixels per 32-bit
+    /// word).
+    pub pack_small_types: bool,
+    /// Ready-list policy: Monet-style ASAP (default) or least-slack-first.
+    pub priority: ListPriority,
+}
+
+/// The most general estimation entry point.
+pub fn estimate_opts(
+    design: &TransformedDesign,
+    mem: &MemoryModel,
+    dev: &FpgaDevice,
+    opts: &SynthesisOptions,
+) -> Estimate {
+    let ranges = opts
+        .bitwidth_narrowing
+        .then(|| infer_ranges(&design.kernel));
+    let pack = opts.pack_small_types.then_some(mem.width_bits);
+    let agg = walk(
+        design.kernel.body(),
+        &design.kernel,
+        design,
+        mem,
+        &opts.constraints,
+        ranges.as_ref(),
+        pack,
+        opts.priority,
+    );
+
+    let balance = match (agg.comp_busy, agg.mem_busy) {
+        (0, 0) => 1.0,
+        (_, 0) => f64::INFINITY,
+        (c, m) => c as f64 / m as f64,
+    };
+
+    // Area.
+    let mut slices: u32 = 0;
+    for ((op, bits), usage) in &agg.op_usage {
+        let spec = op_spec(*op, *bits);
+        slices += spec.area_slices * usage.max_concurrent;
+        // Sharing multiplexers: each use beyond the allocated instances
+        // steers operands through a mux tree.
+        let shared = usage.total_uses.saturating_sub(usage.max_concurrent);
+        slices += shared * (bits / 4 + 1);
+    }
+    let mut registers = 0usize;
+    for s in design.kernel.scalars() {
+        registers += 1;
+        let bits = match &ranges {
+            Some(info) => info.var(&s.name).bits().min(s.ty.bits()),
+            None => s.ty.bits(),
+        };
+        slices += register_slices(bits);
+    }
+    slices += mem.num_memories as u32 * MEMORY_INTERFACE_SLICES;
+    slices += agg.loops * LOOP_CONTROL_SLICES;
+    slices += FSM_BASE_SLICES + (agg.fsm_states as f64 * FSM_SLICES_PER_STATE) as u32;
+
+    Estimate {
+        cycles: agg.cycles,
+        slices,
+        memory_busy_cycles: agg.mem_busy,
+        compute_busy_cycles: agg.comp_busy,
+        bits_from_memory: agg.bits,
+        registers,
+        balance,
+        clock_ns: dev.clock_ns,
+        fits: dev.fits(slices),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    stmts: &[Stmt],
+    kernel: &Kernel,
+    design: &TransformedDesign,
+    mem: &MemoryModel,
+    constraints: &ResourceConstraints,
+    ranges: Option<&RangeInfo>,
+    pack: Option<u32>,
+    priority: ListPriority,
+) -> Aggregate {
+    let mut agg = Aggregate::default();
+    let mut segment: Vec<Stmt> = Vec::new();
+
+    let flush = |segment: &mut Vec<Stmt>, agg: &mut Aggregate| {
+        if segment.is_empty() {
+            return;
+        }
+        let dfg = crate::dfg::build_dfg_opts(
+            segment,
+            kernel,
+            &design.binding,
+            &crate::dfg::DfgOptions {
+                ranges,
+                pack_word_bits: pack,
+            },
+        );
+        let sched = schedule_dfg_prioritized(&dfg, mem, constraints, priority);
+        agg.cycles += sched.length;
+        agg.mem_busy += sched.t_mem;
+        agg.comp_busy += sched.t_comp;
+        agg.bits += sched.bits_transferred;
+        agg.fsm_states += sched.length;
+        let sub = Aggregate {
+            op_usage: sched.op_usage.clone(),
+            ..Aggregate::default()
+        };
+        agg.merge_static(&sub);
+        segment.clear();
+    };
+
+    for s in stmts {
+        match s {
+            Stmt::For(l) => {
+                flush(&mut segment, &mut agg);
+                let inner = walk(
+                    &l.body,
+                    kernel,
+                    design,
+                    mem,
+                    constraints,
+                    ranges,
+                    pack,
+                    priority,
+                );
+                let trips = l.trip_count().max(0) as u64;
+                agg.cycles += LOOP_SETUP_OVERHEAD + trips * (inner.cycles + LOOP_ITER_OVERHEAD);
+                agg.mem_busy += trips * inner.mem_busy;
+                agg.comp_busy += trips * inner.comp_busy;
+                agg.bits += trips * inner.bits;
+                agg.merge_static(&inner);
+                agg.loops += 1;
+            }
+            other => segment.push(other.clone()),
+        }
+    }
+    flush(&mut segment, &mut agg);
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::parse_kernel;
+    use defacto_xform::{transform, TransformOptions, UnrollVector};
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    fn fir_design(factors: Vec<i64>) -> TransformedDesign {
+        let k = parse_kernel(FIR).unwrap();
+        transform(&k, &UnrollVector(factors), &TransformOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn baseline_fir_pipelined() {
+        let d = fir_design(vec![1, 1]);
+        let e = estimate(
+            &d,
+            &MemoryModel::wildstar_pipelined(),
+            &FpgaDevice::virtex1000(),
+        );
+        // Sanity: thousands of cycles for 2048 MACs, well within device.
+        assert!(e.cycles > 2048, "cycles {}", e.cycles);
+        assert!(e.cycles < 60_000, "cycles {}", e.cycles);
+        assert!(e.fits);
+        assert!(e.slices > 100);
+        // Pipelined accesses + registers for C: compute bound.
+        assert!(e.compute_bound(), "balance {}", e.balance);
+    }
+
+    #[test]
+    fn baseline_fir_non_pipelined_is_memory_bound() {
+        let d = fir_design(vec![1, 1]);
+        let e = estimate(
+            &d,
+            &MemoryModel::wildstar_non_pipelined(),
+            &FpgaDevice::virtex1000(),
+        );
+        assert!(e.memory_bound(), "balance {}", e.balance);
+    }
+
+    #[test]
+    fn unrolling_reduces_cycles_and_grows_area() {
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let e1 = estimate(&fir_design(vec![1, 1]), &mem, &dev);
+        let e2 = estimate(&fir_design(vec![2, 2]), &mem, &dev);
+        let e4 = estimate(&fir_design(vec![4, 4]), &mem, &dev);
+        assert!(e2.cycles < e1.cycles, "{} vs {}", e2.cycles, e1.cycles);
+        assert!(e4.cycles < e2.cycles, "{} vs {}", e4.cycles, e2.cycles);
+        assert!(e2.slices > e1.slices);
+        assert!(e4.slices > e2.slices);
+    }
+
+    #[test]
+    fn huge_unroll_exceeds_capacity() {
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let e = estimate(&fir_design(vec![64, 32]), &mem, &dev);
+        assert!(!e.fits, "slices {}", e.slices);
+    }
+
+    #[test]
+    fn scalar_replacement_cuts_memory_traffic() {
+        let k = parse_kernel(FIR).unwrap();
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let with = transform(&k, &UnrollVector(vec![2, 2]), &TransformOptions::default()).unwrap();
+        let without = transform(
+            &k,
+            &UnrollVector(vec![2, 2]),
+            &TransformOptions {
+                scalar_replacement: false,
+                ..TransformOptions::default()
+            },
+        )
+        .unwrap();
+        let ew = estimate(&with, &mem, &dev);
+        let eo = estimate(&without, &mem, &dev);
+        assert!(ew.bits_from_memory < eo.bits_from_memory / 2);
+        assert!(ew.cycles < eo.cycles);
+    }
+
+    #[test]
+    fn custom_layout_beats_single_memory() {
+        let k = parse_kernel(FIR).unwrap();
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let multi = transform(&k, &UnrollVector(vec![8, 4]), &TransformOptions::default()).unwrap();
+        let single = transform(
+            &k,
+            &UnrollVector(vec![8, 4]),
+            &TransformOptions {
+                custom_layout: false,
+                ..TransformOptions::default()
+            },
+        )
+        .unwrap();
+        let em = estimate(&multi, &mem, &dev);
+        let es = estimate(&single, &mem, &dev);
+        assert!(em.cycles < es.cycles, "{} vs {}", em.cycles, es.cycles);
+        assert!(em.memory_busy_cycles < es.memory_busy_cycles);
+    }
+
+    #[test]
+    fn exec_time_uses_clock() {
+        let d = fir_design(vec![1, 1]);
+        let e = estimate(
+            &d,
+            &MemoryModel::wildstar_pipelined(),
+            &FpgaDevice::virtex1000(),
+        );
+        let us = e.exec_time_us();
+        assert!((us - e.cycles as f64 * 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_constraints_trade_cycles_for_area() {
+        use crate::constraints::ResourceConstraints;
+        use crate::oplib::HwOp;
+        let d = fir_design(vec![4, 4]);
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let free = estimate(&d, &mem, &dev);
+        let capped = estimate_constrained(
+            &d,
+            &mem,
+            &dev,
+            &ResourceConstraints::new().with_limit(HwOp::Mul, 2),
+        );
+        assert!(
+            capped.cycles > free.cycles,
+            "{} vs {}",
+            capped.cycles,
+            free.cycles
+        );
+        assert!(
+            capped.slices < free.slices,
+            "{} vs {}",
+            capped.slices,
+            free.slices
+        );
+        // Fewer parallel consumers: the design shifts toward compute
+        // bound.
+        assert!(capped.balance >= free.balance * 0.9);
+    }
+
+    #[test]
+    fn bitwidth_narrowing_shrinks_annotated_designs() {
+        use defacto_xform::{transform, TransformOptions, UnrollVector};
+        // 10-bit signal data and 7-bit coefficients declared as C ints.
+        let k = parse_kernel(
+            "kernel fir {
+               in S: i32[96] range -512..511;
+               in C: i32[32] range -64..63;
+               inout D: i32[64];
+               for j in 0..64 { for i in 0..32 {
+                 D[j] = D[j] + S[i + j] * C[i]; } } }",
+        )
+        .unwrap();
+        let design =
+            transform(&k, &UnrollVector(vec![4, 4]), &TransformOptions::default()).unwrap();
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let wide = estimate(&design, &mem, &dev);
+        let narrow = estimate_opts(
+            &design,
+            &mem,
+            &dev,
+            &SynthesisOptions {
+                bitwidth_narrowing: true,
+                ..SynthesisOptions::default()
+            },
+        );
+        // The 10×7-bit products need ~17-bit multipliers instead of
+        // 32-bit ones: a large area cut at equal or better speed.
+        assert!(
+            (narrow.slices as f64) < wide.slices as f64 * 0.75,
+            "narrow {} vs wide {}",
+            narrow.slices,
+            wide.slices
+        );
+        assert!(narrow.cycles <= wide.cycles);
+    }
+
+    #[test]
+    fn narrowing_without_annotations_changes_little() {
+        let d = fir_design(vec![4, 4]);
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let wide = estimate(&d, &mem, &dev);
+        let narrow = estimate_opts(
+            &d,
+            &mem,
+            &dev,
+            &SynthesisOptions {
+                bitwidth_narrowing: true,
+                ..SynthesisOptions::default()
+            },
+        );
+        // i32 arrays without annotations keep i32 datapaths; only loop
+        // counters and flags narrow.
+        assert!(narrow.slices <= wide.slices);
+        assert!(narrow.slices as f64 > wide.slices as f64 * 0.80);
+    }
+
+    #[test]
+    fn packing_cuts_memory_time_for_small_types() {
+        use defacto_xform::{transform, TransformOptions, UnrollVector};
+        // PAT: u8 string data on 32-bit memories — four characters per
+        // word.
+        let k = defacto_ir::parse_kernel(
+            "kernel pat { in S: u8[64]; in P: u8[16]; inout M: i16[48];
+               for j in 0..48 { for i in 0..16 {
+                 M[j] = M[j] + (S[i + j] == P[i]); } } }",
+        )
+        .unwrap();
+        let design =
+            transform(&k, &UnrollVector(vec![4, 4]), &TransformOptions::default()).unwrap();
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let unpacked = estimate(&design, &mem, &dev);
+        let packed = estimate_opts(
+            &design,
+            &mem,
+            &dev,
+            &SynthesisOptions {
+                pack_small_types: true,
+                ..SynthesisOptions::default()
+            },
+        );
+        assert!(
+            packed.memory_busy_cycles < unpacked.memory_busy_cycles,
+            "packed {} vs unpacked {}",
+            packed.memory_busy_cycles,
+            unpacked.memory_busy_cycles
+        );
+        assert!(packed.cycles <= unpacked.cycles);
+        // Fewer fetches, same computation: the design leans more compute
+        // bound.
+        assert!(packed.balance >= unpacked.balance);
+    }
+
+    #[test]
+    fn packing_is_inert_for_full_width_types() {
+        let d = fir_design(vec![4, 4]); // i32 arrays on 32-bit memories
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let a = estimate(&d, &mem, &dev);
+        let b = estimate_opts(
+            &d,
+            &mem,
+            &dev,
+            &SynthesisOptions {
+                pack_small_types: true,
+                ..SynthesisOptions::default()
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let d = fir_design(vec![4, 2]);
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        assert_eq!(estimate(&d, &mem, &dev), estimate(&d, &mem, &dev));
+    }
+}

@@ -1,0 +1,138 @@
+//! External-memory models.
+//!
+//! The Annapolis WildStar board connects four external SRAM memories to
+//! each FPGA. The paper evaluates two access-cost models:
+//!
+//! - **pipelined**: one new access can issue per memory per cycle, with a
+//!   read and write latency of 1 cycle;
+//! - **non-pipelined**: each access occupies its memory for the full
+//!   latency — 7 cycles per read, 3 per write (the WildStar's measured
+//!   latencies).
+//!
+//! Real systems fall somewhere in between; the two models bracket the
+//! design space, which is exactly how the paper uses them.
+
+use std::fmt;
+
+/// Timing and structure of the board's external memories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemoryModel {
+    /// Number of independent external memories.
+    pub num_memories: usize,
+    /// Data width of each memory port in bits.
+    pub width_bits: u32,
+    /// Cycles from issue to data available, per read.
+    pub read_latency: u32,
+    /// Cycles to retire a write.
+    pub write_latency: u32,
+    /// When true a memory accepts a new access every cycle; otherwise an
+    /// access occupies its memory for the whole latency.
+    pub pipelined: bool,
+}
+
+impl MemoryModel {
+    /// The paper's pipelined model: 1-cycle reads and writes.
+    pub fn pipelined(num_memories: usize) -> Self {
+        MemoryModel {
+            num_memories,
+            width_bits: 32,
+            read_latency: 1,
+            write_latency: 1,
+            pipelined: true,
+        }
+    }
+
+    /// The paper's non-pipelined model: 7-cycle reads, 3-cycle writes
+    /// (Annapolis WildStar latencies).
+    pub fn non_pipelined(num_memories: usize) -> Self {
+        MemoryModel {
+            num_memories,
+            width_bits: 32,
+            read_latency: 7,
+            write_latency: 3,
+            pipelined: false,
+        }
+    }
+
+    /// WildStar default: 4 memories, pipelined.
+    pub fn wildstar_pipelined() -> Self {
+        Self::pipelined(4)
+    }
+
+    /// WildStar default: 4 memories, non-pipelined.
+    pub fn wildstar_non_pipelined() -> Self {
+        Self::non_pipelined(4)
+    }
+
+    /// Cycles a memory port is *occupied* by one read (1 when pipelined).
+    pub fn read_occupancy(&self) -> u32 {
+        if self.pipelined {
+            1
+        } else {
+            self.read_latency
+        }
+    }
+
+    /// Cycles a memory port is occupied by one write.
+    pub fn write_occupancy(&self) -> u32 {
+        if self.pipelined {
+            1
+        } else {
+            self.write_latency
+        }
+    }
+
+    /// Peak bandwidth in bits per cycle across all memories.
+    pub fn peak_bits_per_cycle(&self) -> u64 {
+        self.num_memories as u64 * self.width_bits as u64 / self.read_occupancy() as u64
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {}-bit {} memories (R{}/W{})",
+            self.num_memories,
+            self.width_bits,
+            if self.pipelined {
+                "pipelined"
+            } else {
+                "non-pipelined"
+            },
+            self.read_latency,
+            self.write_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        let p = MemoryModel::wildstar_pipelined();
+        assert_eq!((p.read_latency, p.write_latency), (1, 1));
+        assert_eq!(p.num_memories, 4);
+        let n = MemoryModel::wildstar_non_pipelined();
+        assert_eq!((n.read_latency, n.write_latency), (7, 3));
+    }
+
+    #[test]
+    fn occupancy() {
+        let p = MemoryModel::pipelined(4);
+        assert_eq!(p.read_occupancy(), 1);
+        assert_eq!(p.write_occupancy(), 1);
+        let n = MemoryModel::non_pipelined(4);
+        assert_eq!(n.read_occupancy(), 7);
+        assert_eq!(n.write_occupancy(), 3);
+    }
+
+    #[test]
+    fn peak_bandwidth() {
+        assert_eq!(MemoryModel::pipelined(4).peak_bits_per_cycle(), 128);
+        assert_eq!(MemoryModel::non_pipelined(4).peak_bits_per_cycle(), 128 / 7);
+    }
+}

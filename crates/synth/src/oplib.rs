@@ -1,0 +1,187 @@
+//! The operator library: hardware cost of each datapath operation.
+//!
+//! Behavioral synthesis *binds* source operations to library operators
+//! with known latency (in cycles at the fixed 40 ns clock) and area (in
+//! Virtex slices). The numbers below follow the usual Virtex-era costs:
+//! ripple-carry adders fit a 40 ns cycle at any width we support and take
+//! one slice per two bits; LUT-built multipliers are quadratic in width
+//! and need two cycles beyond 8 bits; constant shifts are wiring.
+
+use defacto_ir::{BinOp, UnOp};
+use std::fmt;
+
+/// The hardware operator classes the library prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HwOp {
+    /// Addition or subtraction (ripple-carry).
+    AddSub,
+    /// Multiplication.
+    Mul,
+    /// Division or remainder by a non-constant (iterative).
+    Div,
+    /// Shift by a constant amount: pure wiring.
+    ConstShift,
+    /// Shift by a variable amount (barrel shifter).
+    VarShift,
+    /// Bitwise logic (and/or/xor/not).
+    Logic,
+    /// Comparison producing a 1-bit flag.
+    Cmp,
+    /// 2:1 selection (multiplexer).
+    Mux,
+    /// Absolute value / negation (an adder-class unit).
+    AbsNeg,
+}
+
+impl HwOp {
+    /// Classify a binary IR operator (the right operand's constancy
+    /// decides between constant and variable shifts, and strength-reduces
+    /// multiplication/division by powers of two to wiring).
+    pub fn of_binop(op: BinOp, rhs_is_const: bool, rhs_pow2: bool) -> HwOp {
+        match op {
+            BinOp::Add | BinOp::Sub => HwOp::AddSub,
+            BinOp::Mul if rhs_is_const && rhs_pow2 => HwOp::ConstShift,
+            BinOp::Mul => HwOp::Mul,
+            BinOp::Div | BinOp::Rem if rhs_is_const && rhs_pow2 => HwOp::ConstShift,
+            BinOp::Div | BinOp::Rem => HwOp::Div,
+            BinOp::Shl | BinOp::Shr if rhs_is_const => HwOp::ConstShift,
+            BinOp::Shl | BinOp::Shr => HwOp::VarShift,
+            BinOp::And | BinOp::Or | BinOp::Xor => HwOp::Logic,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => HwOp::Cmp,
+        }
+    }
+
+    /// Classify a unary IR operator.
+    pub fn of_unop(op: UnOp) -> HwOp {
+        match op {
+            UnOp::Neg | UnOp::Abs => HwOp::AbsNeg,
+            UnOp::Not => HwOp::Logic,
+        }
+    }
+}
+
+impl fmt::Display for HwOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HwOp::AddSub => "add/sub",
+            HwOp::Mul => "mul",
+            HwOp::Div => "div",
+            HwOp::ConstShift => "cshift",
+            HwOp::VarShift => "vshift",
+            HwOp::Logic => "logic",
+            HwOp::Cmp => "cmp",
+            HwOp::Mux => "mux",
+            HwOp::AbsNeg => "abs/neg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Latency/area of one operator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// Cycles at the 40 ns clock (0 = combinational wiring, chains freely).
+    pub latency: u32,
+    /// Slices consumed by one instance.
+    pub area_slices: u32,
+}
+
+/// Look up the cost of `op` at `bits` width.
+pub fn op_spec(op: HwOp, bits: u32) -> OpSpec {
+    let b = bits.max(1);
+    match op {
+        HwOp::AddSub | HwOp::AbsNeg => OpSpec {
+            latency: 1,
+            area_slices: b.div_ceil(2),
+        },
+        HwOp::Mul => OpSpec {
+            latency: if b <= 8 { 1 } else { 2 },
+            area_slices: (b * b) / 8 + b,
+        },
+        HwOp::Div => OpSpec {
+            latency: b.div_ceil(4).max(2),
+            area_slices: (b * b) / 4 + b,
+        },
+        HwOp::ConstShift => OpSpec {
+            latency: 0,
+            area_slices: 0,
+        },
+        HwOp::VarShift => OpSpec {
+            latency: 1,
+            area_slices: b,
+        },
+        HwOp::Logic => OpSpec {
+            latency: 0,
+            area_slices: b.div_ceil(2),
+        },
+        HwOp::Cmp => OpSpec {
+            latency: 1,
+            area_slices: b.div_ceil(2),
+        },
+        HwOp::Mux => OpSpec {
+            latency: 0,
+            area_slices: b.div_ceil(2),
+        },
+    }
+}
+
+/// Slices needed to hold an on-chip register of `bits` (two flip-flops
+/// per slice).
+pub fn register_slices(bits: u32) -> u32 {
+    bits.div_ceil(2)
+}
+
+/// Fixed slice cost of one external-memory interface (address generation,
+/// data steering and handshake).
+pub const MEMORY_INTERFACE_SLICES: u32 = 60;
+
+/// Base slice cost of the control FSM (state register, next-state logic).
+pub const FSM_BASE_SLICES: u32 = 80;
+
+/// Incremental control cost per FSM state (one-hot bit plus decode).
+pub const FSM_SLICES_PER_STATE: f64 = 0.75;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adders_are_linear_multipliers_quadratic() {
+        assert_eq!(op_spec(HwOp::AddSub, 32).area_slices, 16);
+        assert_eq!(op_spec(HwOp::AddSub, 8).area_slices, 4);
+        let m8 = op_spec(HwOp::Mul, 8).area_slices;
+        let m16 = op_spec(HwOp::Mul, 16).area_slices;
+        let m32 = op_spec(HwOp::Mul, 32).area_slices;
+        assert!(m8 < m16 && m16 < m32);
+        assert!(m32 > 3 * m16 / 2);
+    }
+
+    #[test]
+    fn latencies() {
+        assert_eq!(op_spec(HwOp::Mul, 8).latency, 1);
+        assert_eq!(op_spec(HwOp::Mul, 32).latency, 2);
+        assert_eq!(op_spec(HwOp::ConstShift, 32).latency, 0);
+        assert_eq!(op_spec(HwOp::ConstShift, 32).area_slices, 0);
+        assert!(op_spec(HwOp::Div, 32).latency >= op_spec(HwOp::Mul, 32).latency);
+    }
+
+    #[test]
+    fn binop_classification_and_strength_reduction() {
+        assert_eq!(HwOp::of_binop(BinOp::Add, false, false), HwOp::AddSub);
+        assert_eq!(HwOp::of_binop(BinOp::Mul, true, true), HwOp::ConstShift);
+        assert_eq!(HwOp::of_binop(BinOp::Mul, true, false), HwOp::Mul);
+        assert_eq!(HwOp::of_binop(BinOp::Div, true, true), HwOp::ConstShift);
+        assert_eq!(HwOp::of_binop(BinOp::Shl, true, false), HwOp::ConstShift);
+        assert_eq!(HwOp::of_binop(BinOp::Shl, false, false), HwOp::VarShift);
+        assert_eq!(HwOp::of_binop(BinOp::Lt, false, false), HwOp::Cmp);
+        assert_eq!(HwOp::of_unop(UnOp::Abs), HwOp::AbsNeg);
+        assert_eq!(HwOp::of_unop(UnOp::Not), HwOp::Logic);
+    }
+
+    #[test]
+    fn register_cost() {
+        assert_eq!(register_slices(32), 16);
+        assert_eq!(register_slices(8), 4);
+        assert_eq!(register_slices(1), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Human-readable schedule reports.
+//!
+//! Behavioral-synthesis users inspect schedules to understand where the
+//! cycles go; [`describe_schedule`] renders one segment's schedule as an
+//! ASCII Gantt chart (one row per operation, one column per cycle), and
+//! [`main_body_schedule`] extracts and schedules the steady-state
+//! innermost body of a transformed design — the body the balance metric
+//! is about.
+
+use crate::dfg::{build_dfg, Dfg, NodeKind};
+use crate::memory::MemoryModel;
+use crate::schedule::{schedule_dfg, Schedule};
+use defacto_ir::Stmt;
+use defacto_xform::TransformedDesign;
+use std::fmt::Write;
+
+/// Render a schedule as an ASCII Gantt chart.
+pub fn describe_schedule(dfg: &Dfg, sched: &Schedule) -> String {
+    let mut out = String::new();
+    let width = sched.length.max(1) as usize;
+    let _ = writeln!(
+        out,
+        "{:<28} {}",
+        "operation",
+        (0..width.min(80))
+            .map(|c| (c % 10).to_string())
+            .collect::<String>()
+    );
+    for node in dfg.nodes() {
+        let label = match &node.kind {
+            NodeKind::Source => continue,
+            NodeKind::Load { array, bank, .. } => format!("load {array} @mem{bank}"),
+            NodeKind::Store { array, bank, .. } => format!("store {array} @mem{bank}"),
+            NodeKind::Op { op, bits } => format!("{op} ({bits}b)"),
+            NodeKind::Rotate { regs, .. } => format!("rotate x{regs}"),
+        };
+        let start = sched.start[node.id.0] as usize;
+        let finish = (sched.finish[node.id.0] as usize).max(start + 1);
+        let mut bar = String::new();
+        for c in 0..width.min(80) {
+            bar.push(if c >= start && c < finish { '#' } else { '.' });
+        }
+        let _ = writeln!(out, "{label:<28} {bar}");
+    }
+    let _ = writeln!(
+        out,
+        "length {} cycles; memory-limited {} cycles; compute path {} cycles",
+        sched.length, sched.t_mem, sched.t_comp
+    );
+    out
+}
+
+/// Locate the steady-state innermost body of a transformed design (the
+/// innermost body of the *last* loop chain — peeled first-iteration
+/// copies come before it) and schedule it.
+pub fn main_body_schedule(design: &TransformedDesign, mem: &MemoryModel) -> (Dfg, Schedule) {
+    let body = steady_innermost(design.kernel.body());
+    let dfg = build_dfg(body, &design.kernel, &design.binding);
+    let sched = schedule_dfg(&dfg, mem);
+    (dfg, sched)
+}
+
+fn steady_innermost(stmts: &[Stmt]) -> &[Stmt] {
+    // Follow the last `For` at each level; stop when a level has none.
+    let mut cur = stmts;
+    loop {
+        let last_for = cur.iter().rev().find_map(|s| match s {
+            Stmt::For(l) => Some(l),
+            _ => None,
+        });
+        match last_for {
+            Some(l) => cur = &l.body,
+            None => return cur,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::parse_kernel;
+    use defacto_xform::{transform, TransformOptions, UnrollVector};
+
+    fn fir_design() -> TransformedDesign {
+        let k = parse_kernel(
+            "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+               for j in 0..64 { for i in 0..32 {
+                 D[j] = D[j] + S[i + j] * C[i]; } } }",
+        )
+        .unwrap();
+        transform(&k, &UnrollVector(vec![2, 2]), &TransformOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn steady_body_contains_s_loads_but_no_c_loads() {
+        let d = fir_design();
+        let (dfg, sched) = main_body_schedule(&d, &MemoryModel::wildstar_pipelined());
+        let arrays: Vec<&str> = dfg
+            .memory_nodes()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Load { array, .. } => Some(array.as_str()),
+                _ => None,
+            })
+            .collect();
+        // Peeling removed the C chain fills from the steady body.
+        assert!(arrays.iter().all(|&a| a == "S"), "{arrays:?}");
+        assert_eq!(arrays.len(), 3);
+        assert!(sched.length > 0);
+    }
+
+    #[test]
+    fn gantt_renders_all_operations() {
+        let d = fir_design();
+        let (dfg, sched) = main_body_schedule(&d, &MemoryModel::wildstar_pipelined());
+        let text = describe_schedule(&dfg, &sched);
+        assert!(text.contains("load S"), "{text}");
+        assert!(text.contains("mul"), "{text}");
+        assert!(text.contains("rotate"), "{text}");
+        assert!(text.contains("length"), "{text}");
+        // One bar row per non-source node.
+        let bars = text.lines().filter(|l| l.contains('#')).count();
+        assert!(bars >= dfg.len() - 1, "{text}");
+    }
+
+    #[test]
+    fn describe_is_deterministic() {
+        let d = fir_design();
+        let mem = MemoryModel::wildstar_pipelined();
+        let (g1, s1) = main_body_schedule(&d, &mem);
+        let (g2, s2) = main_body_schedule(&d, &mem);
+        assert_eq!(describe_schedule(&g1, &s1), describe_schedule(&g2, &s2));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the transformation crate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, XformError>;
+
+/// Errors raised by loop/data transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XformError {
+    /// The kernel body is not a perfect loop nest and the transformation
+    /// requires one.
+    NotPerfectNest,
+    /// An unroll-factor vector did not match the nest.
+    BadUnrollVector(String),
+    /// An unroll factor does not evenly divide the loop's trip count (the
+    /// system only explores divisor unroll factors, so behavioral
+    /// synthesis sees constant bounds without cleanup code).
+    NonDividingFactor {
+        /// The loop's induction variable.
+        var: String,
+        /// Trip count of the loop.
+        trip: i64,
+        /// Offending factor.
+        factor: i64,
+    },
+    /// Unroll-and-jam would reorder a dependence.
+    IllegalJam(String),
+    /// A tiling request was invalid.
+    BadTile(String),
+    /// An underlying IR validation error.
+    Ir(defacto_ir::IrError),
+}
+
+impl fmt::Display for XformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XformError::NotPerfectNest => {
+                write!(f, "kernel body is not a perfect loop nest")
+            }
+            XformError::BadUnrollVector(m) => write!(f, "bad unroll vector: {m}"),
+            XformError::NonDividingFactor { var, trip, factor } => write!(
+                f,
+                "unroll factor {factor} does not divide trip count {trip} of loop `{var}`"
+            ),
+            XformError::IllegalJam(m) => write!(f, "unroll-and-jam would be illegal: {m}"),
+            XformError::BadTile(m) => write!(f, "bad tiling request: {m}"),
+            XformError::Ir(e) => write!(f, "ir error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XformError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<defacto_ir::IrError> for XformError {
+    fn from(e: defacto_ir::IrError) -> Self {
+        XformError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            XformError::NotPerfectNest,
+            XformError::BadUnrollVector("len 3 vs 2".into()),
+            XformError::NonDividingFactor {
+                var: "i".into(),
+                trip: 10,
+                factor: 3,
+            },
+            XformError::IllegalJam("neg dep".into()),
+            XformError::BadTile("t".into()),
+            XformError::Ir(defacto_ir::IrError::Undeclared("x".into())),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

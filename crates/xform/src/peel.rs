@@ -1,0 +1,276 @@
+//! Loop peeling.
+//!
+//! Scalar replacement emits first-iteration register loads guarded by
+//! `if (var == lower)`. The paper peels the first iteration of such loops
+//! instead, so every steady-state iteration has the same number of memory
+//! accesses and behavioral synthesis can schedule a uniform body (§4,
+//! "Loop Peeling and Loop-Invariant Code Motion"). This pass finds loops
+//! whose bodies test `var == lower`, splits off the first iteration with
+//! the guard resolved to true, and removes the (now dead) guards from the
+//! remaining iterations.
+
+use crate::error::Result;
+use crate::simplify::{simplify_expr, simplify_stmts};
+use defacto_ir::visit::{map_accesses_stmts, map_scalar_reads_stmt};
+use defacto_ir::{AffineExpr, BinOp, Expr, Kernel, Loop, Stmt};
+
+/// Peel the first iteration of every loop that guards statements with
+/// `if (var == lower)`, recursively.
+///
+/// # Errors
+///
+/// Propagates IR validation failures when rebuilding the kernel.
+pub fn peel_first_iterations(kernel: &Kernel) -> Result<Kernel> {
+    let body = peel_stmts(kernel.body());
+    Ok(kernel.with_body(simplify_stmts(&body))?)
+}
+
+fn peel_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::For(l) => {
+                let body = peel_stmts(&l.body);
+                if l.trip_count() >= 1 && tests_first_iteration(&body, &l.var, l.lower) {
+                    // First iteration with var := lower substituted.
+                    let first = substitute_const(&body, &l.var, l.lower);
+                    out.extend(simplify_stmts(&first));
+                    if l.trip_count() > 1 {
+                        // Remaining iterations: the first-iteration guards
+                        // are now dead; fold them away.
+                        let rest = kill_first_iteration_guards(&body, &l.var, l.lower);
+                        out.push(Stmt::For(Loop {
+                            var: l.var.clone(),
+                            lower: l.lower + l.step,
+                            upper: l.upper,
+                            step: l.step,
+                            body: simplify_stmts(&rest),
+                        }));
+                    }
+                } else {
+                    out.push(Stmt::For(Loop {
+                        var: l.var.clone(),
+                        lower: l.lower,
+                        upper: l.upper,
+                        step: l.step,
+                        body,
+                    }));
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_body: peel_stmts(then_body),
+                else_body: peel_stmts(else_body),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Does any `if` condition in `stmts` (recursively) test `var == lower`?
+fn tests_first_iteration(stmts: &[Stmt], var: &str, lower: i64) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            expr_tests(cond, var, lower)
+                || tests_first_iteration(then_body, var, lower)
+                || tests_first_iteration(else_body, var, lower)
+        }
+        Stmt::For(l) => tests_first_iteration(&l.body, var, lower),
+        _ => false,
+    })
+}
+
+fn expr_tests(e: &Expr, var: &str, lower: i64) -> bool {
+    match e {
+        Expr::Binary(BinOp::Eq, a, b) => {
+            matches!((&**a, &**b), (Expr::Scalar(v), Expr::Int(k)) if v == var && *k == lower)
+        }
+        Expr::Binary(BinOp::And, a, b) => expr_tests(a, var, lower) || expr_tests(b, var, lower),
+        _ => false,
+    }
+}
+
+/// Substitute `var := value` into subscripts and scalar reads.
+fn substitute_const(stmts: &[Stmt], var: &str, value: i64) -> Vec<Stmt> {
+    let replaced = map_accesses_stmts(stmts, &mut |a| {
+        a.map_indices(|e| e.substitute(var, &AffineExpr::constant(value)))
+    });
+    replaced
+        .iter()
+        .map(|s| {
+            map_scalar_reads_stmt(s, &mut |n| {
+                if n == var {
+                    Some(Expr::Int(value))
+                } else {
+                    None
+                }
+            })
+        })
+        .collect()
+}
+
+/// In the post-peel loop, `var` can no longer equal `lower`; rewrite the
+/// corresponding equality tests to constant false so `simplify` drops the
+/// guarded loads.
+fn kill_first_iteration_guards(stmts: &[Stmt], var: &str, lower: i64) -> Vec<Stmt> {
+    stmts.iter().map(|s| kill_in_stmt(s, var, lower)).collect()
+}
+
+fn kill_in_stmt(s: &Stmt, var: &str, lower: i64) -> Stmt {
+    match s {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
+            cond: simplify_expr(&kill_in_expr(cond, var, lower)),
+            then_body: kill_first_iteration_guards(then_body, var, lower),
+            else_body: kill_first_iteration_guards(else_body, var, lower),
+        },
+        Stmt::For(l) => Stmt::For(Loop {
+            var: l.var.clone(),
+            lower: l.lower,
+            upper: l.upper,
+            step: l.step,
+            body: kill_first_iteration_guards(&l.body, var, lower),
+        }),
+        other => other.clone(),
+    }
+}
+
+fn kill_in_expr(e: &Expr, var: &str, lower: i64) -> Expr {
+    match e {
+        Expr::Binary(BinOp::Eq, a, b) if matches!((&**a, &**b), (Expr::Scalar(v), Expr::Int(k)) if v == var && *k == lower) => {
+            Expr::Int(0)
+        }
+        Expr::Binary(op, a, b) => Expr::bin(
+            *op,
+            kill_in_expr(a, var, lower),
+            kill_in_expr(b, var, lower),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::{parse_kernel, run_with_inputs};
+
+    #[test]
+    fn peels_conditional_register_load() {
+        let k = parse_kernel(
+            "kernel p { in C: i32[8]; out B: i32[8]; var c0: i32;
+               for j in 0..4 {
+                 for i in 0..8 {
+                   if (j == 0) { c0 = C[i]; }
+                   B[i] = B[i] + c0;
+                 }
+               } }",
+        )
+        .unwrap();
+        let p = peel_first_iterations(&k).unwrap();
+        // The j loop is split: a peeled copy plus a j in 1..4 loop with no
+        // conditional left.
+        let body = p.body();
+        assert_eq!(body.len(), 2, "{p}");
+        match &body[1] {
+            Stmt::For(l) => {
+                assert_eq!(l.lower, 1);
+                assert!(!tests_first_iteration(&l.body, "j", 0));
+                // No `if` remains anywhere in the steady loop.
+                fn has_if(stmts: &[Stmt]) -> bool {
+                    stmts.iter().any(|s| match s {
+                        Stmt::If { .. } => true,
+                        Stmt::For(l) => has_if(&l.body),
+                        _ => false,
+                    })
+                }
+                assert!(!has_if(&l.body), "{p}");
+            }
+            _ => panic!("expected steady loop"),
+        }
+        // Semantics preserved.
+        let c: Vec<i64> = (0..8).map(|x| x + 1).collect();
+        let (w1, _) = run_with_inputs(&k, &[("C", c.clone())]).unwrap();
+        let (w2, _) = run_with_inputs(&p, &[("C", c)]).unwrap();
+        assert_eq!(w1.array("B"), w2.array("B"));
+    }
+
+    #[test]
+    fn peeling_reduces_steady_state_loads() {
+        let k = parse_kernel(
+            "kernel p { in C: i32[8]; out B: i32[4][8]; var c0: i32;
+               for j in 0..4 {
+                 for i in 0..8 {
+                   if (j == 0) { c0 = C[i]; }
+                   B[j][i] = c0 + j;
+                 }
+               } }",
+        )
+        .unwrap();
+        let p = peel_first_iterations(&k).unwrap();
+        let c: Vec<i64> = (0..8).collect();
+        let (_, s1) = run_with_inputs(&k, &[("C", c.clone())]).unwrap();
+        let (_, s2) = run_with_inputs(&p, &[("C", c)]).unwrap();
+        // Both load C exactly 8 times (the guard already limited loads),
+        // and outputs agree — but the peeled version contains no dynamic
+        // branching at all.
+        assert_eq!(s1.loads_by_array["C"], 8);
+        assert_eq!(s2.loads_by_array["C"], 8);
+    }
+
+    #[test]
+    fn nested_guards_peel_recursively() {
+        // Guard on two loop variables: (i == 0) & (j == 0).
+        let k = parse_kernel(
+            "kernel n { in C: i32[4]; out B: i32[64]; var c0: i32;
+               for i in 0..4 { for j in 0..4 { for t in 0..4 {
+                 if ((i == 0) & (j == 0)) { c0 = C[t]; }
+                 B[i*16 + j*4 + t] = c0 + i + j;
+               } } } }",
+        )
+        .unwrap();
+        let p = peel_first_iterations(&k).unwrap();
+        let c: Vec<i64> = vec![5, 6, 7, 8];
+        let (w1, _) = run_with_inputs(&k, &[("C", c.clone())]).unwrap();
+        let (w2, _) = run_with_inputs(&p, &[("C", c)]).unwrap();
+        assert_eq!(w1.array("B"), w2.array("B"));
+    }
+
+    #[test]
+    fn loops_without_guards_untouched() {
+        let k = parse_kernel(
+            "kernel u { in A: i32[8]; out B: i32[8];
+               for i in 0..8 { B[i] = A[i]; } }",
+        )
+        .unwrap();
+        assert_eq!(peel_first_iterations(&k).unwrap(), k);
+    }
+
+    #[test]
+    fn single_iteration_loop_peels_completely() {
+        let k = parse_kernel(
+            "kernel s { in C: i32[1]; out B: i32[1]; var c0: i32;
+               for j in 0..1 {
+                 if (j == 0) { c0 = C[j]; }
+                 B[j] = c0;
+               } }",
+        )
+        .unwrap();
+        let p = peel_first_iterations(&k).unwrap();
+        // Loop disappears entirely.
+        assert!(p.body().iter().all(|s| !matches!(s, Stmt::For(_))), "{p}");
+        let (w, _) = run_with_inputs(&p, &[("C", vec![42])]).unwrap();
+        assert_eq!(w.array("B").unwrap(), &[42]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Constant folding and branch simplification.
+//!
+//! Peeling substitutes constant iteration values into loop bodies; this
+//! pass folds the resulting constant arithmetic and resolves
+//! `if (0 == 0)`-style guards so the peeled code is as clean as what a
+//! human designer (or the paper's code generator) would write.
+
+use crate::error::Result;
+use defacto_ir::{BinOp, Expr, Kernel, Loop, Stmt};
+
+/// Fold constants and resolve constant branches throughout the kernel.
+///
+/// # Errors
+///
+/// Propagates IR validation failures when rebuilding the kernel.
+pub fn simplify_kernel(kernel: &Kernel) -> Result<Kernel> {
+    Ok(kernel.with_body(simplify_stmts(kernel.body()))?)
+}
+
+/// Simplify a statement list, dropping branches with constant-false
+/// conditions and loops with zero trip counts.
+pub fn simplify_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => out.push(Stmt::Assign {
+                lhs: lhs.clone(),
+                rhs: simplify_expr(rhs),
+            }),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond = simplify_expr(cond);
+                match cond {
+                    Expr::Int(0) => out.extend(simplify_stmts(else_body)),
+                    Expr::Int(_) => out.extend(simplify_stmts(then_body)),
+                    cond => out.push(Stmt::If {
+                        cond,
+                        then_body: simplify_stmts(then_body),
+                        else_body: simplify_stmts(else_body),
+                    }),
+                }
+            }
+            Stmt::For(l) => {
+                if l.trip_count() > 0 {
+                    out.push(Stmt::For(Loop {
+                        var: l.var.clone(),
+                        lower: l.lower,
+                        upper: l.upper,
+                        step: l.step,
+                        body: simplify_stmts(&l.body),
+                    }));
+                }
+            }
+            Stmt::Rotate(r) => out.push(Stmt::Rotate(r.clone())),
+        }
+    }
+    out
+}
+
+/// Fold constant sub-expressions. Affine subscripts are already canonical
+/// and are left untouched.
+pub fn simplify_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Scalar(_) | Expr::Load(_) => e.clone(),
+        Expr::Unary(op, inner) => {
+            let inner = simplify_expr(inner);
+            match inner {
+                Expr::Int(v) => Expr::Int(op.apply(v)),
+                inner => Expr::Unary(*op, Box::new(inner)),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            match (&a, &b) {
+                (Expr::Int(x), Expr::Int(y)) => Expr::Int(op.apply(*x, *y)),
+                // Additive/multiplicative identities.
+                (Expr::Int(0), _) if *op == BinOp::Add => b,
+                (_, Expr::Int(0)) if matches!(op, BinOp::Add | BinOp::Sub) => a,
+                (Expr::Int(1), _) if *op == BinOp::Mul => b,
+                (_, Expr::Int(1)) if *op == BinOp::Mul => a,
+                (Expr::Int(0), _) | (_, Expr::Int(0)) if *op == BinOp::Mul => Expr::Int(0),
+                // Bitwise-and with a constant zero kills the expression —
+                // this is how dead first-iteration guards disappear.
+                (Expr::Int(0), _) | (_, Expr::Int(0)) if *op == BinOp::And => Expr::Int(0),
+                (Expr::Int(0), _) if *op == BinOp::Or => b,
+                (_, Expr::Int(0)) if *op == BinOp::Or => a,
+                _ => Expr::bin(*op, a, b),
+            }
+        }
+        Expr::Select(c, t, f) => {
+            let c = simplify_expr(c);
+            match c {
+                Expr::Int(0) => simplify_expr(f),
+                Expr::Int(_) => simplify_expr(t),
+                c => Expr::Select(
+                    Box::new(c),
+                    Box::new(simplify_expr(t)),
+                    Box::new(simplify_expr(f)),
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::UnOp as U;
+
+    #[test]
+    fn folds_constants() {
+        let e = Expr::add(Expr::Int(2), Expr::mul(Expr::Int(3), Expr::Int(4)));
+        assert_eq!(simplify_expr(&e), Expr::Int(14));
+        let n = Expr::Unary(U::Neg, Box::new(Expr::Int(5)));
+        assert_eq!(simplify_expr(&n), Expr::Int(-5));
+    }
+
+    #[test]
+    fn identities() {
+        let x = Expr::scalar("x");
+        assert_eq!(simplify_expr(&Expr::add(Expr::Int(0), x.clone())), x);
+        assert_eq!(simplify_expr(&Expr::mul(x.clone(), Expr::Int(1))), x);
+        assert_eq!(
+            simplify_expr(&Expr::mul(x.clone(), Expr::Int(0))),
+            Expr::Int(0)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::bin(BinOp::Sub, x.clone(), Expr::Int(0))),
+            x
+        );
+    }
+
+    #[test]
+    fn resolves_constant_branches() {
+        let taken = Stmt::If {
+            cond: Expr::bin(BinOp::Eq, Expr::Int(0), Expr::Int(0)),
+            then_body: vec![Stmt::assign(defacto_ir::LValue::scalar("x"), Expr::Int(1))],
+            else_body: vec![Stmt::assign(defacto_ir::LValue::scalar("x"), Expr::Int(2))],
+        };
+        let out = simplify_stmts(std::slice::from_ref(&taken));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Stmt::Assign { rhs, .. } => assert_eq!(*rhs, Expr::Int(1)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn drops_zero_trip_loops() {
+        let l = Stmt::For(Loop::new("i", 4, 4, vec![]));
+        assert!(simplify_stmts(std::slice::from_ref(&l)).is_empty());
+    }
+
+    #[test]
+    fn select_with_constant_condition() {
+        let e = Expr::Select(
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::scalar("a")),
+            Box::new(Expr::scalar("b")),
+        );
+        assert_eq!(simplify_expr(&e), Expr::scalar("a"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Pipelined vs non-pipelined memories across the whole suite — the
+//! axis the paper's Figures 4–7 contrast.
+//!
+//! ```sh
+//! cargo run --example compare_memory_models
+//! ```
+
+use defacto::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<7} {:>16} {:>9} {:>9} {:>8} | {:>16} {:>9} {:>9} {:>8}",
+        "kernel",
+        "pipe unroll",
+        "cycles",
+        "balance",
+        "speedup",
+        "nonp unroll",
+        "cycles",
+        "balance",
+        "speedup"
+    );
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let mut cells = Vec::new();
+        for mem in [
+            MemoryModel::wildstar_pipelined(),
+            MemoryModel::wildstar_non_pipelined(),
+        ] {
+            let ex = Explorer::new(&kernel).memory(mem);
+            let r = ex.explore()?;
+            let depth = r.selected.unroll.factors().len();
+            let base = ex.evaluate(&UnrollVector::ones(depth))?;
+            cells.push((
+                r.selected.unroll.to_string(),
+                r.selected.estimate.cycles,
+                r.selected.estimate.balance,
+                base.estimate.cycles as f64 / r.selected.estimate.cycles as f64,
+            ));
+        }
+        println!(
+            "{:<7} {:>16} {:>9} {:>9.3} {:>7.2}x | {:>16} {:>9} {:>9.3} {:>7.2}x",
+            name,
+            cells[0].0,
+            cells[0].1,
+            cells[0].2,
+            cells[0].3,
+            cells[1].0,
+            cells[1].1,
+            cells[1].2,
+            cells[1].3
+        );
+    }
+    println!(
+        "\nWith 1-cycle pipelined accesses the designs lean compute bound and unrolling\n\
+         pays off until capacity; with 7/3-cycle non-pipelined accesses memory dominates\n\
+         and the search stops at the saturation point — the paper's Figures 4-7 contrast."
+    );
+    Ok(())
+}

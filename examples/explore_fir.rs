@@ -1,0 +1,62 @@
+//! Full FIR exploration: sweep the whole design space the way the
+//! paper's Figures 4–5 plot it, for both memory models, and show where
+//! the search's selection lands.
+//!
+//! ```sh
+//! cargo run --example explore_fir
+//! ```
+
+use defacto::exhaustive::best_performance;
+use defacto::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = defacto_kernels::fir::kernel();
+
+    for (label, mem) in [
+        (
+            "pipelined (1-cycle reads/writes)",
+            MemoryModel::wildstar_pipelined(),
+        ),
+        (
+            "non-pipelined (7-cycle reads, 3-cycle writes)",
+            MemoryModel::wildstar_non_pipelined(),
+        ),
+    ] {
+        let ex = Explorer::new(&kernel).memory(mem);
+        let result = ex.explore()?;
+        let sweep = ex.sweep()?;
+
+        println!("=== FIR with {label} memories ===");
+        println!(
+            "{:>10} {:>9} {:>8} {:>7}  note",
+            "unroll", "balance", "cycles", "slices"
+        );
+        for d in &sweep {
+            let mut note = String::new();
+            if d.unroll == result.selected.unroll {
+                note.push_str("<== selected");
+            }
+            if !d.estimate.fits {
+                note.push_str(" (exceeds capacity)");
+            }
+            println!(
+                "{:>10} {:>9.3} {:>8} {:>7}  {}",
+                d.unroll.to_string(),
+                d.estimate.balance,
+                d.estimate.cycles,
+                d.estimate.slices,
+                note
+            );
+        }
+        let best = best_performance(&sweep).expect("some design fits");
+        println!(
+            "search visited {} of {} designs; best fitting design {} at {} cycles",
+            result.visited.len(),
+            sweep.len(),
+            best.unroll,
+            best.estimate.cycles
+        );
+        println!();
+    }
+    Ok(())
+}

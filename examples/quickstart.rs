@@ -1,0 +1,60 @@
+//! Quickstart: write a kernel in the DSL, explore its design space, and
+//! print what the system selected.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use defacto::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the computation: an affine loop nest over arrays, the
+    //    paper's input domain. No pragmas, no hardware annotations.
+    let kernel = parse_kernel(
+        "kernel fir {
+           in    S: i32[96];
+           in    C: i32[32];
+           inout D: i32[64];
+           for j in 0..64 {
+             for i in 0..32 {
+               D[j] = D[j] + S[i + j] * C[i];
+             }
+           }
+         }",
+    )?;
+
+    // 2. Pick the platform: an Annapolis WildStar-class board — a Xilinx
+    //    Virtex-1000 with four pipelined external memories at 40 ns.
+    let explorer = Explorer::new(&kernel)
+        .memory(MemoryModel::wildstar_pipelined())
+        .device(FpgaDevice::virtex1000());
+
+    // 3. Explore. The balance-guided search visits a handful of designs
+    //    out of the whole unroll-factor space.
+    let result = explorer.explore()?;
+
+    println!("kernel:          {}", kernel.name());
+    println!("design space:    {} candidate designs", result.space_size);
+    println!(
+        "search visited:  {} designs ({:.1}% of the space)",
+        result.visited.len(),
+        100.0 * result.fraction_explored()
+    );
+    println!("selected unroll: {}", result.selected.unroll);
+    let est = &result.selected.estimate;
+    println!(
+        "estimate:        {} cycles ({:.1} µs at 25 MHz), {} slices, balance {:.2}",
+        est.cycles,
+        est.exec_time_us(),
+        est.slices,
+        est.balance
+    );
+
+    // 4. Compare against the no-unrolling baseline.
+    let base = explorer.evaluate(&UnrollVector::ones(2))?;
+    println!(
+        "speedup:         {:.2}x over the unroll-free baseline",
+        base.estimate.cycles as f64 / est.cycles as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,201 @@
+//! Shape checks against the paper's published results: the reproduction
+//! is not expected to match absolute numbers (our substrate is a
+//! simulator, not the authors' Monet + WildStar testbed), but who wins,
+//! in which direction, and by roughly what kind of factor must hold.
+
+use defacto::exhaustive::{best_performance, smallest_comparable};
+use defacto::prelude::*;
+
+fn speedup(kernel: &Kernel, mem: MemoryModel) -> (f64, SearchResult) {
+    let ex = Explorer::new(kernel).memory(mem);
+    let r = ex.explore().expect("search succeeds");
+    let depth = r.selected.unroll.factors().len();
+    let base = ex.evaluate(&UnrollVector::ones(depth)).expect("baseline");
+    (
+        base.estimate.cycles as f64 / r.selected.estimate.cycles as f64,
+        r,
+    )
+}
+
+#[test]
+fn observation3_balance_rises_then_falls_along_search_direction() {
+    // Along the trajectory of growing products from the saturation point,
+    // balance must be monotonically non-increasing (we start AT the
+    // saturation point, after which Observation 3 predicts decline).
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let ex = Explorer::new(&fir);
+    let mut balances = Vec::new();
+    for factors in [vec![4, 1], vec![4, 2], vec![4, 4], vec![8, 4], vec![16, 8]] {
+        let e = ex.evaluate(&UnrollVector(factors)).expect("evaluates");
+        balances.push(e.estimate.balance);
+    }
+    for w in balances.windows(2) {
+        assert!(
+            w[1] <= w[0] * 1.40,
+            "balance rose sharply past saturation: {balances:?}"
+        );
+    }
+    // And before the saturation point it is lower or comparable: the
+    // memory side is under-provisioned below Psat.
+    let below = ex
+        .evaluate(&UnrollVector(vec![1, 1]))
+        .expect("evaluates")
+        .estimate
+        .balance;
+    let at = balances[0];
+    assert!(
+        below <= at * 1.40,
+        "balance at base {below} far above saturation point {at}"
+    );
+}
+
+#[test]
+fn observation2_cycles_nonincreasing_in_unroll() {
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let ex = Explorer::new(&fir);
+    let mut last = u64::MAX;
+    for factors in [
+        vec![1, 1],
+        vec![2, 1],
+        vec![4, 1],
+        vec![4, 2],
+        vec![8, 4],
+        vec![16, 8],
+    ] {
+        let e = ex
+            .evaluate(&UnrollVector(factors.clone()))
+            .expect("evaluates");
+        assert!(
+            e.estimate.cycles <= last,
+            "cycles increased at {factors:?}: {} > {last}",
+            e.estimate.cycles
+        );
+        last = e.estimate.cycles;
+    }
+}
+
+#[test]
+fn nonpipelined_fir_is_always_memory_bound() {
+    // Paper: "Without pipelining, memory latency becomes more of a
+    // bottleneck leading, in the case of FIR, to designs that are always
+    // memory bound."
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let ex = Explorer::new(&fir).memory(MemoryModel::wildstar_non_pipelined());
+    let sweep = ex.sweep().expect("sweep succeeds");
+    for d in sweep.iter().filter(|d| d.unroll.product() >= 4) {
+        assert!(
+            d.estimate.balance < 1.0,
+            "non-pipelined FIR at {} has balance {}",
+            d.unroll,
+            d.estimate.balance
+        );
+    }
+}
+
+#[test]
+fn pipelined_memory_gives_larger_speedups_for_memory_rich_kernels() {
+    // Paper Table 2: FIR 7.67→17.26, MM 4.55→13.36, PAT 7.53→34.61.
+    for name in ["FIR", "MM", "PAT"] {
+        let kernel = defacto_kernels::paper_kernels()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, k)| k)
+            .expect("kernel exists");
+        let (s_pipe, _) = speedup(&kernel, MemoryModel::wildstar_pipelined());
+        let (s_non, _) = speedup(&kernel, MemoryModel::wildstar_non_pipelined());
+        assert!(
+            s_pipe > s_non,
+            "{name}: pipelined speedup {s_pipe} vs non-pipelined {s_non}"
+        );
+    }
+}
+
+#[test]
+fn all_speedups_exceed_one_and_land_in_paper_range() {
+    // Paper speedups span 3.87–34.61; ours must be >1 everywhere and
+    // within an order of magnitude of the paper's.
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        for mem in [
+            MemoryModel::wildstar_pipelined(),
+            MemoryModel::wildstar_non_pipelined(),
+        ] {
+            let (s, _) = speedup(&kernel, mem);
+            assert!(s > 1.2, "{name}: speedup {s}");
+            assert!(s < 100.0, "{name}: implausible speedup {s}");
+        }
+    }
+}
+
+#[test]
+fn selected_design_close_to_best_and_smaller() {
+    // Paper: "Our algorithm derives an implementation that closely
+    // matches the performance of the fastest design in the design space,
+    // and among implementations with comparable performance, selects the
+    // smallest design."
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let ex = Explorer::new(&kernel);
+        let r = ex.explore().expect("search succeeds");
+        let sweep = ex.sweep().expect("sweep succeeds");
+        let best = best_performance(&sweep).expect("fitting design exists");
+        let ratio = r.selected.estimate.cycles as f64 / best.estimate.cycles as f64;
+        assert!(
+            ratio <= 2.5,
+            "{name}: selected {}× slower than best ({} vs {})",
+            ratio,
+            r.selected.estimate.cycles,
+            best.estimate.cycles
+        );
+        // Criterion 3: among designs within 10% of the selected's
+        // performance, none is meaningfully smaller.
+        let comparable = smallest_comparable(&sweep, 0.10).expect("exists");
+        if comparable.estimate.cycles >= r.selected.estimate.cycles {
+            assert!(
+                r.selected.estimate.slices as f64 <= comparable.estimate.slices as f64 * 1.6,
+                "{name}: selected {} slices vs smallest comparable {}",
+                r.selected.estimate.slices,
+                comparable.estimate.slices
+            );
+        }
+    }
+}
+
+#[test]
+fn search_fraction_is_a_fraction_of_a_percent_of_the_full_space() {
+    // Paper: "We search on average only 0.3% of the design space" where
+    // the space is all integer unroll factors per loop.
+    let mut fractions = Vec::new();
+    for (_, kernel) in defacto_kernels::paper_kernels() {
+        for mem in [
+            MemoryModel::wildstar_pipelined(),
+            MemoryModel::wildstar_non_pipelined(),
+        ] {
+            let ex = Explorer::new(&kernel).memory(mem);
+            let (sat, _) = ex.analyze().expect("analysis succeeds");
+            let r = ex.explore().expect("search succeeds");
+            let norm = defacto_xform::normalize_loops(&kernel).expect("normalizes");
+            let nest = norm.perfect_nest().expect("nest");
+            let full: u64 = nest
+                .trip_counts()
+                .iter()
+                .zip(&sat.unrollable)
+                .map(|(&t, &on)| if on { t as u64 } else { 1 })
+                .product();
+            fractions.push(r.visited.len() as f64 / full as f64);
+        }
+    }
+    let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(avg < 0.02, "average searched fraction {avg}");
+}
+
+#[test]
+fn area_grows_with_unrolling_and_crosses_capacity() {
+    // The paper's area panels: log-scale growth with a capacity line that
+    // large designs cross.
+    let (_, fir) = defacto_kernels::paper_kernels().remove(0);
+    let ex = Explorer::new(&fir);
+    let small = ex.evaluate(&UnrollVector(vec![1, 1])).expect("evaluates");
+    let large = ex.evaluate(&UnrollVector(vec![64, 32])).expect("evaluates");
+    assert!(small.estimate.fits);
+    assert!(!large.estimate.fits);
+    assert!(large.estimate.slices > 4 * small.estimate.slices);
+}

@@ -1,0 +1,209 @@
+//! Behavioural tests of the Figure-2 search across configurations:
+//! device capacities, memory counts, transformation ablations, register
+//! budgets.
+
+use defacto::prelude::*;
+
+fn fir() -> Kernel {
+    defacto_kernels::fir::kernel()
+}
+
+#[test]
+fn search_never_selects_an_oversized_design() {
+    for capacity in [1500, 2500, 5000, 12288, 40000] {
+        let dev = FpgaDevice {
+            name: format!("cap{capacity}"),
+            capacity_slices: capacity,
+            clock_ns: 40,
+        };
+        let k = fir();
+        let r = Explorer::new(&k)
+            .device(dev)
+            .explore()
+            .expect("search succeeds");
+        assert!(
+            r.selected.estimate.slices <= capacity,
+            "capacity {capacity}: selected {} slices",
+            r.selected.estimate.slices
+        );
+    }
+}
+
+#[test]
+fn bigger_devices_admit_bigger_faster_designs() {
+    let k = fir();
+    let small = Explorer::new(&k)
+        .device(FpgaDevice::virtex300())
+        .explore()
+        .expect("search succeeds");
+    let large = Explorer::new(&k)
+        .device(FpgaDevice::virtex2_6000())
+        .explore()
+        .expect("search succeeds");
+    assert!(small.selected.estimate.fits && large.selected.estimate.fits);
+    assert!(
+        large.selected.estimate.cycles <= small.selected.estimate.cycles,
+        "large device {} vs small device {}",
+        large.selected.estimate.cycles,
+        small.selected.estimate.cycles
+    );
+}
+
+#[test]
+fn more_memories_raise_the_saturation_point() {
+    let k = fir();
+    for (memories, expected_psat) in [(1, 1), (2, 2), (4, 4), (8, 8)] {
+        let ex = Explorer::new(&k).memory(MemoryModel::pipelined(memories));
+        let (sat, _) = ex.analyze().expect("analysis succeeds");
+        assert_eq!(sat.psat, expected_psat, "memories {memories}");
+    }
+}
+
+#[test]
+fn single_memory_designs_are_slower() {
+    let k = fir();
+    let multi = Explorer::new(&k)
+        .memory(MemoryModel::pipelined(4))
+        .explore()
+        .expect("search succeeds");
+    let single = Explorer::new(&k)
+        .memory(MemoryModel::pipelined(1))
+        .explore()
+        .expect("search succeeds");
+    assert!(
+        single.selected.estimate.cycles >= multi.selected.estimate.cycles,
+        "single {} vs multi {}",
+        single.selected.estimate.cycles,
+        multi.selected.estimate.cycles
+    );
+}
+
+#[test]
+fn disabling_scalar_replacement_hurts_selected_performance() {
+    let k = fir();
+    let with = Explorer::new(&k).explore().expect("search succeeds");
+    let without = Explorer::new(&k)
+        .options(TransformOptions {
+            scalar_replacement: false,
+            ..TransformOptions::default()
+        })
+        .explore()
+        .expect("search succeeds");
+    assert!(
+        without.selected.estimate.cycles > with.selected.estimate.cycles,
+        "no-SR {} vs SR {}",
+        without.selected.estimate.cycles,
+        with.selected.estimate.cycles
+    );
+}
+
+#[test]
+fn register_budget_reduces_registers_of_selected_design() {
+    let k = fir();
+    let free = Explorer::new(&k);
+    let capped = Explorer::new(&k).options(TransformOptions {
+        register_budget: Some(8),
+        ..TransformOptions::default()
+    });
+    let u = UnrollVector(vec![4, 2]);
+    let e_free = free.evaluate(&u).expect("evaluates").estimate;
+    let e_capped = capped.evaluate(&u).expect("evaluates").estimate;
+    assert!(e_capped.registers < e_free.registers);
+    // Less reuse ⇒ more memory traffic.
+    assert!(e_capped.bits_from_memory > e_free.bits_from_memory);
+}
+
+#[test]
+fn balance_tolerance_affects_termination() {
+    let k = fir();
+    // With an enormous tolerance everything counts as balanced: the
+    // search stops at the saturation point.
+    let loose = Explorer::new(&k)
+        .balance_tolerance(1000.0)
+        .explore()
+        .expect("search succeeds");
+    assert_eq!(loose.termination, Termination::Balanced);
+    assert_eq!(loose.visited.len(), 1);
+}
+
+#[test]
+fn pinned_levels_restrict_the_space() {
+    let k = fir();
+    let ex = Explorer::new(&k).explore_levels(&[true, false]);
+    let (_, space) = ex.analyze().expect("analysis succeeds");
+    assert_eq!(space.size(), 7); // divisors of 64 only
+    let r = ex.explore().expect("search succeeds");
+    assert_eq!(r.selected.unroll.factors()[1], 1);
+}
+
+#[test]
+fn narrowing_admits_bigger_faster_designs_on_small_devices() {
+    // 10-bit data declared as C ints: on a small device, narrowing frees
+    // enough area for deeper unrolling — the end-to-end §2.4 payoff.
+    let k = parse_kernel(
+        "kernel fir {
+           in S: i32[96] range -512..511;
+           in C: i32[32] range -64..63;
+           inout D: i32[64];
+           for j in 0..64 { for i in 0..32 {
+             D[j] = D[j] + S[i + j] * C[i]; } } }",
+    )
+    .unwrap();
+    let device = FpgaDevice::virtex300();
+    let wide = Explorer::new(&k)
+        .device(device.clone())
+        .explore()
+        .expect("search succeeds");
+    let narrow = Explorer::new(&k)
+        .device(device)
+        .bitwidth_narrowing(true)
+        .explore()
+        .expect("search succeeds");
+    assert!(wide.selected.estimate.fits && narrow.selected.estimate.fits);
+    assert!(
+        narrow.selected.estimate.cycles < wide.selected.estimate.cycles,
+        "narrow {} vs wide {}",
+        narrow.selected.estimate.cycles,
+        wide.selected.estimate.cycles
+    );
+}
+
+#[test]
+fn packing_speeds_up_selected_small_type_designs() {
+    use defacto_synth::SynthesisOptions;
+    let k = defacto_kernels::pattern::kernel();
+    let plain = Explorer::new(&k).explore().expect("search succeeds");
+    let packed = Explorer::new(&k)
+        .synthesis(SynthesisOptions {
+            pack_small_types: true,
+            ..SynthesisOptions::default()
+        })
+        .explore()
+        .expect("search succeeds");
+    assert!(
+        packed.selected.estimate.cycles <= plain.selected.estimate.cycles,
+        "packed {} vs plain {}",
+        packed.selected.estimate.cycles,
+        plain.selected.estimate.cycles
+    );
+}
+
+#[test]
+fn evaluating_outside_space_errors() {
+    let k = fir();
+    let ex = Explorer::new(&k);
+    // 3 does not divide 64.
+    let err = ex.evaluate(&UnrollVector(vec![3, 1])).unwrap_err();
+    assert!(matches!(err, defacto::DseError::Xform(_)));
+}
+
+#[test]
+fn sweep_matches_individual_evaluations() {
+    let k = defacto_kernels::matmul::kernel();
+    let ex = Explorer::new(&k);
+    let sweep = ex.sweep().expect("sweep succeeds");
+    for d in sweep.iter().take(5) {
+        let again = ex.evaluate(&d.unroll).expect("evaluates");
+        assert_eq!(d.estimate, again.estimate, "{}", d.unroll);
+    }
+}

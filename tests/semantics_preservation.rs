@@ -1,0 +1,248 @@
+//! Semantics preservation: the whole transformation pipeline must leave
+//! every kernel's input/output behaviour unchanged, for every unroll
+//! vector and option combination — verified against both the reference
+//! interpreter and the plain-Rust reference implementations.
+
+use defacto::prelude::*;
+use defacto_ir::run_with_inputs;
+use defacto_kernels::{correlation, fir, jacobi, matmul, morphology, pattern, sobel, workload};
+use defacto_xform::transform;
+use proptest::prelude::*;
+
+/// Apply the pipeline at `factors` and compare all output arrays with the
+/// untransformed kernel on the given inputs.
+fn assert_preserves(
+    kernel: &Kernel,
+    factors: Vec<i64>,
+    opts: &TransformOptions,
+    inputs: &[(&str, Vec<i64>)],
+    outputs: &[&str],
+) {
+    let design = transform(kernel, &UnrollVector(factors.clone()), opts)
+        .unwrap_or_else(|e| panic!("transform {factors:?} failed: {e}"));
+    let (w0, _) = run_with_inputs(kernel, inputs).expect("original runs");
+    let (w1, _) = run_with_inputs(&design.kernel, inputs).expect("transformed runs");
+    for out in outputs {
+        assert_eq!(
+            w0.array(out),
+            w1.array(out),
+            "output `{out}` differs at factors {factors:?}\n{}",
+            design.kernel
+        );
+    }
+}
+
+#[test]
+fn fir_all_divisor_unrolls() {
+    let k = fir::kernel();
+    let inputs = vec![
+        ("S", workload::signal(96, 10)),
+        ("C", workload::signal(32, 11)),
+    ];
+    let opts = TransformOptions::default();
+    for uj in [1, 2, 4, 8, 16, 32, 64] {
+        for ui in [1, 2, 8, 32] {
+            assert_preserves(&k, vec![uj, ui], &opts, &inputs, &["D"]);
+        }
+    }
+}
+
+#[test]
+fn matmul_representative_unrolls() {
+    let k = matmul::kernel();
+    let inputs = vec![
+        ("A", workload::signal(512, 20)),
+        ("B", workload::signal(64, 21)),
+    ];
+    let opts = TransformOptions::default();
+    for factors in [
+        vec![1, 1, 1],
+        vec![2, 1, 1],
+        vec![4, 2, 1],
+        vec![8, 4, 1],
+        vec![2, 2, 4],
+        vec![32, 4, 16],
+    ] {
+        assert_preserves(&k, factors, &opts, &inputs, &["C"]);
+    }
+}
+
+#[test]
+fn pattern_representative_unrolls() {
+    let k = pattern::kernel();
+    let inputs = vec![("S", workload::text(64, 30)), ("P", workload::text(16, 31))];
+    let opts = TransformOptions::default();
+    for factors in [
+        vec![1, 1],
+        vec![2, 2],
+        vec![6, 4],
+        vec![12, 8],
+        vec![48, 16],
+    ] {
+        assert_preserves(&k, factors, &opts, &inputs, &["M"]);
+    }
+}
+
+#[test]
+fn jacobi_representative_unrolls() {
+    let k = jacobi::kernel();
+    let inputs = vec![("A", workload::image(34, 40))];
+    let opts = TransformOptions::default();
+    for factors in [vec![1, 1], vec![2, 2], vec![4, 8], vec![16, 4]] {
+        assert_preserves(&k, factors, &opts, &inputs, &["B"]);
+    }
+}
+
+#[test]
+fn sobel_representative_unrolls() {
+    let k = sobel::kernel();
+    let inputs = vec![("I", workload::image(34, 50))];
+    let opts = TransformOptions::default();
+    for factors in [vec![1, 1], vec![2, 2], vec![4, 4], vec![8, 2]] {
+        assert_preserves(&k, factors, &opts, &inputs, &["E"]);
+    }
+}
+
+#[test]
+fn correlation_representative_unrolls() {
+    let k = correlation::kernel_sized(12, 4);
+    let img: Vec<i64> = workload::image(12, 80).iter().map(|v| v % 16).collect();
+    let tpl: Vec<i64> = workload::image(4, 81).iter().map(|v| v % 8).collect();
+    let inputs = vec![("I", img), ("T", tpl)];
+    let opts = TransformOptions::default();
+    for factors in [
+        vec![1, 1, 1, 1],
+        vec![2, 2, 1, 1],
+        vec![1, 1, 2, 2],
+        vec![4, 2, 2, 1],
+    ] {
+        assert_preserves(&k, factors, &opts, &inputs, &["R"]);
+    }
+}
+
+#[test]
+fn morphology_representative_unrolls() {
+    for op in [
+        morphology::Morphology::Dilate,
+        morphology::Morphology::Erode,
+    ] {
+        let k = morphology::kernel_sized(op, 18);
+        let inputs = vec![("I", workload::image(18, 90))];
+        let opts = TransformOptions::default();
+        for factors in [vec![1, 1], vec![2, 2], vec![4, 4], vec![16, 8]] {
+            assert_preserves(&k, factors, &opts, &inputs, &["O"]);
+        }
+    }
+}
+
+#[test]
+fn every_option_combination_preserves_fir() {
+    let k = fir::kernel();
+    let inputs = vec![
+        ("S", workload::signal(96, 60)),
+        ("C", workload::signal(32, 61)),
+    ];
+    for scalar_replacement in [false, true] {
+        for redundant_write_elim in [false, true] {
+            for custom_layout in [false, true] {
+                for peel in [false, true] {
+                    for register_budget in [None, Some(8)] {
+                        let opts = TransformOptions {
+                            scalar_replacement,
+                            redundant_write_elim,
+                            custom_layout,
+                            peel,
+                            register_budget,
+                            num_memories: 4,
+                        };
+                        assert_preserves(&k, vec![4, 2], &opts, &inputs, &["D"]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn outputs_also_match_rust_references() {
+    // Beyond self-consistency: transformed kernels agree with independent
+    // Rust implementations of each algorithm.
+    let s = workload::signal(96, 70);
+    let c = workload::signal(32, 71);
+    let d = transform(
+        &fir::kernel(),
+        &UnrollVector(vec![8, 4]),
+        &TransformOptions::default(),
+    )
+    .expect("transforms");
+    let (ws, _) = run_with_inputs(&d.kernel, &[("S", s.clone()), ("C", c.clone())]).expect("runs");
+    assert_eq!(ws.array("D").unwrap(), fir::reference(&s, &c).as_slice());
+
+    let img = workload::image(34, 72);
+    let d = transform(
+        &sobel::kernel(),
+        &UnrollVector(vec![4, 4]),
+        &TransformOptions::default(),
+    )
+    .expect("transforms");
+    let (ws, _) = run_with_inputs(&d.kernel, &[("I", img.clone())]).expect("runs");
+    assert_eq!(
+        ws.array("E").unwrap(),
+        sobel::reference(&img, 34).as_slice()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random FIR sizes, random divisor unrolls, random signals: the
+    /// pipeline preserves semantics.
+    #[test]
+    fn prop_fir_pipeline_preserves(
+        n_out_pow in 2u32..6,
+        n_taps_pow in 1u32..5,
+        uj_pow in 0u32..6,
+        ui_pow in 0u32..5,
+        seed in 0u64..1000,
+    ) {
+        let n_out = 1usize << n_out_pow;
+        let n_taps = 1usize << n_taps_pow;
+        let uj = 1i64 << uj_pow.min(n_out_pow);
+        let ui = 1i64 << ui_pow.min(n_taps_pow);
+        let k = fir::kernel_sized(n_out, n_taps);
+        let s = workload::signal(n_out + n_taps, seed);
+        let c = workload::signal(n_taps, seed + 1);
+        let design = transform(&k, &UnrollVector(vec![uj, ui]), &TransformOptions::default())
+            .expect("transforms");
+        let (w0, _) = run_with_inputs(&k, &[("S", s.clone()), ("C", c.clone())]).expect("runs");
+        let (w1, _) = run_with_inputs(&design.kernel, &[("S", s), ("C", c)]).expect("runs");
+        prop_assert_eq!(w0.array("D"), w1.array("D"));
+    }
+
+    /// Random small matrix sizes and unrolls for MM.
+    #[test]
+    fn prop_matmul_pipeline_preserves(
+        m_pow in 1u32..4,
+        k_pow in 1u32..4,
+        n_pow in 0u32..3,
+        ui_pow in 0u32..4,
+        uj_pow in 0u32..3,
+        seed in 0u64..1000,
+    ) {
+        let (m, kk, n) = (1usize << m_pow, 1usize << k_pow, 1usize << n_pow);
+        let ui = 1i64 << ui_pow.min(m_pow);
+        let uj = 1i64 << uj_pow.min(n_pow);
+        let kern = matmul::kernel_sized(m, kk, n);
+        let a = workload::signal(m * kk, seed);
+        let b = workload::signal(kk * n, seed + 1);
+        let design = transform(
+            &kern,
+            &UnrollVector(vec![ui, uj, 1]),
+            &TransformOptions::default(),
+        )
+        .expect("transforms");
+        let (w0, _) = run_with_inputs(&kern, &[("A", a.clone()), ("B", b.clone())]).expect("runs");
+        let (w1, _) = run_with_inputs(&design.kernel, &[("A", a), ("B", b)]).expect("runs");
+        prop_assert_eq!(w0.array("C"), w1.array("C"));
+    }
+}
