@@ -1,0 +1,34 @@
+//! Criterion benchmark: exhaustive-sweep throughput of the parallel
+//! evaluation engine versus the serial baseline.
+//!
+//! Each iteration builds a fresh `Explorer` so the memo cache starts
+//! cold and every design point is really evaluated — the measurement is
+//! the engine's fan-out, not cache residency. A separate warm-cache case
+//! shows what memoization alone buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defacto::prelude::*;
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_sweep");
+    group.sample_size(10);
+    let (_, kernel) = defacto_kernels::paper_kernels().remove(1); // MM
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("MM/cold", workers), |b| {
+            b.iter(|| {
+                let ex = Explorer::new(&kernel).threads(workers);
+                std::hint::black_box(ex.sweep().expect("sweep succeeds"))
+            })
+        });
+    }
+    // Warm cache: the explorer (and hence its engine cache) persists
+    // across iterations, so after the first iteration every point hits.
+    let ex = Explorer::new(&kernel).threads(8);
+    group.bench_function(BenchmarkId::new("MM/warm", 8), |b| {
+        b.iter(|| std::hint::black_box(ex.sweep().expect("sweep succeeds")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sweep);
+criterion_main!(benches);

@@ -111,6 +111,12 @@ pub struct SearchStatsRow {
     pub full_space: u64,
     /// `visited / full_space` — comparable to the paper's 0.3% claim.
     pub fraction_full: f64,
+    /// Design points the evaluation engine actually evaluated.
+    pub evaluated: u64,
+    /// Evaluations answered from the memo cache.
+    pub cache_hits: u64,
+    /// `cache_hits / (evaluated + cache_hits)`.
+    pub cache_hit_rate: f64,
 }
 
 /// Compute the search statistics across the suite.
@@ -142,6 +148,9 @@ pub fn search_stats() -> Vec<SearchStatsRow> {
                 divisor_space: space.size(),
                 full_space,
                 fraction_full: r.visited.len() as f64 / full_space as f64,
+                evaluated: r.stats.evaluated,
+                cache_hits: r.stats.cache_hits,
+                cache_hit_rate: r.stats.cache_hit_rate(),
             });
         }
     }
@@ -160,6 +169,9 @@ pub fn print_search_stats(rows: &[SearchStatsRow]) {
                 r.divisor_space.to_string(),
                 r.full_space.to_string(),
                 format!("{:.2}%", 100.0 * r.fraction_full),
+                r.evaluated.to_string(),
+                r.cache_hits.to_string(),
+                format!("{:.0}%", 100.0 * r.cache_hit_rate),
             ]
         })
         .collect();
@@ -174,6 +186,9 @@ pub fn print_search_stats(rows: &[SearchStatsRow]) {
                 "divisor space",
                 "full space",
                 "fraction",
+                "evaluated",
+                "cache hits",
+                "hit rate",
             ],
             &table_rows
         )

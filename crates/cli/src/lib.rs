@@ -12,6 +12,8 @@
 //!   --memories N                       external memories (default 4)
 //!   --device xcv300|xcv1000|xc2v6000   target device  (default xcv1000)
 //!   --unroll a,b,...                   fixed unroll vector (vhdl; default: explore)
+//!   --threads N                        evaluation worker threads
+//!                                      (default: DEFACTO_THREADS or all cores)
 //!   --json                             machine-readable output
 //! ```
 //!
@@ -34,6 +36,8 @@ pub struct Cli {
     pub device: FpgaDevice,
     /// Fixed unroll vector, when given.
     pub unroll: Option<UnrollVector>,
+    /// Evaluation worker threads (`None`: `DEFACTO_THREADS` or all cores).
+    pub threads: Option<usize>,
     /// Emit JSON instead of tables.
     pub json: bool,
 }
@@ -68,7 +72,7 @@ impl std::error::Error for UsageError {}
 /// The usage string printed on bad invocations.
 pub const USAGE: &str = "usage: defacto <explore|sweep|analyze|vhdl|schedule> <file.kernel> \
 [--memory pipelined|non-pipelined] [--memories N] \
-[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--json]";
+[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--json]";
 
 /// Parse command-line arguments (without the program name).
 ///
@@ -96,6 +100,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut pipelined = true;
     let mut device = FpgaDevice::virtex1000();
     let mut unroll = None;
+    let mut threads = None;
     let mut json = false;
 
     while let Some(flag) = it.next() {
@@ -142,6 +147,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                 }
                 unroll = Some(UnrollVector(factors));
             }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| UsageError("--threads expects a positive integer".into()))?;
+                threads = Some(v);
+            }
             "--json" => json = true,
             other => return Err(UsageError(format!("unknown flag `{other}`\n{USAGE}"))),
         }
@@ -158,6 +171,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         memory,
         device,
         unroll,
+        threads,
         json,
     })
 }
@@ -170,9 +184,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
 /// Propagates parse/exploration failures as boxed errors.
 pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>> {
     let kernel = parse_kernel(source)?;
-    let explorer = Explorer::new(&kernel)
+    let mut explorer = Explorer::new(&kernel)
         .memory(cli.memory.clone())
         .device(cli.device.clone());
+    if let Some(n) = cli.threads {
+        explorer = explorer.threads(n);
+    }
     let mut out = String::new();
 
     match cli.command {
@@ -185,6 +202,12 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     "visited": r.visited.len(),
                     "space_size": r.space_size,
                     "termination": format!("{:?}", r.termination),
+                    "stats": serde_json::json!({
+                        "evaluated": r.stats.evaluated,
+                        "cache_hits": r.stats.cache_hits,
+                        "workers": r.stats.workers,
+                        "wall_ms": r.stats.wall.as_secs_f64() * 1e3,
+                    }),
                 }))?);
             } else {
                 writeln!(out, "kernel `{}` on {}", kernel.name(), cli.device)?;
@@ -203,6 +226,15 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     r.visited.len(),
                     r.space_size,
                     r.termination
+                )?;
+                writeln!(
+                    out,
+                    "evaluated {} points ({} cache hits) on {} worker{} in {:.1} ms",
+                    r.stats.evaluated,
+                    r.stats.cache_hits,
+                    r.stats.workers,
+                    if r.stats.workers == 1 { "" } else { "s" },
+                    r.stats.wall.as_secs_f64() * 1e3
                 )?;
             }
         }
@@ -317,7 +349,17 @@ mod tests {
         assert!(parse_args(&argv("explore f --memories 0")).is_err());
         assert!(parse_args(&argv("explore f --unroll 2,x")).is_err());
         assert!(parse_args(&argv("explore f --unroll 0,1")).is_err());
+        assert!(parse_args(&argv("explore f --threads 0")).is_err());
+        assert!(parse_args(&argv("explore f --threads two")).is_err());
         assert!(parse_args(&argv("explore f --what")).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_and_respected() {
+        let cli = parse_args(&argv("explore fir.kernel --threads 2")).unwrap();
+        assert_eq!(cli.threads, Some(2));
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("on 2 workers"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! The parallel evaluation engine: a work-stealing thread pool and a
+//! sharded concurrent memo cache for design-point estimates.
+//!
+//! The paper's premise is that estimation is cheap enough to explore a
+//! design space interactively; this engine makes the reproduction scale
+//! the same way on multi-core hosts. Every consumer keeps its serial
+//! semantics: parallel sweeps reassemble results in iteration order, and
+//! the Figure-2 search only *prefetches* its doubling frontier into the
+//! cache before replaying the unchanged serial algorithm, so the visited
+//! sequence, selected design and termination reason are bit-identical to
+//! a single-threaded run.
+//!
+//! Threading is std-only: a [`std::thread::scope`] pool whose workers
+//! claim indices from a shared atomic counter (idle workers "steal" the
+//! next undone item, so imbalanced evaluation costs still saturate the
+//! pool) and send results back over a channel tagged with their index.
+//!
+//! Worker count resolution: explicit request (`--threads` flag or
+//! [`EvalEngine::new`]) > the `DEFACTO_THREADS` environment variable >
+//! [`std::thread::available_parallelism`].
+
+use crate::error::Result;
+use defacto_synth::Estimate;
+use defacto_xform::UnrollVector;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+/// Number of cache shards. A small power of two keeps the modulo cheap
+/// while making same-shard contention unlikely at realistic worker
+/// counts.
+const SHARD_COUNT: usize = 16;
+
+/// Key of one memoized estimate: the unroll vector plus a hash of the
+/// evaluation context (transform options, synthesis options, memory
+/// model, and the device's capacity and clock — the device *name* is
+/// deliberately excluded so per-FPGA renames like `XCV1000#0` still hit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The design point.
+    pub unroll: UnrollVector,
+    /// Hash of everything else that determines the estimate.
+    pub context: u64,
+}
+
+impl CacheKey {
+    fn shard(&self) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+}
+
+/// A sharded concurrent memo cache of design-point estimates. Each shard
+/// is an independent `Mutex<HashMap>`, so concurrent workers rarely
+/// contend on the same lock.
+#[derive(Debug, Default)]
+pub struct EstimateCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Estimate>>>,
+}
+
+impl EstimateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EstimateCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Estimate>> {
+        &self.shards[key.shard() % self.shards.len().max(1)]
+    }
+
+    /// The cached estimate for `key`, if present.
+    pub fn get(&self, key: &CacheKey) -> Option<Estimate> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Memoize `estimate` under `key`.
+    pub fn insert(&self, key: CacheKey, estimate: Estimate) {
+        if self.shards.is_empty() {
+            return;
+        }
+        self.shard(&key)
+            .lock()
+            .expect("cache shard lock")
+            .insert(key, estimate);
+    }
+
+    /// Number of memoized estimates across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Counters describing one evaluation run (a search, a sweep, a
+/// pipeline mapping).
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// Design points actually evaluated (transform + estimate).
+    pub evaluated: u64,
+    /// Evaluations answered from the memo cache instead.
+    pub cache_hits: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Worker threads the engine was configured with.
+    pub workers: usize,
+}
+
+impl EvalStats {
+    /// Fraction of lookups served from the cache (0 when none occurred).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.evaluated + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+// Wall time is nondeterministic; two runs of the same search are "equal"
+// when they did the same work with the same configuration.
+impl PartialEq for EvalStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.evaluated == other.evaluated
+            && self.cache_hits == other.cache_hits
+            && self.workers == other.workers
+    }
+}
+
+/// The evaluation engine: worker-count policy, memo cache, and counters.
+///
+/// An engine is shared (behind `Arc`) between the explorers that should
+/// pool their caches; each [`crate::Explorer`] owns one by default.
+#[derive(Debug)]
+pub struct EvalEngine {
+    threads: usize,
+    cache: EstimateCache,
+    evaluated: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        Self::with_threads(None)
+    }
+}
+
+impl EvalEngine {
+    /// An engine with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        EvalEngine {
+            threads: threads.max(1),
+            cache: EstimateCache::new(),
+            evaluated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with `requested` workers when given, else the
+    /// `DEFACTO_THREADS` environment override, else the host parallelism.
+    pub fn with_threads(requested: Option<usize>) -> Self {
+        Self::new(Self::resolve_threads(requested))
+    }
+
+    /// The worker-count policy (see module docs). Zero or malformed
+    /// values are treated as absent.
+    pub fn resolve_threads(requested: Option<usize>) -> usize {
+        if let Some(n) = requested {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("DEFACTO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The memo cache.
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    /// Snapshot of the cumulative `(evaluated, cache_hits)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.evaluated.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stats for a run that started at counter snapshot `before` and took
+    /// `wall` time.
+    pub fn stats_since(&self, before: (u64, u64), wall: Duration) -> EvalStats {
+        let (evaluated, cache_hits) = self.counters();
+        EvalStats {
+            evaluated: evaluated - before.0,
+            cache_hits: cache_hits - before.1,
+            wall,
+            workers: self.threads,
+        }
+    }
+
+    /// Evaluate through the memo cache: a hit returns the cached
+    /// estimate, a miss runs `eval` and memoizes the result. Failed
+    /// evaluations are not cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eval` failures.
+    pub fn evaluate_cached<F>(&self, key: &CacheKey, eval: F) -> Result<Estimate>
+    where
+        F: FnOnce() -> Result<Estimate>,
+    {
+        if let Some(e) = self.cache.get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(e);
+        }
+        let e = eval()?;
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(key.clone(), e.clone());
+        Ok(e)
+    }
+
+    /// Apply `f` to every item, in parallel, returning results in input
+    /// order. Workers claim indices from a shared counter, so an idle
+    /// worker always takes the next undone item regardless of which
+    /// worker "should" have had it.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Result<R> + Sync,
+    {
+        let workers = self.threads.min(items.len()).max(1);
+        if workers == 1 {
+            return items.iter().map(&f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<R>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if tx.send((i, f(&items[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<Result<R>>> = (0..items.len()).map(|_| None).collect();
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("worker produced every index"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DseError;
+
+    fn estimate(cycles: u64) -> Estimate {
+        Estimate {
+            cycles,
+            slices: 1,
+            memory_busy_cycles: 0,
+            compute_busy_cycles: 0,
+            bits_from_memory: 0,
+            registers: 0,
+            balance: 1.0,
+            clock_ns: 40,
+            fits: true,
+        }
+    }
+
+    fn key(factors: &[i64], context: u64) -> CacheKey {
+        CacheKey {
+            unroll: UnrollVector(factors.to_vec()),
+            context,
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_and_counts() {
+        let cache = EstimateCache::new();
+        assert!(cache.is_empty());
+        cache.insert(key(&[2, 4], 7), estimate(10));
+        assert_eq!(cache.get(&key(&[2, 4], 7)).unwrap().cycles, 10);
+        // Same unroll, different context: distinct entry.
+        assert!(cache.get(&key(&[2, 4], 8)).is_none());
+        cache.insert(key(&[2, 4], 8), estimate(20));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evaluate_cached_hits_after_miss() {
+        let engine = EvalEngine::new(2);
+        let k = key(&[4, 1], 1);
+        let e = engine.evaluate_cached(&k, || Ok(estimate(5))).unwrap();
+        assert_eq!(e.cycles, 5);
+        // Second lookup must not re-run the evaluator.
+        let e = engine
+            .evaluate_cached(&k, || panic!("must be served from cache"))
+            .unwrap();
+        assert_eq!(e.cycles, 5);
+        assert_eq!(engine.counters(), (1, 1));
+    }
+
+    #[test]
+    fn failed_evaluations_are_not_cached() {
+        let engine = EvalEngine::new(1);
+        let k = key(&[1], 0);
+        let err = engine.evaluate_cached(&k, || Err(DseError::NoLoops));
+        assert!(err.is_err());
+        assert!(engine.cache().is_empty());
+        assert_eq!(engine.counters(), (0, 0));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        for threads in [1, 2, 8] {
+            let engine = EvalEngine::new(threads);
+            let items: Vec<u64> = (0..100).collect();
+            let out = engine.parallel_map(&items, |&x| Ok(x * x));
+            let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(values, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_carries_errors_at_their_index() {
+        let engine = EvalEngine::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let out = engine.parallel_map(&items, |&x| {
+            if x == 13 {
+                Err(DseError::NoLoops)
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(out[13].is_err());
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_request() {
+        assert_eq!(EvalEngine::resolve_threads(Some(3)), 3);
+        assert_eq!(EvalEngine::resolve_threads(Some(0)), 1);
+        assert!(EvalEngine::resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let s = EvalStats {
+            evaluated: 3,
+            cache_hits: 1,
+            wall: Duration::from_millis(1),
+            workers: 2,
+        };
+        assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(EvalStats::default().cache_hit_rate(), 0.0);
+    }
+}

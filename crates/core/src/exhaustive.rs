@@ -4,10 +4,12 @@
 //! search's selection falls; this module provides that ground truth, and
 //! the ablation benchmarks use it as the "no pruning" baseline.
 
+use crate::engine::EvalEngine;
 use crate::error::Result;
 use crate::explorer::EvaluatedDesign;
 use crate::space::DesignSpace;
 use defacto_xform::UnrollVector;
+use std::cmp::Ordering;
 
 /// Evaluate every member of `space` with `eval`, in iteration order.
 ///
@@ -25,16 +27,45 @@ where
     Ok(out)
 }
 
+/// [`exhaustive_sweep`] fanned out across `engine`'s workers. Results
+/// come back in the space's iteration order, and a failure propagates
+/// the error of the *earliest* failing point — exactly what the serial
+/// sweep reports — regardless of completion order.
+///
+/// # Errors
+///
+/// Propagates the first (in iteration order) evaluation failure.
+pub fn parallel_sweep<E>(
+    space: &DesignSpace,
+    engine: &EvalEngine,
+    eval: E,
+) -> Result<Vec<EvaluatedDesign>>
+where
+    E: Fn(&UnrollVector) -> Result<EvaluatedDesign> + Sync,
+{
+    let members: Vec<UnrollVector> = space.iter().collect();
+    engine
+        .parallel_map(&members, |u| eval(u))
+        .into_iter()
+        .collect()
+}
+
+/// Order designs by (cycles, slices), ties to the lexicographically
+/// smaller unroll vector — comparing factor slices directly, without
+/// materializing a key vector per comparison.
+fn speed_then_size(a: &EvaluatedDesign, b: &EvaluatedDesign) -> Ordering {
+    (a.estimate.cycles, a.estimate.slices)
+        .cmp(&(b.estimate.cycles, b.estimate.slices))
+        .then_with(|| a.unroll.factors().cmp(b.unroll.factors()))
+}
+
 /// The fastest design in a sweep; ties go to the smaller design, then the
 /// lexicographically smaller unroll vector (fully deterministic).
 pub fn best_performance(sweep: &[EvaluatedDesign]) -> Option<&EvaluatedDesign> {
-    sweep.iter().filter(|d| d.estimate.fits).min_by_key(|d| {
-        (
-            d.estimate.cycles,
-            d.estimate.slices,
-            d.unroll.factors().to_vec(),
-        )
-    })
+    sweep
+        .iter()
+        .filter(|d| d.estimate.fits)
+        .min_by(|a, b| speed_then_size(a, b))
 }
 
 /// The smallest design within `tolerance` (relative) of the best cycle
@@ -45,12 +76,10 @@ pub fn smallest_comparable(sweep: &[EvaluatedDesign], tolerance: f64) -> Option<
     sweep
         .iter()
         .filter(|d| d.estimate.fits && d.estimate.cycles <= limit)
-        .min_by_key(|d| {
-            (
-                d.estimate.slices,
-                d.estimate.cycles,
-                d.unroll.factors().to_vec(),
-            )
+        .min_by(|a, b| {
+            (a.estimate.slices, a.estimate.cycles)
+                .cmp(&(b.estimate.slices, b.estimate.cycles))
+                .then_with(|| a.unroll.factors().cmp(b.unroll.factors()))
         })
 }
 

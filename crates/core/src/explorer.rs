@@ -1,13 +1,17 @@
 //! The [`Explorer`] facade: one builder tying together transformation,
 //! estimation, saturation analysis and the Figure-2 search.
 
+use crate::engine::{CacheKey, EvalEngine, EvalStats};
 use crate::error::Result;
 use crate::saturation::{saturation_analysis, SaturationInfo};
-use crate::search::{run_search, SearchConfig, SearchResult};
+use crate::search::{doubling_frontier, run_search, SearchConfig, SearchResult};
 use crate::space::DesignSpace;
 use defacto_ir::Kernel;
 use defacto_synth::{estimate_opts, Estimate, FpgaDevice, MemoryModel, SynthesisOptions};
 use defacto_xform::{transform, TransformOptions, TransformedDesign, UnrollVector};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,26 +30,53 @@ pub struct EvaluatedDesign {
 #[derive(Debug, Clone)]
 pub struct Explorer<'k> {
     kernel: &'k Kernel,
+    kernel_hash: u64,
     mem: MemoryModel,
     device: FpgaDevice,
     opts: TransformOptions,
     synthesis: SynthesisOptions,
     config: SearchConfig,
     explore_override: Option<Vec<bool>>,
+    engine: Arc<EvalEngine>,
 }
 
 impl<'k> Explorer<'k> {
     /// Start exploring `kernel` with the paper's default platform.
     pub fn new(kernel: &'k Kernel) -> Self {
+        // The kernel's printed form identifies it in cache keys; two
+        // explorers over structurally identical kernels share entries.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        kernel.to_string().hash(&mut h);
         Explorer {
             kernel,
+            kernel_hash: h.finish(),
             mem: MemoryModel::wildstar_pipelined(),
             device: FpgaDevice::virtex1000(),
             opts: TransformOptions::default(),
             synthesis: SynthesisOptions::default(),
             config: SearchConfig::default(),
             explore_override: None,
+            engine: Arc::new(EvalEngine::default()),
         }
+    }
+
+    /// Use exactly `n` evaluation worker threads (a fresh engine; the
+    /// default engine honours `DEFACTO_THREADS`, then host parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.engine = Arc::new(EvalEngine::new(n));
+        self
+    }
+
+    /// Share an evaluation engine (and its memo cache) with other
+    /// explorers.
+    pub fn engine(mut self, engine: Arc<EvalEngine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The evaluation engine in use.
+    pub fn engine_ref(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 
     /// Use a different memory model (the number of memories propagates to
@@ -112,18 +143,49 @@ impl<'k> Explorer<'k> {
         Ok(transform(self.kernel, unroll, &self.opts)?)
     }
 
+    /// Hash of everything besides the unroll vector that determines an
+    /// estimate: the kernel, the transform and synthesis options, the
+    /// memory model, and the device's capacity and clock. The device
+    /// *name* is excluded so renamed-but-identical devices (the
+    /// multi-FPGA mapper's `XCV1000#0`) still share cache entries.
+    fn context_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.kernel_hash.hash(&mut h);
+        self.opts.hash(&mut h);
+        self.synthesis.hash(&mut h);
+        self.mem.hash(&mut h);
+        self.device.capacity_slices.hash(&mut h);
+        self.device.clock_ns.hash(&mut h);
+        h.finish()
+    }
+
+    fn cache_key(&self, unroll: &UnrollVector) -> CacheKey {
+        CacheKey {
+            unroll: unroll.clone(),
+            context: self.context_hash(),
+        }
+    }
+
     /// Evaluate one unroll vector: transform + behavioral-synthesis
-    /// estimate.
+    /// estimate, memoized in the engine's cache (estimation is
+    /// deterministic, so a hit is indistinguishable from re-evaluating).
     ///
     /// # Errors
     ///
     /// Propagates transformation failures.
     pub fn evaluate(&self, unroll: &UnrollVector) -> Result<EvaluatedDesign> {
-        let design = self.design(unroll)?;
-        let est = estimate_opts(&design, &self.mem, &self.device, &self.synthesis);
+        let estimate = self.engine.evaluate_cached(&self.cache_key(unroll), || {
+            let design = self.design(unroll)?;
+            Ok(estimate_opts(
+                &design,
+                &self.mem,
+                &self.device,
+                &self.synthesis,
+            ))
+        })?;
         Ok(EvaluatedDesign {
             unroll: unroll.clone(),
-            estimate: est,
+            estimate,
         })
     }
 
@@ -138,14 +200,35 @@ impl<'k> Explorer<'k> {
 
     /// Run the paper's Figure-2 search.
     ///
+    /// With more than one worker, the doubling frontier (the chain of
+    /// points the search visits while compute bound) is speculatively
+    /// evaluated in one parallel batch first; the serial algorithm then
+    /// replays over the warm cache, so the visited sequence, selected
+    /// design and termination reason are bit-identical to a
+    /// single-threaded run. `result.stats` reports the engine-wide
+    /// counters for this call, speculative evaluations included.
+    ///
     /// # Errors
     ///
     /// Propagates analysis or evaluation failures.
     pub fn explore(&self) -> Result<SearchResult> {
+        let started = Instant::now();
+        let before = self.engine.counters();
         let (sat, space) = self.analyze()?;
-        run_search(&space, &sat, &self.config, |u| {
+        if self.engine.threads() > 1 {
+            let frontier = doubling_frontier(&space, &sat);
+            // Speculative: a frontier point past where the serial search
+            // stops may legitimately fail to evaluate; the replay below
+            // surfaces any error the serial algorithm would actually hit.
+            for outcome in self.engine.parallel_map(&frontier, |u| self.evaluate(u)) {
+                drop(outcome);
+            }
+        }
+        let mut result = run_search(&space, &sat, &self.config, |u| {
             Ok(self.evaluate(u)?.estimate)
-        })
+        })?;
+        result.stats = self.engine.stats_since(before, started.elapsed());
+        Ok(result)
     }
 
     /// Execute the transformed design at `unroll` on concrete inputs
@@ -166,14 +249,30 @@ impl<'k> Explorer<'k> {
     }
 
     /// Evaluate *every* design in the space (the exhaustive baseline the
-    /// paper's figures plot).
+    /// paper's figures plot), fanned out across the engine's workers.
+    /// Results are returned in the space's iteration order regardless of
+    /// worker count.
     ///
     /// # Errors
     ///
     /// Propagates evaluation failures.
     pub fn sweep(&self) -> Result<Vec<EvaluatedDesign>> {
+        Ok(self.sweep_with_stats()?.0)
+    }
+
+    /// [`Explorer::sweep`], also reporting the evaluation counters for
+    /// this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn sweep_with_stats(&self) -> Result<(Vec<EvaluatedDesign>, EvalStats)> {
+        let started = Instant::now();
+        let before = self.engine.counters();
         let (_, space) = self.analyze()?;
-        crate::exhaustive::exhaustive_sweep(&space, |u| self.evaluate(u))
+        let sweep = crate::exhaustive::parallel_sweep(&space, &self.engine, |u| self.evaluate(u))?;
+        let stats = self.engine.stats_since(before, started.elapsed());
+        Ok((sweep, stats))
     }
 }
 

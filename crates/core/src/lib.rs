@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod error;
 pub mod exhaustive;
 pub mod explorer;
@@ -45,12 +46,13 @@ pub mod search;
 pub mod space;
 pub mod strategies;
 
+pub use engine::{CacheKey, EstimateCache, EvalEngine, EvalStats};
 pub use error::{DseError, Result};
-pub use exhaustive::exhaustive_sweep;
+pub use exhaustive::{exhaustive_sweep, parallel_sweep};
 pub use explorer::{EvaluatedDesign, Explorer};
 pub use multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage, StagePlacement};
 pub use saturation::{saturation_analysis, SaturationInfo};
-pub use search::{SearchResult, Termination};
+pub use search::{doubling_frontier, SearchResult, Termination};
 pub use space::DesignSpace;
 pub use strategies::{hill_climb, random_search, StrategyOutcome};
 
@@ -63,7 +65,8 @@ pub use defacto_xform as xform;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::exhaustive::exhaustive_sweep;
+    pub use crate::engine::{EvalEngine, EvalStats};
+    pub use crate::exhaustive::{exhaustive_sweep, parallel_sweep};
     pub use crate::explorer::{EvaluatedDesign, Explorer};
     pub use crate::multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage};
     pub use crate::saturation::{saturation_analysis, SaturationInfo};

@@ -15,8 +15,10 @@
 //! climbs the slowest stage's design toward pure speed — spending its
 //! FPGA's slack area to lift whole-pipeline throughput.
 
+use crate::engine::EvalEngine;
 use crate::error::{DseError, Result};
 use crate::explorer::{EvaluatedDesign, Explorer};
+use crate::search::SearchResult;
 use crate::strategies::hill_climb;
 use defacto_ir::{ArrayKind, Kernel};
 use defacto_synth::{FpgaDevice, MemoryModel};
@@ -103,6 +105,9 @@ pub struct PipelineOptions {
     /// After placement, hill-climb the slowest stage toward raw speed
     /// within its FPGA's slack.
     pub rebalance: bool,
+    /// Worker threads for exploring independent stages concurrently.
+    /// `None` defers to `DEFACTO_THREADS` / available parallelism.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineOptions {
@@ -113,6 +118,7 @@ impl Default for PipelineOptions {
             transform: TransformOptions::default(),
             channel_cycles_per_word: 1,
             rebalance: true,
+            threads: None,
         }
     }
 }
@@ -181,6 +187,32 @@ pub fn map_pipeline(
     let mut remaining: Vec<u32> = vec![opts.device.capacity_slices; num_fpgas];
     let mut placements: Vec<StagePlacement> = Vec::new();
 
+    // Stages are independent searches, so explore them all concurrently
+    // at *full* device capacity before placing anything. The serial
+    // placement loop below reuses a speculative result only when the
+    // stage really is granted a pristine FPGA (its assigned capacity
+    // equals the full device) — co-located stages see reduced capacity
+    // and re-explore serially, so packed placements are bit-identical to
+    // the all-serial mapping. Speculative failures are discarded: the
+    // serial path re-runs the stage and surfaces the real error.
+    let engine = EvalEngine::with_threads(opts.threads);
+    let mut speculative: Vec<Option<SearchResult>> = if engine.threads() > 1 && stages.len() > 1 {
+        engine
+            .parallel_map(stages, |stage| {
+                Explorer::new(&stage.kernel)
+                    .memory(opts.memory.clone())
+                    .device(opts.device.clone())
+                    .options(opts.transform.clone())
+                    .threads(1)
+                    .explore()
+            })
+            .into_iter()
+            .map(|r| r.ok())
+            .collect()
+    } else {
+        (0..stages.len()).map(|_| None).collect()
+    };
+
     for (idx, stage) in stages.iter().enumerate() {
         // Host: FPGA with the most remaining slices (round-robin when
         // stages ≤ FPGAs, since all start equal and ties break low).
@@ -188,16 +220,21 @@ pub fn map_pipeline(
             .max_by_key(|&f| (remaining[f], std::cmp::Reverse(f)))
             .expect("at least one fpga");
         let capacity = remaining[fpga];
-        let device = FpgaDevice {
-            name: format!("{}#{fpga}", opts.device.name),
-            capacity_slices: capacity,
-            clock_ns: opts.device.clock_ns,
+        let result = match speculative[idx].take() {
+            Some(r) if capacity == opts.device.capacity_slices => r,
+            _ => {
+                let device = FpgaDevice {
+                    name: format!("{}#{fpga}", opts.device.name),
+                    capacity_slices: capacity,
+                    clock_ns: opts.device.clock_ns,
+                };
+                Explorer::new(&stage.kernel)
+                    .memory(opts.memory.clone())
+                    .device(device)
+                    .options(opts.transform.clone())
+                    .explore()?
+            }
         };
-        let ex = Explorer::new(&stage.kernel)
-            .memory(opts.memory.clone())
-            .device(device.clone())
-            .options(opts.transform.clone());
-        let result = ex.explore()?;
         let design = result.selected;
 
         // Channel volume: words produced for the next stage.

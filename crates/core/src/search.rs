@@ -10,6 +10,7 @@
 //! smallest among comparable designs — after visiting only a handful of
 //! points.
 
+use crate::engine::EvalStats;
 use crate::error::Result;
 use crate::explorer::EvaluatedDesign;
 use crate::saturation::SaturationInfo;
@@ -17,6 +18,7 @@ use crate::space::DesignSpace;
 use defacto_synth::Estimate;
 use defacto_xform::UnrollVector;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Tuning knobs of the search.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +63,10 @@ pub struct SearchResult {
     pub termination: Termination,
     /// The saturation analysis that seeded the search.
     pub saturation: SaturationInfo,
+    /// Evaluation counters for this run. `run_search` fills in its own
+    /// serial accounting; [`crate::Explorer::explore`] overwrites it with
+    /// the engine-wide view (speculative prefetches included).
+    pub stats: EvalStats,
 }
 
 impl SearchResult {
@@ -90,13 +96,17 @@ pub fn run_search<E>(
 where
     E: FnMut(&UnrollVector) -> Result<Estimate>,
 {
+    let started = Instant::now();
+    let mut revisits = 0u64;
     let mut cache: HashMap<UnrollVector, Estimate> = HashMap::new();
     let mut visited: Vec<EvaluatedDesign> = Vec::new();
     let mut visit = |u: &UnrollVector,
+                     revisits: &mut u64,
                      cache: &mut HashMap<UnrollVector, Estimate>,
                      visited: &mut Vec<EvaluatedDesign>|
      -> Result<Estimate> {
         if let Some(e) = cache.get(u) {
+            *revisits += 1;
             return Ok(e.clone());
         }
         let e = eval(u)?;
@@ -118,7 +128,7 @@ where
     let termination;
 
     loop {
-        let est = visit(&u_curr, &mut cache, &mut visited)?;
+        let est = visit(&u_curr, &mut revisits, &mut cache, &mut visited)?;
 
         if !est.fits {
             if u_curr == sat.u_init {
@@ -126,7 +136,7 @@ where
                 // below the saturation point that fits, regardless of
                 // balance — it maximizes available parallelism.
                 u_curr = find_largest_fit(space, sat, &u_base, &u_curr, &mut |u| {
-                    visit(u, &mut cache, &mut visited)
+                    visit(u, &mut revisits, &mut cache, &mut visited)
                 })?;
                 termination = Termination::SpaceConstrained;
                 break;
@@ -141,7 +151,7 @@ where
                 _ => {
                     u_curr = lower;
                     // Make sure the fallback is evaluated.
-                    visit(&u_curr, &mut cache, &mut visited)?;
+                    visit(&u_curr, &mut revisits, &mut cache, &mut visited)?;
                     termination = Termination::SpaceConstrained;
                     break;
                 }
@@ -165,7 +175,7 @@ where
                 Some(next) if next != u_curr && Some(&next) != u_cb.as_ref() => u_curr = next,
                 _ => {
                     u_curr = lower;
-                    visit(&u_curr, &mut cache, &mut visited)?;
+                    visit(&u_curr, &mut revisits, &mut cache, &mut visited)?;
                     termination = Termination::Converged;
                     break;
                 }
@@ -199,6 +209,12 @@ where
     }
 
     let selected_est = cache.get(&u_curr).expect("current point evaluated").clone();
+    let stats = EvalStats {
+        evaluated: visited.len() as u64,
+        cache_hits: revisits,
+        wall: started.elapsed(),
+        workers: 1,
+    };
     Ok(SearchResult {
         selected: EvaluatedDesign {
             unroll: u_curr,
@@ -208,7 +224,29 @@ where
         space_size: space.size(),
         termination,
         saturation: sat.clone(),
+        stats,
     })
+}
+
+/// The chain of design points the search visits while every estimate
+/// stays compute bound: the saturation point, then each `Increase` step
+/// (product doubling) up to the restricted maximum. The parallel engine
+/// speculatively evaluates this frontier in one batch before the serial
+/// search replays over the warm cache — the serial algorithm visits a
+/// prefix of exactly this chain until it leaves the compute-bound
+/// regime, so prefetching it never changes which design is selected.
+pub fn doubling_frontier(space: &DesignSpace, sat: &SaturationInfo) -> Vec<UnrollVector> {
+    let u_max = restricted_max(space, sat);
+    let mut frontier = vec![sat.u_init.clone()];
+    let mut current = sat.u_init.clone();
+    while let Some(next) = increase(space, sat, &current, &u_max) {
+        if next == current {
+            break;
+        }
+        frontier.push(next.clone());
+        current = next;
+    }
+    frontier
 }
 
 /// The largest vector of the space restricted to unrollable loops.

@@ -13,6 +13,7 @@ use crate::explorer::EvaluatedDesign;
 use crate::space::DesignSpace;
 use defacto_synth::Estimate;
 use defacto_xform::UnrollVector;
+use std::cmp::Ordering;
 use std::collections::HashSet;
 
 /// Outcome of one baseline strategy run.
@@ -24,22 +25,20 @@ pub struct StrategyOutcome {
     pub evaluated: Vec<EvaluatedDesign>,
 }
 
-/// Ranking key implementing the paper's optimization criteria: fitting
+/// Ranking order implementing the paper's optimization criteria: fitting
 /// designs first, then fewer cycles, then fewer slices, then the
-/// lexicographically smaller vector (for determinism).
-fn criteria_key(d: &EvaluatedDesign) -> (bool, u64, u32, Vec<i64>) {
-    (
-        !d.estimate.fits,
-        d.estimate.cycles,
-        d.estimate.slices,
-        d.unroll.factors().to_vec(),
-    )
+/// lexicographically smaller vector (for determinism). Compares factor
+/// slices in place rather than cloning a key vector per comparison.
+fn criteria_cmp(a: &EvaluatedDesign, b: &EvaluatedDesign) -> Ordering {
+    (!a.estimate.fits, a.estimate.cycles, a.estimate.slices)
+        .cmp(&(!b.estimate.fits, b.estimate.cycles, b.estimate.slices))
+        .then_with(|| a.unroll.factors().cmp(b.unroll.factors()))
 }
 
 fn best_of(evaluated: &[EvaluatedDesign]) -> EvaluatedDesign {
     evaluated
         .iter()
-        .min_by_key(|d| criteria_key(d))
+        .min_by(|a, b| criteria_cmp(a, b))
         .expect("at least one design evaluated")
         .clone()
 }
@@ -157,7 +156,7 @@ where
                 if let Some(d) = visit(&u, &mut evaluated, &mut seen, &mut eval)? {
                     if best_neighbor
                         .as_ref()
-                        .map(|b| criteria_key(&d) < criteria_key(b))
+                        .map(|b| criteria_cmp(&d, b) == Ordering::Less)
                         .unwrap_or(true)
                     {
                         best_neighbor = Some(d);
@@ -166,7 +165,7 @@ where
             }
         }
         match best_neighbor {
-            Some(n) if criteria_key(&n) < criteria_key(&current) => current = n,
+            Some(n) if criteria_cmp(&n, &current) == Ordering::Less => current = n,
             _ => break,
         }
     }

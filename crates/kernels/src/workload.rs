@@ -2,27 +2,49 @@
 //!
 //! The paper's kernels run on multimedia data — signals, images, text.
 //! These generators produce deterministic pseudo-random inputs of the
-//! right value ranges, seeded so every experiment is reproducible.
+//! right value ranges, seeded so every experiment is reproducible. The
+//! generator is a self-contained SplitMix64 so workloads are identical
+//! across platforms and independent of any external RNG crate.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64: tiny, fast, and well-distributed for workload synthesis.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..=hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo + 1) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+}
 
 /// A signed 16-bit-ish signal of `n` samples in `[-1000, 1000]`.
 pub fn signal(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1000..=1000)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.range(-1000, 1000)).collect()
 }
 
 /// An 8-bit grayscale image of `n×n` pixels with smooth gradients plus
 /// noise — flat images make edge detectors trivially zero, so a plain
 /// uniform generator would under-exercise SOBEL.
 pub fn image(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(n * n);
     for i in 0..n {
         for j in 0..n {
             let gradient = (i * 255 / n.max(1) + j * 127 / n.max(1)) as i64;
-            let noise: i64 = rng.gen_range(-20..=20);
+            let noise = rng.range(-20, 20);
             out.push((gradient + noise).clamp(0, 255));
         }
     }
@@ -32,8 +54,8 @@ pub fn image(n: usize, seed: u64) -> Vec<i64> {
 /// Text over a 4-letter alphabet (small alphabets make pattern matches
 /// frequent enough to exercise every counter).
 pub fn text(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(97..=100)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.range(97, 100)).collect()
 }
 
 #[cfg(test)]

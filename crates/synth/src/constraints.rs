@@ -27,6 +27,17 @@ pub struct ResourceConstraints {
     limits: HashMap<HwOp, u32>,
 }
 
+// Hash over sorted entries so logically equal constraint sets hash
+// equally regardless of `HashMap` iteration order (needed by the
+// evaluation engine's memo-cache key).
+impl std::hash::Hash for ResourceConstraints {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut entries: Vec<(HwOp, u32)> = self.iter().collect();
+        entries.sort_unstable();
+        entries.hash(state);
+    }
+}
+
 impl ResourceConstraints {
     /// No limits.
     pub fn new() -> Self {

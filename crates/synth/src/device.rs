@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// A target FPGA device.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FpgaDevice {
     /// Marketing name, for reports.

@@ -133,7 +133,7 @@ pub fn estimate_constrained(
 }
 
 /// Synthesis-side options for [`estimate_opts`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct SynthesisOptions {
     /// Designer operator bounds (paper §2.3).
     pub constraints: ResourceConstraints,

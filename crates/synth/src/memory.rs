@@ -15,7 +15,7 @@
 use std::fmt;
 
 /// Timing and structure of the board's external memories.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryModel {
     /// Number of independent external memories.

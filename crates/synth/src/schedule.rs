@@ -23,7 +23,7 @@ use std::collections::{BinaryHeap, HashMap};
 /// slack-driven policy is the textbook list-scheduling refinement: under
 /// designer operator bounds it starts critical-path operations first,
 /// often shortening the constrained schedule.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum ListPriority {
     /// First-ready-first (ties by reads-before-writes, then node id) —
     /// Monet's documented behaviour.

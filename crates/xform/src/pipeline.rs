@@ -65,7 +65,7 @@ impl fmt::Display for UnrollVector {
 
 /// Options controlling the transformation pipeline; the defaults enable
 /// everything the paper's system applies, targeting 4 external memories.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransformOptions {
     /// Apply scalar replacement (step 3). Disabled for the ablation.
     pub scalar_replacement: bool,

@@ -1,0 +1,427 @@
+//! Offline shim for `proptest`: the subset of the property-testing API
+//! this workspace's test suites use, with deterministic pseudo-random
+//! case generation (the build environment has no registry access, so the
+//! real proptest cannot be fetched).
+//!
+//! Covered surface:
+//! - `proptest! { #![proptest_config(..)] #[test] fn name(a in strat, ..) { .. } }`
+//! - range strategies (`lo..hi`, `lo..=hi`) for the integer and float
+//!   types the tests draw from
+//! - `any::<bool>()`
+//! - `proptest::collection::btree_set(elem, size_range)`
+//! - `&str` regex-lite strategies: `.{lo,hi}` and `[charset]{lo,hi}`
+//! - `prop_assert!` / `prop_assert_eq!`
+//!
+//! Cases are seeded from the test name and case index, so runs are
+//! reproducible across machines and invocations — there is no failure
+//! persistence file because there is no nondeterminism to persist.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-case failure raised by `prop_assert!`-family macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration: how many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case PRNG (SplitMix64 over a seed derived from the
+/// test name and case index).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for case `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1]`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Regex-lite string strategies: `.{lo,hi}` (printable ASCII) and
+/// `[charset]{lo,hi}` with `\`-escapes and `a-z` ranges in the charset.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (charset, rest) = parse_char_class(self);
+        let (lo, hi) = parse_repeat(rest);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| charset[rng.below(charset.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// The leading character class of a regex-lite pattern, and the rest.
+fn parse_char_class(pattern: &str) -> (Vec<char>, &str) {
+    let mut chars = pattern.chars();
+    match chars.next() {
+        Some('.') => ((' '..='~').collect(), chars.as_str()),
+        Some('[') => {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some('\\') => {
+                        let c = chars.next().expect("escape at end of char class");
+                        set.push(c);
+                        prev = Some(c);
+                    }
+                    Some('-') => {
+                        // `a-z` range; a leading/trailing `-` is literal.
+                        let start = prev.take().expect("range without start");
+                        let end = chars.next().expect("range without end");
+                        for c in start..=end {
+                            if c != start {
+                                set.push(c);
+                            }
+                        }
+                    }
+                    Some(c) => {
+                        set.push(c);
+                        prev = Some(c);
+                    }
+                    None => panic!("unterminated char class in pattern"),
+                }
+            }
+            (set, chars.as_str())
+        }
+        _ => panic!("unsupported pattern `{pattern}`: expected `.` or `[...]`"),
+    }
+}
+
+/// A `{lo,hi}` repetition suffix.
+fn parse_repeat(suffix: &str) -> (usize, usize) {
+    let inner = suffix
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition `{suffix}`: expected `{{lo,hi}}`"));
+    let (lo, hi) = inner.split_once(',').expect("`{lo,hi}` repetition");
+    (
+        lo.trim().parse().expect("repetition lower bound"),
+        hi.trim().parse().expect("repetition upper bound"),
+    )
+}
+
+pub mod collection {
+    use super::{BTreeSet, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `BTreeSet`s with sizes drawn from a range.
+    pub struct BTreeSetStrategy<E> {
+        elem: E,
+        sizes: Range<usize>,
+    }
+
+    /// A `BTreeSet` of `elem`-generated values with a size in `sizes`.
+    pub fn btree_set<E>(elem: E, sizes: Range<usize>) -> BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        BTreeSetStrategy { elem, sizes }
+    }
+
+    impl<E> Strategy for BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        type Value = BTreeSet<E::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.sizes.generate(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times,
+            // then accept whatever size was reached (still >= 1 for any
+            // non-empty element domain when the lower bound demands it).
+            for _ in 0..(target.max(1) * 32) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.elem.generate(rng));
+            }
+            while set.len() < self.sizes.start {
+                set.insert(self.elem.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` for each generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let detail = format!("{:?}", ($(&$arg,)*));
+                let outcome: Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\n  inputs ({}): {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e,
+                        stringify!($($arg),*),
+                        detail,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body, reporting the failing
+/// case's inputs instead of a bare panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = (2u32..6).generate(&mut rng);
+            assert!((2..6).contains(&v));
+            let v = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&v));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let draw = || {
+            let mut rng = TestRng::for_case("det", 7);
+            (0..10)
+                .map(|_| (0u64..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn string_patterns_respect_charset_and_length() {
+        let mut rng = TestRng::for_case("strings", 0);
+        for _ in 0..100 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let s = "[a-c\\[\\]. ]{1,10}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 10);
+            assert!(s.chars().all(|c| "abc[]. ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn btree_set_sizes_in_range() {
+        let mut rng = TestRng::for_case("sets", 0);
+        for _ in 0..100 {
+            let s = collection::btree_set(-3i64..=3, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&s.len()));
+            assert!(s.iter().all(|v| (-3..=3).contains(v)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u32..10, b in any::<bool>(), s in ".{0,5}") {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+            prop_assert!(s.len() <= 5, "len {} > 5", s.len());
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline shim for `serde`: a value-based serialization model covering
+//! exactly what this workspace uses. The build environment has no
+//! registry access, so the real serde cannot be fetched; this crate keeps
+//! the `serde::Serialize` / `serde::Deserialize` derive surface compiling
+//! against a simple JSON-like [`Value`] tree.
+//!
+//! Differences from real serde, by design:
+//! - [`Serialize`] produces a [`Value`] directly (no serializer trait).
+//! - [`Deserialize`] consumes a `&Value` (no visitor machinery).
+//! - Only the types the workspace serializes are covered; generic or
+//!   exotic shapes fail to compile rather than misbehave at runtime.
+
+// Let the derive-generated `::serde::...` paths resolve inside this
+// crate's own tests too.
+extern crate self as serde;
+
+// Trait and derive macro share a name, as in real serde (macros live in
+// a separate namespace).
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    /// Deserialization error: a message describing the mismatch.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Build an error from a message.
+        pub fn custom(msg: &str) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use de::Error;
+
+/// A JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value under `key` in an object, or `None`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but an error naming the missing key (used by
+    /// derived `Deserialize` impls).
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error(format!("missing field `{key}`")))
+    }
+
+    /// Element `i` of an array, as an error-carrying lookup.
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| Error(format!("missing tuple element {i}"))),
+            _ => Err(Error("expected array".into())),
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            Value::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Is this `Value::Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Serialize a value into a [`Value`] tree.
+pub trait Serialize {
+    /// The value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                // JSON has one number type: accept ints for float fields,
+                // and null for the non-finite floats encoded as null.
+                if v.is_null() {
+                    return Ok(<$t>::INFINITY);
+                }
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error(format!("expected number, got {v:?}")))
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(v.index($idx)?)?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<i64> = vec![1, 2, 3];
+        assert_eq!(Vec::<i64>::from_value(&v.to_value()).unwrap(), v);
+        let t: (Vec<i64>, f64) = (vec![4, 2], 1.5);
+        assert_eq!(<(Vec<i64>, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn object_indexing() {
+        let v = Value::Object(vec![("k".into(), Value::Str("x".into()))]);
+        assert_eq!(v["k"], "x");
+        assert!(v["missing"].is_null());
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        a: u64,
+        b: Vec<i64>,
+        c: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrap(Vec<i64>);
+
+    #[test]
+    fn derive_round_trips() {
+        let d = Demo {
+            a: 9,
+            b: vec![1, -2],
+            c: "z".into(),
+        };
+        assert_eq!(Demo::from_value(&d.to_value()).unwrap(), d);
+        let w = Wrap(vec![3, 4]);
+        assert_eq!(Wrap::from_value(&w.to_value()).unwrap(), w);
+    }
+}
