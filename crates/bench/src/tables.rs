@@ -6,6 +6,7 @@ use crate::report::{fnum, render_table};
 use defacto::prelude::*;
 use defacto_synth::place_and_route;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// One row of the speedup table.
 #[derive(Debug, Clone, Serialize)]
@@ -117,6 +118,10 @@ pub struct SearchStatsRow {
     pub cache_hits: u64,
     /// `cache_hits / (evaluated + cache_hits)`.
     pub cache_hit_rate: f64,
+    /// Events in the search trace.
+    pub trace_events: usize,
+    /// Invariant violations the auditor found in the trace (expected 0).
+    pub audit_violations: usize,
 }
 
 /// Compute the search statistics across the suite.
@@ -128,9 +133,12 @@ pub fn search_stats() -> Vec<SearchStatsRow> {
     let mut out = Vec::new();
     for bk in crate::kernels() {
         for (label, mem) in crate::memory_models() {
-            let ex = Explorer::new(&bk.kernel).memory(mem);
+            let sink = Arc::new(MemorySink::new());
+            let ex = Explorer::new(&bk.kernel).memory(mem).trace(sink.clone());
             let (sat, space) = ex.analyze().expect("analysis succeeds");
             let r = ex.explore().expect("search succeeds");
+            let events = sink.events();
+            let audit = audit_search_trace(&events, &space, &sat);
             // The paper counts "all possible unroll factors for each
             // loop": the full integer grid over the explored loops.
             let norm = defacto_xform::normalize_loops(&bk.kernel).expect("normalizes");
@@ -151,6 +159,8 @@ pub fn search_stats() -> Vec<SearchStatsRow> {
                 evaluated: r.stats.evaluated,
                 cache_hits: r.stats.cache_hits,
                 cache_hit_rate: r.stats.cache_hit_rate(),
+                trace_events: events.len(),
+                audit_violations: audit.violations.len(),
             });
         }
     }
@@ -172,6 +182,8 @@ pub fn print_search_stats(rows: &[SearchStatsRow]) {
                 r.evaluated.to_string(),
                 r.cache_hits.to_string(),
                 format!("{:.0}%", 100.0 * r.cache_hit_rate),
+                r.trace_events.to_string(),
+                r.audit_violations.to_string(),
             ]
         })
         .collect();
@@ -189,6 +201,8 @@ pub fn print_search_stats(rows: &[SearchStatsRow]) {
                 "evaluated",
                 "cache hits",
                 "hit rate",
+                "events",
+                "audit",
             ],
             &table_rows
         )

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! defacto explore <file> [options]   run the balance-guided search
+//! defacto audit   <file> [options]   trace the search and verify invariants
 //! defacto sweep   <file> [options]   evaluate every design in the space
 //! defacto analyze <file> [options]   saturation & dependence analysis
 //! defacto vhdl    <file> [options]   emit behavioral VHDL
@@ -14,14 +15,17 @@
 //!   --unroll a,b,...                   fixed unroll vector (vhdl; default: explore)
 //!   --threads N                        evaluation worker threads
 //!                                      (default: DEFACTO_THREADS or all cores)
+//!   --trace FILE                       write the search trace as JSONL
 //!   --json                             machine-readable output
 //! ```
 //!
 //! The binary is a thin wrapper over [`run`], which is fully testable.
 
-use defacto::prelude::*;
+use defacto::trace::JsonlSink;
+use defacto::{audit_search_trace, prelude::*, to_jsonl};
 use defacto_synth::{describe_schedule, emit_vhdl, main_body_schedule};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +42,8 @@ pub struct Cli {
     pub unroll: Option<UnrollVector>,
     /// Evaluation worker threads (`None`: `DEFACTO_THREADS` or all cores).
     pub threads: Option<usize>,
+    /// Write the search trace to this JSONL file.
+    pub trace: Option<String>,
     /// Emit JSON instead of tables.
     pub json: bool,
 }
@@ -47,6 +53,9 @@ pub struct Cli {
 pub enum Command {
     /// Balance-guided search.
     Explore,
+    /// Trace the search and replay the trace against the paper's
+    /// invariants.
+    Audit,
     /// Exhaustive sweep.
     Sweep,
     /// Saturation/dependence analysis only.
@@ -70,9 +79,9 @@ impl std::fmt::Display for UsageError {
 impl std::error::Error for UsageError {}
 
 /// The usage string printed on bad invocations.
-pub const USAGE: &str = "usage: defacto <explore|sweep|analyze|vhdl|schedule> <file.kernel> \
+pub const USAGE: &str = "usage: defacto <explore|audit|sweep|analyze|vhdl|schedule> <file.kernel> \
 [--memory pipelined|non-pipelined] [--memories N] \
-[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--json]";
+[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] [--json]";
 
 /// Parse command-line arguments (without the program name).
 ///
@@ -84,6 +93,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut it = args.iter();
     let command = match it.next().map(String::as_str) {
         Some("explore") => Command::Explore,
+        Some("audit") => Command::Audit,
         Some("sweep") => Command::Sweep,
         Some("analyze") => Command::Analyze,
         Some("vhdl") => Command::Vhdl,
@@ -101,6 +111,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut device = FpgaDevice::virtex1000();
     let mut unroll = None;
     let mut threads = None;
+    let mut trace = None;
     let mut json = false;
 
     while let Some(flag) = it.next() {
@@ -155,6 +166,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     .ok_or_else(|| UsageError("--threads expects a positive integer".into()))?;
                 threads = Some(v);
             }
+            "--trace" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| UsageError("--trace expects a file path".into()))?;
+                trace = Some(path.clone());
+            }
             "--json" => json = true,
             other => return Err(UsageError(format!("unknown flag `{other}`\n{USAGE}"))),
         }
@@ -172,6 +189,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         device,
         unroll,
         threads,
+        trace,
         json,
     })
 }
@@ -194,7 +212,18 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
 
     match cli.command {
         Command::Explore => {
+            let jsonl = match &cli.trace {
+                Some(path) => {
+                    let sink = Arc::new(JsonlSink::create(path)?);
+                    explorer = explorer.trace(sink.clone());
+                    Some(sink)
+                }
+                None => None,
+            };
             let r = explorer.explore()?;
+            if let Some(sink) = jsonl {
+                sink.flush()?;
+            }
             if cli.json {
                 out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
                     "kernel": kernel.name(),
@@ -236,6 +265,52 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     if r.stats.workers == 1 { "" } else { "s" },
                     r.stats.wall.as_secs_f64() * 1e3
                 )?;
+            }
+        }
+        Command::Audit => {
+            let sink = Arc::new(MemorySink::new());
+            explorer = explorer.trace(sink.clone());
+            let r = explorer.explore()?;
+            let (sat, space) = explorer.analyze()?;
+            let events = sink.events();
+            let report = audit_search_trace(&events, &space, &sat);
+            if let Some(path) = &cli.trace {
+                std::fs::write(path, to_jsonl(&events))?;
+            }
+            if cli.json {
+                out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
+                    "kernel": kernel.name(),
+                    "events": report.events,
+                    "checks": report.checks,
+                    "violations": report
+                        .violations
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>(),
+                    "termination": format!("{:?}", r.termination),
+                    "selected": r.selected.unroll,
+                }))?);
+            } else {
+                writeln!(
+                    out,
+                    "kernel `{}`: {} trace events, {} checks, {} invariant violations \
+                     (terminated {:?}, selected {})",
+                    kernel.name(),
+                    report.events,
+                    report.checks,
+                    report.violations.len(),
+                    r.termination,
+                    r.selected.unroll
+                )?;
+                for v in &report.violations {
+                    writeln!(out, "  {v}")?;
+                }
+            }
+            if !report.is_clean() {
+                return Err(Box::new(UsageError(format!(
+                    "audit found {} invariant violation(s):\n{out}",
+                    report.violations.len()
+                ))));
             }
         }
         Command::Sweep => {
@@ -351,7 +426,44 @@ mod tests {
         assert!(parse_args(&argv("explore f --unroll 0,1")).is_err());
         assert!(parse_args(&argv("explore f --threads 0")).is_err());
         assert!(parse_args(&argv("explore f --threads two")).is_err());
+        assert!(parse_args(&argv("explore f --trace")).is_err());
         assert!(parse_args(&argv("explore f --what")).is_err());
+    }
+
+    #[test]
+    fn parses_audit_and_trace() {
+        let cli = parse_args(&argv("audit fir.kernel --trace /tmp/t.jsonl")).unwrap();
+        assert_eq!(cli.command, Command::Audit);
+        assert_eq!(cli.trace.as_deref(), Some("/tmp/t.jsonl"));
+    }
+
+    #[test]
+    fn audit_runs_clean_on_fir() {
+        let cli = parse_args(&argv("audit fir.kernel")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("0 invariant violations"), "{out}");
+        assert!(out.contains("trace events"), "{out}");
+    }
+
+    #[test]
+    fn explore_trace_writes_jsonl() {
+        let dir = std::env::temp_dir().join("defacto-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fir.jsonl");
+        let cli = parse_args(&argv(&format!(
+            "explore fir.kernel --trace {}",
+            path.display()
+        )))
+        .unwrap();
+        run(&cli, FIR).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 2, "{text}");
+        assert!(text.lines().all(|l| {
+            let v: serde_json::Value = serde_json::from_str(l).unwrap();
+            v["event"].as_str().is_some()
+        }));
+        assert!(text.contains("\"terminate\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,620 @@
+//! The invariant auditor: replay a search trace against the paper's
+//! Observations 1–3.
+//!
+//! A [trace](crate::trace) is only useful if something checks it. The
+//! auditor replays the event stream of one search against the structural
+//! invariants the paper's argument rests on, and reports each violation
+//! with the offending event:
+//!
+//! - **visit-unique** — the visited list is duplicate-free: no design
+//!   point is first-visited twice, and every revisit refers to an
+//!   earlier first visit;
+//! - **member-of-space** — every visited point (and every frontier and
+//!   `SelectBetween` pick) is a member of the design space;
+//! - **increase-doubles** — each `Increase` step exactly doubles the
+//!   unroll product;
+//! - **balance-monotone** — Observation 3: along the doubling chain at
+//!   or past the saturation product `Psat`, the compute-bound →
+//!   memory-bound crossover is one-way — a doubling step never leads
+//!   from a memory-bound design (`B < 1`) back to a compute-bound one
+//!   (`B > 1`). Raw balance values are *not* required to be
+//!   non-increasing: integer cycle counts and shape-dependent
+//!   scheduling make them wobble within the compute-bound region, and
+//!   the Figure-2 search's soundness only needs the crossover itself to
+//!   be monotone;
+//! - **select-between-bounds** — a `SelectBetween` pick's product lies
+//!   strictly between its bracket's products and is a multiple of
+//!   `P(U_init)`;
+//! - **frontier-chain** — the prefetch frontier starts at `U_init` and
+//!   doubles its product at every step;
+//! - **terminate-final** — exactly one `Terminate` event, last in the
+//!   stream;
+//! - **selected-valid** — the selected design was visited, fits the
+//!   device, and is a member of the space.
+
+use crate::saturation::SaturationInfo;
+use crate::space::DesignSpace;
+use crate::trace::TraceEvent;
+use defacto_xform::UnrollVector;
+use std::collections::HashMap;
+
+/// Slack around the `B = 1` crossover: estimates are exact rational
+/// arithmetic rendered into f64, so only representation noise is
+/// tolerated — a design within `BALANCE_EPS` of 1 counts as neither
+/// strictly memory- nor strictly compute-bound.
+const BALANCE_EPS: f64 = 1e-9;
+
+/// The invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// A design point was first-visited more than once, or a revisit
+    /// refers to a point never visited.
+    VisitUnique,
+    /// A traced point is not a member of the design space.
+    MemberOfSpace,
+    /// An `Increase` step did not double the unroll product.
+    IncreaseDoubles,
+    /// A doubling step past `Psat` crossed back from memory-bound to
+    /// compute-bound.
+    BalanceMonotone,
+    /// A `SelectBetween` pick violates its bracket or the `P(U_init)`
+    /// multiplicity requirement.
+    SelectBetweenBounds,
+    /// The frontier is not a doubling chain from `U_init`.
+    FrontierChain,
+    /// `Terminate` is missing, duplicated, or not the final event.
+    TerminateFinal,
+    /// The selected design is unvisited, does not fit, or is outside the
+    /// space.
+    SelectedValid,
+}
+
+impl Invariant {
+    /// Stable kebab-case name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::VisitUnique => "visit-unique",
+            Invariant::MemberOfSpace => "member-of-space",
+            Invariant::IncreaseDoubles => "increase-doubles",
+            Invariant::BalanceMonotone => "balance-monotone",
+            Invariant::SelectBetweenBounds => "select-between-bounds",
+            Invariant::FrontierChain => "frontier-chain",
+            Invariant::TerminateFinal => "terminate-final",
+            Invariant::SelectedValid => "selected-valid",
+        }
+    }
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken invariant, pinned to the offending event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Index of the offending event in the trace (`None` when the trace
+    /// as a whole is malformed, e.g. a missing `Terminate`).
+    pub event_index: Option<usize>,
+    /// The offending event, cloned for standalone reporting.
+    pub event: Option<TraceEvent>,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.event_index {
+            Some(i) => write!(f, "[{}] at event {}: {}", self.invariant, i, self.detail),
+            None => write!(f, "[{}]: {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// The auditor's verdict over one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Number of events replayed.
+    pub events: usize,
+    /// Number of individual invariant checks performed.
+    pub checks: usize,
+    /// Every violation found, in trace order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// True when every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "audit: {} events, {} checks, {} violation{}",
+            self.events,
+            self.checks,
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" },
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replay `events` (one search's trace) against the invariants above.
+/// Pipeline-mapping events (`StagePlaced`/`StageRebalanced`) are ignored;
+/// they describe a different artifact.
+pub fn audit_search_trace(
+    events: &[TraceEvent],
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+) -> AuditReport {
+    let mut report = AuditReport {
+        events: events.len(),
+        ..AuditReport::default()
+    };
+    // First-visit index per point, with the estimate facts the checks
+    // need (balance, fits).
+    let mut first_visit: HashMap<UnrollVector, (usize, f64, bool)> = HashMap::new();
+    let mut increases: Vec<(usize, UnrollVector, UnrollVector)> = Vec::new();
+    let mut terminate_at: Option<usize> = None;
+    let u_init_product = sat.u_init.product().max(1);
+
+    let fail = |report: &mut AuditReport,
+                invariant: Invariant,
+                index: usize,
+                event: &TraceEvent,
+                detail: String| {
+        report.violations.push(AuditViolation {
+            invariant,
+            event_index: Some(index),
+            event: Some(event.clone()),
+            detail,
+        });
+    };
+
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            TraceEvent::Visit {
+                unroll,
+                balance,
+                fits,
+                cache_hit,
+                ..
+            } => {
+                report.checks += 2;
+                if *cache_hit {
+                    if !first_visit.contains_key(unroll) {
+                        fail(
+                            &mut report,
+                            Invariant::VisitUnique,
+                            i,
+                            e,
+                            format!("revisit of {unroll} which was never first-visited"),
+                        );
+                    }
+                } else if first_visit.contains_key(unroll) {
+                    fail(
+                        &mut report,
+                        Invariant::VisitUnique,
+                        i,
+                        e,
+                        format!("{unroll} first-visited twice"),
+                    );
+                } else {
+                    first_visit.insert(unroll.clone(), (i, *balance, *fits));
+                }
+                if !space.contains(unroll) {
+                    fail(
+                        &mut report,
+                        Invariant::MemberOfSpace,
+                        i,
+                        e,
+                        format!("visited {unroll} is not in the design space"),
+                    );
+                }
+            }
+            TraceEvent::Increase { from, to } => {
+                report.checks += 1;
+                let (pf, pt) = (from.product(), to.product());
+                if pt != 2 * pf {
+                    fail(
+                        &mut report,
+                        Invariant::IncreaseDoubles,
+                        i,
+                        e,
+                        format!("P({to}) = {pt} is not 2·P({from}) = {}", 2 * pf),
+                    );
+                }
+                // Balance is checked after the pass: the search emits
+                // Increase before visiting `to`.
+                increases.push((i, from.clone(), to.clone()));
+            }
+            TraceEvent::SelectBetween { lo, hi, chosen } => {
+                report.checks += 1;
+                if let Some(c) = chosen {
+                    let (ps, pl, pc) = (lo.product(), hi.product(), c.product());
+                    if !(ps < pc && pc < pl) {
+                        fail(
+                            &mut report,
+                            Invariant::SelectBetweenBounds,
+                            i,
+                            e,
+                            format!("P({c}) = {pc} is not strictly between {ps} and {pl}"),
+                        );
+                    }
+                    if pc % u_init_product != 0 {
+                        fail(
+                            &mut report,
+                            Invariant::SelectBetweenBounds,
+                            i,
+                            e,
+                            format!(
+                                "P({c}) = {pc} is not a multiple of P(U_init) = {u_init_product}"
+                            ),
+                        );
+                    }
+                    if !space.contains(c) {
+                        fail(
+                            &mut report,
+                            Invariant::MemberOfSpace,
+                            i,
+                            e,
+                            format!("pick {c} is not in the design space"),
+                        );
+                    }
+                }
+            }
+            TraceEvent::FindLargestFit { base, init, chosen } => {
+                report.checks += 1;
+                if chosen.product() > init.product() || chosen.product() < base.product() {
+                    fail(
+                        &mut report,
+                        Invariant::SelectBetweenBounds,
+                        i,
+                        e,
+                        format!(
+                            "largest-fit pick {chosen} is outside [{}, {}]",
+                            base.product(),
+                            init.product()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Frontier { points } => {
+                report.checks += 1;
+                if points.first() != Some(&sat.u_init) {
+                    fail(
+                        &mut report,
+                        Invariant::FrontierChain,
+                        i,
+                        e,
+                        format!("frontier does not start at U_init = {}", sat.u_init),
+                    );
+                }
+                for w in points.windows(2) {
+                    if w[1].product() != 2 * w[0].product() {
+                        fail(
+                            &mut report,
+                            Invariant::FrontierChain,
+                            i,
+                            e,
+                            format!("frontier step {} -> {} does not double", w[0], w[1]),
+                        );
+                    }
+                }
+                for p in points {
+                    if !space.contains(p) {
+                        fail(
+                            &mut report,
+                            Invariant::MemberOfSpace,
+                            i,
+                            e,
+                            format!("frontier point {p} is not in the design space"),
+                        );
+                    }
+                }
+            }
+            TraceEvent::Terminate { selected, .. } => {
+                report.checks += 3;
+                if terminate_at.is_some() {
+                    fail(
+                        &mut report,
+                        Invariant::TerminateFinal,
+                        i,
+                        e,
+                        "second Terminate event".into(),
+                    );
+                }
+                terminate_at = Some(i);
+                match first_visit.get(selected) {
+                    Some(&(_, _, fits)) if fits => {}
+                    Some(_) => fail(
+                        &mut report,
+                        Invariant::SelectedValid,
+                        i,
+                        e,
+                        format!("selected {selected} does not fit the device"),
+                    ),
+                    None => fail(
+                        &mut report,
+                        Invariant::SelectedValid,
+                        i,
+                        e,
+                        format!("selected {selected} was never visited"),
+                    ),
+                }
+                if !space.contains(selected) {
+                    fail(
+                        &mut report,
+                        Invariant::SelectedValid,
+                        i,
+                        e,
+                        format!("selected {selected} is not in the design space"),
+                    );
+                }
+            }
+            TraceEvent::StagePlaced { .. } | TraceEvent::StageRebalanced { .. } => {}
+        }
+    }
+
+    // Observation 3: past Psat the compute-bound → memory-bound
+    // crossover is one-way, so no doubling step from a point at or past
+    // Psat may lead from `B < 1` back to `B > 1`. (Raw balance is NOT
+    // required to fall at every step — integer cycle counts and
+    // shape-dependent scheduling make it wobble within the
+    // compute-bound region.) Checked after the pass because Increase
+    // precedes the visit of its endpoint in a trace.
+    for (i, from, to) in &increases {
+        report.checks += 1;
+        if from.product() < sat.psat {
+            continue;
+        }
+        match (first_visit.get(from), first_visit.get(to)) {
+            (Some(&(_, bf, _)), Some(&(_, bt, _))) => {
+                if bf < 1.0 - BALANCE_EPS && bt > 1.0 + BALANCE_EPS {
+                    fail(
+                        &mut report,
+                        Invariant::BalanceMonotone,
+                        *i,
+                        &events[*i],
+                        format!(
+                            "doubling from memory-bound {from} (B = {bf}) reached \
+                             compute-bound {to} (B = {bt}) past Psat = {}",
+                            sat.psat
+                        ),
+                    );
+                }
+            }
+            _ => fail(
+                &mut report,
+                Invariant::BalanceMonotone,
+                *i,
+                &events[*i],
+                format!("increase endpoints {from} -> {to} not both visited"),
+            ),
+        }
+    }
+
+    report.checks += 1;
+    match terminate_at {
+        None => report.violations.push(AuditViolation {
+            invariant: Invariant::TerminateFinal,
+            event_index: None,
+            event: None,
+            detail: "trace has no Terminate event".into(),
+        }),
+        Some(i) if i + 1 != events.len() => report.violations.push(AuditViolation {
+            invariant: Invariant::TerminateFinal,
+            event_index: Some(i),
+            event: Some(events[i].clone()),
+            detail: format!("Terminate at event {i} is not the final event"),
+        }),
+        Some(_) => {}
+    }
+
+    // Deferred checks report out of order; restore trace order.
+    report
+        .violations
+        .sort_by_key(|v| v.event_index.unwrap_or(usize::MAX));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Termination;
+
+    fn synthetic() -> (DesignSpace, SaturationInfo) {
+        let space = DesignSpace::new(&[64, 32], &[true, true]);
+        let base = space.base_vector();
+        let sat_set = space.members_with_product(4, &base, &space.max_vector());
+        let info = SaturationInfo {
+            read_sets: 2,
+            write_sets: 1,
+            psat: 4,
+            unrollable: vec![true, true],
+            sat_set,
+            u_init: UnrollVector(vec![4, 1]),
+            preference: vec![0, 1],
+        };
+        (space, info)
+    }
+
+    fn visit(factors: &[i64], balance: f64, fits: bool) -> TraceEvent {
+        TraceEvent::Visit {
+            unroll: UnrollVector(factors.to_vec()),
+            balance,
+            cycles: 100,
+            slices: 10,
+            fits,
+            cache_hit: false,
+        }
+    }
+
+    fn terminate(factors: &[i64]) -> TraceEvent {
+        TraceEvent::Terminate {
+            reason: Termination::Balanced,
+            selected: UnrollVector(factors.to_vec()),
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            visit(&[4, 1], 2.0, true),
+            TraceEvent::Increase {
+                from: UnrollVector(vec![4, 1]),
+                to: UnrollVector(vec![4, 2]),
+            },
+            visit(&[4, 2], 1.0, true),
+            terminate(&[4, 2]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.events, 4);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn duplicate_first_visit_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            visit(&[4, 1], 2.0, true),
+            visit(&[4, 1], 2.0, true),
+            terminate(&[4, 1]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::VisitUnique);
+        assert_eq!(report.violations[0].event_index, Some(1));
+    }
+
+    #[test]
+    fn crossover_reversal_past_psat_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            visit(&[4, 1], 0.5, true),
+            visit(&[4, 2], 1.5, true),
+            TraceEvent::Increase {
+                from: UnrollVector(vec![4, 1]),
+                to: UnrollVector(vec![4, 2]),
+            },
+            terminate(&[4, 2]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::BalanceMonotone));
+    }
+
+    #[test]
+    fn balance_wobble_within_compute_bound_region_is_allowed() {
+        // Raw balance rises 1.88 -> 2.59 but both ends stay compute
+        // bound: real estimates do this (integer cycles, shape effects)
+        // and the search's soundness does not depend on it.
+        let (space, sat) = synthetic();
+        let events = vec![
+            visit(&[4, 1], 1.88, true),
+            visit(&[4, 2], 2.59, true),
+            TraceEvent::Increase {
+                from: UnrollVector(vec![4, 1]),
+                to: UnrollVector(vec![4, 2]),
+            },
+            terminate(&[4, 2]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn select_between_outside_bracket_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            visit(&[4, 1], 2.0, true),
+            TraceEvent::SelectBetween {
+                lo: UnrollVector(vec![4, 1]),
+                hi: UnrollVector(vec![8, 2]),
+                chosen: Some(UnrollVector(vec![16, 2])),
+            },
+            terminate(&[4, 1]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::SelectBetweenBounds));
+    }
+
+    #[test]
+    fn select_between_non_multiple_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            visit(&[4, 1], 2.0, true),
+            TraceEvent::SelectBetween {
+                lo: UnrollVector(vec![1, 1]),
+                hi: UnrollVector(vec![8, 2]),
+                // Product 2: inside the bracket but not a multiple of 4.
+                chosen: Some(UnrollVector(vec![2, 1])),
+            },
+            terminate(&[4, 1]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::SelectBetweenBounds));
+    }
+
+    #[test]
+    fn unfit_selection_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![visit(&[4, 1], 2.0, false), terminate(&[4, 1])];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::SelectedValid));
+    }
+
+    #[test]
+    fn missing_terminate_is_flagged() {
+        let (space, sat) = synthetic();
+        let report = audit_search_trace(&[visit(&[4, 1], 2.0, true)], &space, &sat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::TerminateFinal && v.event_index.is_none()));
+    }
+
+    #[test]
+    fn non_member_visit_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![visit(&[5, 1], 2.0, true), terminate(&[5, 1])];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::MemberOfSpace));
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let (space, sat) = synthetic();
+        let events = vec![visit(&[5, 1], 2.0, true)];
+        let report = audit_search_trace(&events, &space, &sat);
+        let text = report.to_string();
+        assert!(text.contains("member-of-space"), "{text}");
+        assert!(text.contains("terminate-final"), "{text}");
+    }
+}

@@ -18,6 +18,14 @@
 //! Worker count resolution: explicit request (`--threads` flag or
 //! [`EvalEngine::new`]) > the `DEFACTO_THREADS` environment variable >
 //! [`std::thread::available_parallelism`].
+//!
+//! Observability: each cache shard keeps its own hit/miss counters
+//! ([`EvalEngine::shard_stats`]), and the engine accumulates the wall
+//! time spent inside evaluators ([`CounterSnapshot::eval_nanos`], summed
+//! across workers, so it can exceed the run's wall clock). These feed
+//! [`EvalStats`] and the bench tables; they are deliberately *not* part
+//! of the search trace, which must stay deterministic across worker
+//! counts.
 
 use crate::error::Result;
 use defacto_synth::Estimate;
@@ -26,7 +34,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of cache shards. A small power of two keeps the modulo cheap
 /// while making same-shard contention unlikely at realistic worker
@@ -53,46 +61,81 @@ impl CacheKey {
     }
 }
 
+/// One cache shard: its map plus local hit/miss counters, padded into a
+/// single struct so a lookup touches one allocation.
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<CacheKey, Estimate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Per-shard observability snapshot ([`EvalEngine::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheShardStats {
+    /// Entries currently memoized in this shard.
+    pub entries: usize,
+    /// Lookups answered by this shard.
+    pub hits: u64,
+    /// Lookups that missed this shard.
+    pub misses: u64,
+}
+
 /// A sharded concurrent memo cache of design-point estimates. Each shard
 /// is an independent `Mutex<HashMap>`, so concurrent workers rarely
 /// contend on the same lock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EstimateCache {
-    shards: Vec<Mutex<HashMap<CacheKey, Estimate>>>,
+    shards: Vec<Shard>,
+}
+
+// The derived Default would build an *empty* shard vector — a cache that
+// silently never caches (every get misses, every insert is a no-op).
+// Default must mean "an empty cache", not "a broken one".
+impl Default for EstimateCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EstimateCache {
     /// An empty cache.
     pub fn new() -> Self {
         EstimateCache {
-            shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Estimate>> {
-        &self.shards[key.shard() % self.shards.len().max(1)]
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        &self.shards[key.shard()]
     }
 
-    /// The cached estimate for `key`, if present.
+    /// The cached estimate for `key`, if present. Counts a hit or miss
+    /// on the owning shard.
     pub fn get(&self, key: &CacheKey) -> Option<Estimate> {
-        if self.shards.is_empty() {
-            return None;
-        }
-        self.shard(key)
+        let shard = self.shard(key);
+        let found = shard
+            .map
             .lock()
             .expect("cache shard lock")
             .get(key)
-            .cloned()
+            .cloned();
+        match found {
+            Some(e) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Memoize `estimate` under `key`.
     pub fn insert(&self, key: CacheKey, estimate: Estimate) {
-        if self.shards.is_empty() {
-            return;
-        }
         self.shard(&key)
+            .map
             .lock()
             .expect("cache shard lock")
             .insert(key, estimate);
@@ -102,13 +145,25 @@ impl EstimateCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock").len())
+            .map(|s| s.map.lock().expect("cache shard lock").len())
             .sum()
     }
 
     /// True when nothing is memoized.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-shard entry counts and hit/miss counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .map(|s| CacheShardStats {
+                entries: s.map.lock().expect("cache shard lock").len(),
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -122,6 +177,9 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Wall-clock time of the run.
     pub wall: Duration,
+    /// Time spent inside evaluators, summed across workers (can exceed
+    /// `wall` on parallel runs).
+    pub eval_wall: Duration,
     /// Worker threads the engine was configured with.
     pub workers: usize,
 }
@@ -136,16 +194,37 @@ impl EvalStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Mean evaluator time per actually-evaluated point.
+    pub fn mean_eval_time(&self) -> Duration {
+        if self.evaluated == 0 {
+            Duration::ZERO
+        } else {
+            self.eval_wall / self.evaluated.min(u32::MAX as u64) as u32
+        }
+    }
 }
 
-// Wall time is nondeterministic; two runs of the same search are "equal"
-// when they did the same work with the same configuration.
+// Wall times are nondeterministic; two runs of the same search are
+// "equal" when they did the same work with the same configuration.
 impl PartialEq for EvalStats {
     fn eq(&self, other: &Self) -> bool {
         self.evaluated == other.evaluated
             && self.cache_hits == other.cache_hits
             && self.workers == other.workers
     }
+}
+
+/// Snapshot of the engine's cumulative counters, for delta-based
+/// [`EvalEngine::stats_since`] accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Design points evaluated since engine creation.
+    pub evaluated: u64,
+    /// Cache hits since engine creation.
+    pub cache_hits: u64,
+    /// Nanoseconds spent inside evaluators since engine creation.
+    pub eval_nanos: u64,
 }
 
 /// The evaluation engine: worker-count policy, memo cache, and counters.
@@ -158,6 +237,7 @@ pub struct EvalEngine {
     cache: EstimateCache,
     evaluated: AtomicU64,
     cache_hits: AtomicU64,
+    eval_nanos: AtomicU64,
 }
 
 impl Default for EvalEngine {
@@ -174,6 +254,7 @@ impl EvalEngine {
             cache: EstimateCache::new(),
             evaluated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            eval_nanos: AtomicU64::new(0),
         }
     }
 
@@ -211,22 +292,29 @@ impl EvalEngine {
         &self.cache
     }
 
-    /// Snapshot of the cumulative `(evaluated, cache_hits)` counters.
-    pub fn counters(&self) -> (u64, u64) {
-        (
-            self.evaluated.load(Ordering::Relaxed),
-            self.cache_hits.load(Ordering::Relaxed),
-        )
+    /// Per-shard cache observability (entries, hits, misses).
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Stats for a run that started at counter snapshot `before` and took
     /// `wall` time.
-    pub fn stats_since(&self, before: (u64, u64), wall: Duration) -> EvalStats {
-        let (evaluated, cache_hits) = self.counters();
+    pub fn stats_since(&self, before: CounterSnapshot, wall: Duration) -> EvalStats {
+        let now = self.counters();
         EvalStats {
-            evaluated: evaluated - before.0,
-            cache_hits: cache_hits - before.1,
+            evaluated: now.evaluated - before.evaluated,
+            cache_hits: now.cache_hits - before.cache_hits,
             wall,
+            eval_wall: Duration::from_nanos(now.eval_nanos - before.eval_nanos),
             workers: self.threads,
         }
     }
@@ -242,14 +330,31 @@ impl EvalEngine {
     where
         F: FnOnce() -> Result<Estimate>,
     {
+        self.evaluate_cached_flagged(key, eval).map(|(e, _)| e)
+    }
+
+    /// Like [`Self::evaluate_cached`], also reporting whether the lookup
+    /// hit the cache. The evaluator's wall time is accumulated into the
+    /// engine's `eval_nanos` counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eval` failures.
+    pub fn evaluate_cached_flagged<F>(&self, key: &CacheKey, eval: F) -> Result<(Estimate, bool)>
+    where
+        F: FnOnce() -> Result<Estimate>,
+    {
         if let Some(e) = self.cache.get(key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(e);
+            return Ok((e, true));
         }
+        let started = Instant::now();
         let e = eval()?;
+        self.eval_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.evaluated.fetch_add(1, Ordering::Relaxed);
         self.cache.insert(key.clone(), e.clone());
-        Ok(e)
+        Ok((e, false))
     }
 
     /// Apply `f` to every item, in parallel, returning results in input
@@ -312,6 +417,7 @@ mod tests {
             balance: 1.0,
             clock_ns: 40,
             fits: true,
+            provenance: Default::default(),
         }
     }
 
@@ -335,17 +441,51 @@ mod tests {
     }
 
     #[test]
+    fn default_cache_actually_caches() {
+        // Regression: the derived Default built zero shards, so a
+        // default cache never stored anything.
+        let cache = EstimateCache::default();
+        cache.insert(key(&[2], 1), estimate(9));
+        assert_eq!(
+            cache.get(&key(&[2], 1)).map(|e| e.cycles),
+            Some(9),
+            "default() must behave like new()"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_stats_attribute_hits_and_misses() {
+        let cache = EstimateCache::new();
+        let k = key(&[4, 2], 3);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), estimate(7));
+        assert!(cache.get(&k).is_some());
+        let stats = cache.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), 1);
+        // The hit and the miss landed on the same shard (same key).
+        assert!(stats.iter().any(|s| s.hits == 1 && s.misses == 1));
+    }
+
+    #[test]
     fn evaluate_cached_hits_after_miss() {
         let engine = EvalEngine::new(2);
         let k = key(&[4, 1], 1);
-        let e = engine.evaluate_cached(&k, || Ok(estimate(5))).unwrap();
-        assert_eq!(e.cycles, 5);
-        // Second lookup must not re-run the evaluator.
-        let e = engine
-            .evaluate_cached(&k, || panic!("must be served from cache"))
+        let (e, hit) = engine
+            .evaluate_cached_flagged(&k, || Ok(estimate(5)))
             .unwrap();
         assert_eq!(e.cycles, 5);
-        assert_eq!(engine.counters(), (1, 1));
+        assert!(!hit);
+        // Second lookup must not re-run the evaluator.
+        let (e, hit) = engine
+            .evaluate_cached_flagged(&k, || panic!("must be served from cache"))
+            .unwrap();
+        assert_eq!(e.cycles, 5);
+        assert!(hit);
+        let counters = engine.counters();
+        assert_eq!((counters.evaluated, counters.cache_hits), (1, 1));
     }
 
     #[test]
@@ -355,7 +495,24 @@ mod tests {
         let err = engine.evaluate_cached(&k, || Err(DseError::NoLoops));
         assert!(err.is_err());
         assert!(engine.cache().is_empty());
-        assert_eq!(engine.counters(), (0, 0));
+        let counters = engine.counters();
+        assert_eq!((counters.evaluated, counters.cache_hits), (0, 0));
+    }
+
+    #[test]
+    fn stats_since_reports_eval_wall() {
+        let engine = EvalEngine::new(1);
+        let before = engine.counters();
+        engine
+            .evaluate_cached(&key(&[2], 0), || {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(estimate(1))
+            })
+            .unwrap();
+        let stats = engine.stats_since(before, Duration::from_millis(3));
+        assert_eq!(stats.evaluated, 1);
+        assert!(stats.eval_wall >= Duration::from_millis(2));
+        assert!(stats.mean_eval_time() >= Duration::from_millis(2));
     }
 
     #[test]
@@ -398,6 +555,7 @@ mod tests {
             evaluated: 3,
             cache_hits: 1,
             wall: Duration::from_millis(1),
+            eval_wall: Duration::from_millis(1),
             workers: 2,
         };
         assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);

@@ -72,10 +72,15 @@ pub fn best_performance(sweep: &[EvaluatedDesign]) -> Option<&EvaluatedDesign> {
 /// count — the paper's criterion 3 applied to ground truth.
 pub fn smallest_comparable(sweep: &[EvaluatedDesign], tolerance: f64) -> Option<&EvaluatedDesign> {
     let best = best_performance(sweep)?;
-    let limit = (best.estimate.cycles as f64 * (1.0 + tolerance)) as u64;
+    // Compare in f64 — the former `as u64` truncation silently shrank
+    // the band (e.g. 10 cycles at tolerance 0.7 rounds 16.999… down to
+    // 16, excluding a design at exactly 17). The tiny relative epsilon
+    // keeps designs sitting exactly at the tolerance boundary inside it
+    // despite f64 rounding of the product.
+    let limit = best.estimate.cycles as f64 * (1.0 + tolerance) * (1.0 + 4.0 * f64::EPSILON);
     sweep
         .iter()
-        .filter(|d| d.estimate.fits && d.estimate.cycles <= limit)
+        .filter(|d| d.estimate.fits && d.estimate.cycles as f64 <= limit)
         .min_by(|a, b| {
             (a.estimate.slices, a.estimate.cycles)
                 .cmp(&(b.estimate.slices, b.estimate.cycles))
@@ -114,6 +119,35 @@ mod tests {
         let best = best_performance(&sweep).unwrap();
         let small = smallest_comparable(&sweep, 0.05).unwrap();
         assert!(small.estimate.slices <= best.estimate.slices);
-        assert!(small.estimate.cycles as f64 <= best.estimate.cycles as f64 * 1.05);
+        assert!(small.estimate.cycles as f64 <= best.estimate.cycles as f64 * 1.051);
+    }
+
+    #[test]
+    fn tolerance_band_includes_designs_exactly_at_tolerance() {
+        // Regression: 10 · (1 + 0.7) = 16.999999999999996 in f64; the
+        // old `as u64` truncation made the limit 16, excluding a design
+        // at exactly 17 cycles (= 10 · 1.7) that is much smaller.
+        let design = |factors: &[i64], cycles: u64, slices: u32| EvaluatedDesign {
+            unroll: UnrollVector(factors.to_vec()),
+            estimate: defacto_synth::Estimate {
+                cycles,
+                slices,
+                memory_busy_cycles: 0,
+                compute_busy_cycles: 0,
+                bits_from_memory: 0,
+                registers: 0,
+                balance: 1.0,
+                clock_ns: 40,
+                fits: true,
+                provenance: Default::default(),
+            },
+        };
+        let sweep = vec![design(&[4], 10, 100), design(&[2], 17, 10)];
+        let small = smallest_comparable(&sweep, 0.7).unwrap();
+        assert_eq!(small.unroll, UnrollVector(vec![2]));
+        assert_eq!(small.estimate.cycles, 17);
+        // Below the band, the fast design still wins.
+        let tight = smallest_comparable(&sweep, 0.5).unwrap();
+        assert_eq!(tight.unroll, UnrollVector(vec![4]));
     }
 }

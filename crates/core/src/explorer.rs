@@ -4,8 +4,11 @@
 use crate::engine::{CacheKey, EvalEngine, EvalStats};
 use crate::error::Result;
 use crate::saturation::{saturation_analysis, SaturationInfo};
-use crate::search::{doubling_frontier, run_search, SearchConfig, SearchResult};
+use crate::search::{
+    doubling_frontier, run_search_instrumented, SearchConfig, SearchResult, VisitOutcome,
+};
 use crate::space::DesignSpace;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use defacto_ir::Kernel;
 use defacto_synth::{estimate_opts, Estimate, FpgaDevice, MemoryModel, SynthesisOptions};
 use defacto_xform::{transform, TransformOptions, TransformedDesign, UnrollVector};
@@ -38,6 +41,7 @@ pub struct Explorer<'k> {
     config: SearchConfig,
     explore_override: Option<Vec<bool>>,
     engine: Arc<EvalEngine>,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl<'k> Explorer<'k> {
@@ -57,7 +61,16 @@ impl<'k> Explorer<'k> {
             config: SearchConfig::default(),
             explore_override: None,
             engine: Arc::new(EvalEngine::default()),
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Record every search decision into `sink` (see [`crate::trace`]).
+    /// Traces are deterministic: the same exploration produces the same
+    /// events at any worker count.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Use exactly `n` evaluation worker threads (a fresh engine; the
@@ -189,6 +202,27 @@ impl<'k> Explorer<'k> {
         })
     }
 
+    /// [`Explorer::evaluate`], also reporting whether the engine's memo
+    /// cache answered. This is the search's single cache layer and
+    /// hit/miss source of truth.
+    fn evaluate_flagged(&self, unroll: &UnrollVector) -> Result<VisitOutcome> {
+        let (estimate, cache_hit) =
+            self.engine
+                .evaluate_cached_flagged(&self.cache_key(unroll), || {
+                    let design = self.design(unroll)?;
+                    Ok(estimate_opts(
+                        &design,
+                        &self.mem,
+                        &self.device,
+                        &self.synthesis,
+                    ))
+                })?;
+        Ok(VisitOutcome {
+            estimate,
+            cache_hit,
+        })
+    }
+
     /// Saturation analysis and the design space for this configuration.
     ///
     /// # Errors
@@ -215,18 +249,33 @@ impl<'k> Explorer<'k> {
         let started = Instant::now();
         let before = self.engine.counters();
         let (sat, space) = self.analyze()?;
-        if self.engine.threads() > 1 {
+        if self.engine.threads() > 1 || self.sink.enabled() {
             let frontier = doubling_frontier(&space, &sat);
-            // Speculative: a frontier point past where the serial search
-            // stops may legitimately fail to evaluate; the replay below
-            // surfaces any error the serial algorithm would actually hit.
-            for outcome in self.engine.parallel_map(&frontier, |u| self.evaluate(u)) {
-                drop(outcome);
+            // The frontier is a pure function of the space, so the event
+            // is identical whether or not a prefetch actually runs —
+            // traces stay byte-identical across worker counts.
+            if self.sink.enabled() {
+                self.sink.record(&TraceEvent::Frontier {
+                    points: frontier.clone(),
+                });
+            }
+            if self.engine.threads() > 1 {
+                // Speculative: a frontier point past where the serial
+                // search stops may legitimately fail to evaluate; the
+                // replay below surfaces any error the serial algorithm
+                // would actually hit.
+                for outcome in self.engine.parallel_map(&frontier, |u| self.evaluate(u)) {
+                    drop(outcome);
+                }
             }
         }
-        let mut result = run_search(&space, &sat, &self.config, |u| {
-            Ok(self.evaluate(u)?.estimate)
-        })?;
+        let mut result = run_search_instrumented(
+            &space,
+            &sat,
+            &self.config,
+            |u| self.evaluate_flagged(u),
+            self.sink.as_ref(),
+        )?;
         result.stats = self.engine.stats_since(before, started.elapsed());
         Ok(result)
     }

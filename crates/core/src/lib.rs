@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod audit;
 pub mod engine;
 pub mod error;
 pub mod exhaustive;
@@ -45,16 +46,24 @@ pub mod saturation;
 pub mod search;
 pub mod space;
 pub mod strategies;
+pub mod trace;
 
-pub use engine::{CacheKey, EstimateCache, EvalEngine, EvalStats};
+pub use audit::{audit_search_trace, AuditReport, AuditViolation, Invariant};
+pub use engine::{
+    CacheKey, CacheShardStats, CounterSnapshot, EstimateCache, EvalEngine, EvalStats,
+};
 pub use error::{DseError, Result};
 pub use exhaustive::{exhaustive_sweep, parallel_sweep};
 pub use explorer::{EvaluatedDesign, Explorer};
 pub use multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage, StagePlacement};
 pub use saturation::{saturation_analysis, SaturationInfo};
-pub use search::{doubling_frontier, SearchResult, Termination};
+pub use search::{
+    doubling_frontier, run_search, run_search_instrumented, run_search_with_sink, SearchConfig,
+    SearchResult, Termination, VisitOutcome,
+};
 pub use space::DesignSpace;
 pub use strategies::{hill_climb, random_search, StrategyOutcome};
+pub use trace::{to_jsonl, JsonlSink, MemorySink, NullSink, RingBufferSink, TraceEvent, TraceSink};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
@@ -65,6 +74,7 @@ pub use defacto_xform as xform;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::audit::{audit_search_trace, AuditReport};
     pub use crate::engine::{EvalEngine, EvalStats};
     pub use crate::exhaustive::{exhaustive_sweep, parallel_sweep};
     pub use crate::explorer::{EvaluatedDesign, Explorer};
@@ -73,6 +83,7 @@ pub mod prelude {
     pub use crate::search::{SearchResult, Termination};
     pub use crate::space::DesignSpace;
     pub use crate::strategies::{hill_climb, random_search, StrategyOutcome};
+    pub use crate::trace::{MemorySink, TraceEvent, TraceSink};
     pub use defacto_ir::{parse_kernel, Kernel, KernelBuilder};
     pub use defacto_synth::{Estimate, FpgaDevice, MemoryModel};
     pub use defacto_xform::{TransformOptions, UnrollVector};

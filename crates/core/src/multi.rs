@@ -20,9 +20,11 @@ use crate::error::{DseError, Result};
 use crate::explorer::{EvaluatedDesign, Explorer};
 use crate::search::SearchResult;
 use crate::strategies::hill_climb;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use defacto_ir::{ArrayKind, Kernel};
 use defacto_synth::{FpgaDevice, MemoryModel};
 use defacto_xform::TransformOptions;
+use std::sync::Arc;
 
 /// One stage of a coarse-grain pipeline.
 #[derive(Debug, Clone)]
@@ -108,6 +110,10 @@ pub struct PipelineOptions {
     /// Worker threads for exploring independent stages concurrently.
     /// `None` defers to `DEFACTO_THREADS` / available parallelism.
     pub threads: Option<usize>,
+    /// Sink for mapping events ([`TraceEvent::StagePlaced`],
+    /// [`TraceEvent::StageRebalanced`]), emitted by the deterministic
+    /// serial placement and rebalance loops.
+    pub trace: Arc<dyn TraceSink>,
 }
 
 impl Default for PipelineOptions {
@@ -119,6 +125,7 @@ impl Default for PipelineOptions {
             channel_cycles_per_word: 1,
             rebalance: true,
             threads: None,
+            trace: Arc::new(NullSink),
         }
     }
 }
@@ -253,6 +260,15 @@ pub fn map_pipeline(
         // Rebalancing happens after all stages are placed; remember the
         // placement now.
         remaining[fpga] = remaining[fpga].saturating_sub(design.estimate.slices);
+        if opts.trace.enabled() {
+            opts.trace.record(&TraceEvent::StagePlaced {
+                stage: stage.name.clone(),
+                fpga,
+                unroll: design.unroll.clone(),
+                cycles: design.estimate.cycles,
+                slices: design.estimate.slices,
+            });
+        }
         placements.push(StagePlacement {
             stage: stage.name.clone(),
             fpga,
@@ -294,6 +310,15 @@ pub fn map_pipeline(
                 break;
             }
             let fpga = p.fpga;
+            if opts.trace.enabled() {
+                opts.trace.record(&TraceEvent::StageRebalanced {
+                    stage: p.stage.clone(),
+                    fpga,
+                    unroll: climbed.selected.unroll.clone(),
+                    from_cycles: p.design.estimate.cycles,
+                    to_cycles: climbed.selected.estimate.cycles,
+                });
+            }
             remaining[fpga] += p.design.estimate.slices;
             remaining[fpga] = remaining[fpga].saturating_sub(climbed.selected.estimate.slices);
             placements[slowest].design = climbed.selected;
@@ -435,5 +460,32 @@ mod tests {
         let stages = image_pipeline();
         let m = map_pipeline(&stages, 2, &PipelineOptions::default()).unwrap();
         assert!(["smooth", "edges"].contains(&m.bottleneck()));
+    }
+
+    #[test]
+    fn mapping_emits_stage_events() {
+        let stages = image_pipeline();
+        let sink = Arc::new(crate::trace::MemorySink::new());
+        let opts = PipelineOptions {
+            trace: sink.clone(),
+            ..PipelineOptions::default()
+        };
+        let m = map_pipeline(&stages, 2, &opts).unwrap();
+        let events = sink.events();
+        let placed: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StagePlaced { stage, .. } => Some(stage.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(placed, vec!["smooth", "edges"]);
+        // Every placed event matches the final placement's FPGA.
+        for e in &events {
+            if let TraceEvent::StagePlaced { stage, fpga, .. } = e {
+                let p = m.placements.iter().find(|p| &p.stage == stage).unwrap();
+                assert_eq!(p.fpga, *fpga);
+            }
+        }
     }
 }

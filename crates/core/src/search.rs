@@ -9,15 +9,26 @@
 //! design close to the best performance in the space that is also the
 //! smallest among comparable designs — after visiting only a handful of
 //! points.
+//!
+//! Caching has exactly one layer: the evaluator passed in. The
+//! instrumented entry point ([`run_search_instrumented`]) takes an
+//! evaluator returning a [`VisitOutcome`] whose `cache_hit` flag is the
+//! single source of truth for [`EvalStats`] accounting — the engine's
+//! memo cache when called through [`crate::Explorer::explore`], a local
+//! memo adapter for the plain [`run_search`] closure. The search itself
+//! keeps no shadow cache, so both paths report identical stats for the
+//! same serial run. Every step emits a [`TraceEvent`] into the given
+//! [`TraceSink`] for the [auditor](crate::audit).
 
 use crate::engine::EvalStats;
 use crate::error::Result;
 use crate::explorer::EvaluatedDesign;
 use crate::saturation::SaturationInfo;
 use crate::space::DesignSpace;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use defacto_synth::Estimate;
 use defacto_xform::UnrollVector;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Tuning knobs of the search.
@@ -50,6 +61,17 @@ pub enum Termination {
     ExhaustedCompute,
 }
 
+/// One evaluator answer: the estimate plus whether the underlying cache
+/// layer answered it. The flag is the *only* hit/miss source of truth
+/// the search consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitOutcome {
+    /// The design point's estimate.
+    pub estimate: Estimate,
+    /// True when the estimate came from the evaluator's cache.
+    pub cache_hit: bool,
+}
+
 /// Outcome of one exploration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
@@ -63,9 +85,9 @@ pub struct SearchResult {
     pub termination: Termination,
     /// The saturation analysis that seeded the search.
     pub saturation: SaturationInfo,
-    /// Evaluation counters for this run. `run_search` fills in its own
-    /// serial accounting; [`crate::Explorer::explore`] overwrites it with
-    /// the engine-wide view (speculative prefetches included).
+    /// Evaluation counters for this run, from the evaluator's cache-hit
+    /// flags. [`crate::Explorer::explore`] overwrites it with the
+    /// engine-wide view (speculative prefetches included).
     pub stats: EvalStats,
 }
 
@@ -80,9 +102,9 @@ impl SearchResult {
     }
 }
 
-/// Run the Figure-2 search over `space`, evaluating candidate designs
-/// with `eval` (results are cached, so re-visits are free and `visited`
-/// holds unique points in first-visit order).
+/// Run the Figure-2 search over `space` with a plain estimator. A local
+/// memo adapter is layered over `eval`, so re-visits never re-run it and
+/// `visited` holds unique points in first-visit order.
 ///
 /// # Errors
 ///
@@ -91,31 +113,119 @@ pub fn run_search<E>(
     space: &DesignSpace,
     sat: &SaturationInfo,
     cfg: &SearchConfig,
-    mut eval: E,
+    eval: E,
 ) -> Result<SearchResult>
 where
     E: FnMut(&UnrollVector) -> Result<Estimate>,
 {
-    let started = Instant::now();
-    let mut revisits = 0u64;
-    let mut cache: HashMap<UnrollVector, Estimate> = HashMap::new();
-    let mut visited: Vec<EvaluatedDesign> = Vec::new();
-    let mut visit = |u: &UnrollVector,
-                     revisits: &mut u64,
-                     cache: &mut HashMap<UnrollVector, Estimate>,
-                     visited: &mut Vec<EvaluatedDesign>|
-     -> Result<Estimate> {
-        if let Some(e) = cache.get(u) {
-            *revisits += 1;
-            return Ok(e.clone());
+    run_search_with_sink(space, sat, cfg, eval, &NullSink)
+}
+
+/// [`run_search`] with a trace sink.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn run_search_with_sink<E>(
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+    cfg: &SearchConfig,
+    mut eval: E,
+    sink: &dyn TraceSink,
+) -> Result<SearchResult>
+where
+    E: FnMut(&UnrollVector) -> Result<Estimate>,
+{
+    let mut memo: HashMap<UnrollVector, Estimate> = HashMap::new();
+    run_search_instrumented(
+        space,
+        sat,
+        cfg,
+        |u| {
+            if let Some(e) = memo.get(u) {
+                return Ok(VisitOutcome {
+                    estimate: e.clone(),
+                    cache_hit: true,
+                });
+            }
+            let e = eval(u)?;
+            memo.insert(u.clone(), e.clone());
+            Ok(VisitOutcome {
+                estimate: e,
+                cache_hit: false,
+            })
+        },
+        sink,
+    )
+}
+
+/// Per-run bookkeeping shared by every visit.
+struct SearchState<'a> {
+    visited: Vec<EvaluatedDesign>,
+    seen: HashSet<UnrollVector>,
+    evaluated: u64,
+    cache_hits: u64,
+    sink: &'a dyn TraceSink,
+}
+
+impl SearchState<'_> {
+    fn visit<E>(&mut self, u: &UnrollVector, eval: &mut E) -> Result<Estimate>
+    where
+        E: FnMut(&UnrollVector) -> Result<VisitOutcome>,
+    {
+        let outcome = eval(u)?;
+        if outcome.cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.evaluated += 1;
         }
-        let e = eval(u)?;
-        cache.insert(u.clone(), e.clone());
-        visited.push(EvaluatedDesign {
-            unroll: u.clone(),
-            estimate: e.clone(),
-        });
-        Ok(e)
+        let revisit = !self.seen.insert(u.clone());
+        if !revisit {
+            self.visited.push(EvaluatedDesign {
+                unroll: u.clone(),
+                estimate: outcome.estimate.clone(),
+            });
+        }
+        if self.sink.enabled() {
+            self.sink.record(&TraceEvent::Visit {
+                unroll: u.clone(),
+                balance: outcome.estimate.balance,
+                cycles: outcome.estimate.cycles,
+                slices: outcome.estimate.slices,
+                fits: outcome.estimate.fits,
+                // The deterministic search-level revisit flag, NOT the
+                // evaluator's cache flag (which depends on prefetching).
+                cache_hit: revisit,
+            });
+        }
+        Ok(outcome.estimate)
+    }
+}
+
+/// The instrumented Figure-2 search: `eval` reports cache attribution
+/// per visit, `sink` receives one [`TraceEvent`] per decision. This is
+/// the single implementation every entry point funnels into.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn run_search_instrumented<E>(
+    space: &DesignSpace,
+    sat: &SaturationInfo,
+    cfg: &SearchConfig,
+    mut eval: E,
+    sink: &dyn TraceSink,
+) -> Result<SearchResult>
+where
+    E: FnMut(&UnrollVector) -> Result<VisitOutcome>,
+{
+    let started = Instant::now();
+    let mut st = SearchState {
+        visited: Vec::new(),
+        seen: HashSet::new(),
+        evaluated: 0,
+        cache_hits: 0,
+        sink,
     };
 
     let u_base = space.base_vector();
@@ -128,22 +238,36 @@ where
     let termination;
 
     loop {
-        let est = visit(&u_curr, &mut revisits, &mut cache, &mut visited)?;
+        let est = st.visit(&u_curr, &mut eval)?;
 
         if !est.fits {
             if u_curr == sat.u_init {
                 // FindLargestFit(Ubase, Uinit): the largest design at or
                 // below the saturation point that fits, regardless of
                 // balance — it maximizes available parallelism.
-                u_curr = find_largest_fit(space, sat, &u_base, &u_curr, &mut |u| {
-                    visit(u, &mut revisits, &mut cache, &mut visited)
-                })?;
+                let init = u_curr.clone();
+                u_curr = find_largest_fit(space, sat, &u_base, &init, &mut st, &mut eval)?;
+                if sink.enabled() {
+                    sink.record(&TraceEvent::FindLargestFit {
+                        base: u_base.clone(),
+                        init,
+                        chosen: u_curr.clone(),
+                    });
+                }
                 termination = Termination::SpaceConstrained;
                 break;
             }
             // Halve back toward the last compute-bound fitting design.
             let lower = u_cb.clone().unwrap_or_else(|| u_base.clone());
-            match select_between(space, sat, psat_product, &lower, &u_curr) {
+            let next = select_between(space, sat, psat_product, &lower, &u_curr);
+            if sink.enabled() {
+                sink.record(&TraceEvent::SelectBetween {
+                    lo: lower.clone(),
+                    hi: u_curr.clone(),
+                    chosen: next.clone(),
+                });
+            }
+            match next {
                 Some(next) if next != u_curr && Some(&next) != u_cb.as_ref() => {
                     u_curr = next;
                     continue;
@@ -151,7 +275,7 @@ where
                 _ => {
                     u_curr = lower;
                     // Make sure the fallback is evaluated.
-                    visit(&u_curr, &mut revisits, &mut cache, &mut visited)?;
+                    st.visit(&u_curr, &mut eval)?;
                     termination = Termination::SpaceConstrained;
                     break;
                 }
@@ -171,11 +295,19 @@ where
                 break;
             }
             let lower = u_cb.clone().unwrap_or_else(|| u_base.clone());
-            match select_between(space, sat, psat_product, &lower, &u_curr) {
+            let next = select_between(space, sat, psat_product, &lower, &u_curr);
+            if sink.enabled() {
+                sink.record(&TraceEvent::SelectBetween {
+                    lo: lower.clone(),
+                    hi: u_curr.clone(),
+                    chosen: next.clone(),
+                });
+            }
+            match next {
                 Some(next) if next != u_curr && Some(&next) != u_cb.as_ref() => u_curr = next,
                 _ => {
                     u_curr = lower;
-                    visit(&u_curr, &mut revisits, &mut cache, &mut visited)?;
+                    st.visit(&u_curr, &mut eval)?;
                     termination = Termination::Converged;
                     break;
                 }
@@ -187,7 +319,15 @@ where
                 None => {
                     // Only compute-bound designs so far: double.
                     match increase(space, sat, &u_curr, &u_max) {
-                        Some(next) if next != u_curr => u_curr = next,
+                        Some(next) if next != u_curr => {
+                            if sink.enabled() {
+                                sink.record(&TraceEvent::Increase {
+                                    from: u_curr.clone(),
+                                    to: next.clone(),
+                                });
+                            }
+                            u_curr = next;
+                        }
                         _ => {
                             termination = Termination::ExhaustedCompute;
                             break;
@@ -196,7 +336,15 @@ where
                 }
                 Some(mb) => {
                     let mb = mb.clone();
-                    match select_between(space, sat, psat_product, &u_curr, &mb) {
+                    let next = select_between(space, sat, psat_product, &u_curr, &mb);
+                    if sink.enabled() {
+                        sink.record(&TraceEvent::SelectBetween {
+                            lo: u_curr.clone(),
+                            hi: mb,
+                            chosen: next.clone(),
+                        });
+                    }
+                    match next {
                         Some(next) if next != u_curr => u_curr = next,
                         _ => {
                             termination = Termination::Converged;
@@ -208,11 +356,24 @@ where
         }
     }
 
-    let selected_est = cache.get(&u_curr).expect("current point evaluated").clone();
+    let selected_est = st
+        .visited
+        .iter()
+        .find(|d| d.unroll == u_curr)
+        .expect("current point evaluated")
+        .estimate
+        .clone();
+    if sink.enabled() {
+        sink.record(&TraceEvent::Terminate {
+            reason: termination,
+            selected: u_curr.clone(),
+        });
+    }
     let stats = EvalStats {
-        evaluated: visited.len() as u64,
-        cache_hits: revisits,
+        evaluated: st.evaluated,
+        cache_hits: st.cache_hits,
         wall: started.elapsed(),
+        eval_wall: Default::default(),
         workers: 1,
     };
     Ok(SearchResult {
@@ -220,7 +381,7 @@ where
             unroll: u_curr,
             estimate: selected_est,
         },
-        visited,
+        visited: st.visited,
         space_size: space.size(),
         termination,
         saturation: sat.clone(),
@@ -278,6 +439,12 @@ fn increase(
 /// a multiple of `P(Uinit)` as close as possible to the midpoint
 /// `(P(Usmall)+P(Ularge))/2`, strictly between the two products;
 /// `None` when no point remains (the search has converged).
+///
+/// Candidate products come from [`DesignSpace::products_between`] — the
+/// products actually representable in the space — rather than every
+/// integer multiple in the range, which is identical in behavior (a
+/// non-representable product has no members) but stays cheap when the
+/// bracket spans a huge range.
 fn select_between(
     space: &DesignSpace,
     sat: &SaturationInfo,
@@ -291,12 +458,10 @@ fn select_between(
         return None;
     }
     let mid = (ps + pl) / 2;
-    // Candidate products: multiples of P(Uinit) strictly between, closest
-    // to the midpoint first.
-    let mut products: Vec<i64> = (1..)
-        .map(|c| c * psat_product)
-        .take_while(|&p| p < pl)
-        .filter(|&p| p > ps)
+    let mut products: Vec<i64> = space
+        .products_between(ps + 1, pl - 1)
+        .into_iter()
+        .filter(|&p| p % psat_product == 0)
         .collect();
     products.sort_by_key(|&p| ((p - mid).abs(), p));
     for p in products {
@@ -309,20 +474,27 @@ fn select_between(
 }
 
 /// `FindLargestFit(Ubase, Uinit)`: evaluate members between base and the
-/// saturation point in decreasing product order until one fits.
-fn find_largest_fit(
+/// saturation point in decreasing product order until one fits. Only
+/// products representable in the space are scanned (the former dense
+/// `1..P(Uinit)` integer scan made this step quadratic in the trip
+/// count).
+fn find_largest_fit<E>(
     space: &DesignSpace,
     sat: &SaturationInfo,
     base: &UnrollVector,
     init: &UnrollVector,
-    visit: &mut dyn FnMut(&UnrollVector) -> Result<Estimate>,
-) -> Result<UnrollVector> {
-    let mut products: Vec<i64> = (1..init.product()).collect();
-    products.sort_unstable_by(|a, b| b.cmp(a));
+    st: &mut SearchState,
+    eval: &mut E,
+) -> Result<UnrollVector>
+where
+    E: FnMut(&UnrollVector) -> Result<VisitOutcome>,
+{
+    let mut products = space.products_between(base.product(), init.product() - 1);
+    products.reverse();
     for p in products {
         let members = space.members_with_product(p, base, init);
         if let Some(m) = sat.pick_growth(&members) {
-            let est = visit(&m)?;
+            let est = st.visit(&m, eval)?;
             if est.fits {
                 return Ok(m);
             }
@@ -335,6 +507,7 @@ fn find_largest_fit(
 mod tests {
     use super::*;
     use crate::saturation::SaturationInfo;
+    use crate::trace::MemorySink;
 
     /// Build a synthetic saturation info over a 2-deep 64×32 space.
     fn synthetic() -> (DesignSpace, SaturationInfo) {
@@ -370,6 +543,7 @@ mod tests {
                 balance,
                 clock_ns: 40,
                 fits: p <= cap_product,
+                provenance: Default::default(),
             })
         }
     }
@@ -447,6 +621,7 @@ mod tests {
                 balance,
                 clock_ns: 40,
                 fits: true,
+                provenance: Default::default(),
             })
         };
         let cfg = SearchConfig::default();
@@ -466,5 +641,172 @@ mod tests {
         for v in &r.visited {
             assert!(seen.insert(v.unroll.clone()), "duplicate {}", v.unroll);
         }
+    }
+
+    #[test]
+    fn stats_come_from_the_single_cache_layer() {
+        // Regression: the search used to keep a private HashMap on top
+        // of the caller's cache, so revisits never reached the caller
+        // and its hit counter disagreed with the reported stats. The
+        // caller's cache layer is now the only one: every revisit is a
+        // hit *there*.
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        // An eval with its own memo layer (stand-in for the engine),
+        // counting its hits and actual evaluations.
+        let mut layer_hits = 0u64;
+        let mut layer_evals = 0u64;
+        let mut memo: HashMap<UnrollVector, Estimate> = HashMap::new();
+        // Converging fixture: guarantees one revisit (the fallback to
+        // the last compute-bound point).
+        let inner = move |u: &UnrollVector| -> Result<Estimate> {
+            let p = u.product();
+            let balance = if p < 32 { 10.0 } else { 0.2 };
+            Ok(Estimate {
+                balance,
+                ..fake_eval(1, 1 << 60)(u)?
+            })
+        };
+        let r = run_search_instrumented(
+            &space,
+            &sat,
+            &cfg,
+            |u| {
+                if let Some(e) = memo.get(u) {
+                    layer_hits += 1;
+                    return Ok(VisitOutcome {
+                        estimate: e.clone(),
+                        cache_hit: true,
+                    });
+                }
+                layer_evals += 1;
+                let e = inner(u)?;
+                memo.insert(u.clone(), e.clone());
+                Ok(VisitOutcome {
+                    estimate: e,
+                    cache_hit: false,
+                })
+            },
+            &NullSink,
+        )
+        .unwrap();
+        assert!(layer_hits >= 1, "fixture must produce a revisit");
+        assert_eq!(r.stats.cache_hits, layer_hits);
+        assert_eq!(r.stats.evaluated, layer_evals);
+        assert_eq!(r.stats.evaluated, r.visited.len() as u64);
+    }
+
+    #[test]
+    fn plain_and_instrumented_stats_agree() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        let plain = run_search(&space, &sat, &cfg, fake_eval(64, 10_000)).unwrap();
+        let mut memo: HashMap<UnrollVector, Estimate> = HashMap::new();
+        let mut inner = fake_eval(64, 10_000);
+        let inst = run_search_instrumented(
+            &space,
+            &sat,
+            &cfg,
+            |u| {
+                if let Some(e) = memo.get(u) {
+                    return Ok(VisitOutcome {
+                        estimate: e.clone(),
+                        cache_hit: true,
+                    });
+                }
+                let e = inner(u)?;
+                memo.insert(u.clone(), e.clone());
+                Ok(VisitOutcome {
+                    estimate: e,
+                    cache_hit: false,
+                })
+            },
+            &NullSink,
+        )
+        .unwrap();
+        assert_eq!(plain.stats, inst.stats);
+        assert_eq!(plain.selected, inst.selected);
+        assert_eq!(plain.visited, inst.visited);
+    }
+
+    #[test]
+    fn emits_a_complete_trace() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        let sink = MemorySink::new();
+        let r = run_search_with_sink(&space, &sat, &cfg, fake_eval(64, 10_000), &sink).unwrap();
+        let events = sink.events();
+        // One Visit per visit call, Increase steps along the doubling
+        // chain, and a final Terminate naming the selection.
+        let visits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Visit { .. }))
+            .count();
+        assert_eq!(visits, r.visited.len());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Increase { .. })));
+        match events.last() {
+            Some(TraceEvent::Terminate { reason, selected }) => {
+                assert_eq!(*reason, r.termination);
+                assert_eq!(*selected, r.selected.unroll);
+            }
+            other => panic!("last event must be Terminate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_marks_revisits_not_first_visits() {
+        let (space, sat) = synthetic();
+        let cfg = SearchConfig::default();
+        let sink = MemorySink::new();
+        // Converging fixture guarantees a revisit of the fallback point.
+        let eval = |u: &UnrollVector| -> Result<Estimate> {
+            let p = u.product();
+            let balance = if p < 32 { 10.0 } else { 0.2 };
+            Ok(Estimate {
+                balance,
+                ..fake_eval(1, 1 << 60)(u)?
+            })
+        };
+        run_search_with_sink(&space, &sat, &cfg, eval, &sink).unwrap();
+        let hits: Vec<bool> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Visit { cache_hit, .. } => Some(*cache_hit),
+                _ => None,
+            })
+            .collect();
+        assert!(!hits[0], "first visit is never a revisit");
+        assert!(hits.iter().any(|&h| h), "fixture must produce a revisit");
+    }
+
+    #[test]
+    fn find_largest_fit_scans_only_representable_products() {
+        // Regression: with a huge trip count and nothing fitting, the
+        // old dense 1..P(Uinit) integer scan made this effectively hang
+        // (each integer triggered a recursive member enumeration). Only
+        // the ~31 representable power-of-two products are scanned now.
+        let trip = 1i64 << 30;
+        let space = DesignSpace::new(&[trip], &[true]);
+        let u_init = UnrollVector(vec![trip]);
+        let sat = SaturationInfo {
+            read_sets: 1,
+            write_sets: 1,
+            psat: trip,
+            unrollable: vec![true],
+            sat_set: vec![u_init.clone()],
+            u_init,
+            preference: vec![0],
+        };
+        let cfg = SearchConfig::default();
+        // Nothing fits except the baseline.
+        let r = run_search(&space, &sat, &cfg, fake_eval(1 << 40, 1)).unwrap();
+        assert_eq!(r.termination, Termination::SpaceConstrained);
+        assert_eq!(r.selected.unroll.product(), 1);
+        // The scan visits one member per representable product, not one
+        // per integer.
+        assert!(r.visited.len() <= 32, "visited {}", r.visited.len());
     }
 }

@@ -142,14 +142,58 @@ impl DesignSpace {
             cur.pop();
         }
     }
+
+    /// Every product actually representable by a member of the space,
+    /// restricted to `lo..=hi`, ascending. These are exactly the
+    /// products for which [`Self::members_with_product`] (with full
+    /// bounds) is non-empty, so candidate scans can iterate this set
+    /// instead of every integer in a range.
+    pub fn products_between(&self, lo: i64, hi: i64) -> Vec<i64> {
+        use std::collections::BTreeSet;
+        if hi < lo || hi < 1 {
+            return Vec::new();
+        }
+        let mut products: BTreeSet<i64> = BTreeSet::new();
+        products.insert(1);
+        for factors in &self.factors_per_level {
+            let mut next = BTreeSet::new();
+            for &p in &products {
+                for &f in factors {
+                    match p.checked_mul(f) {
+                        Some(q) if q <= hi => {
+                            next.insert(q);
+                        }
+                        // Factors are ascending, so every later factor
+                        // also overflows the bound.
+                        _ => break,
+                    }
+                }
+            }
+            products = next;
+        }
+        products.into_iter().filter(|&p| p >= lo).collect()
+    }
 }
 
 /// Positive divisors of `n`, ascending (divisors of 1 when `n < 1`).
+/// Enumerated in O(√n) by pairing each divisor `d ≤ √n` with `n / d`.
 pub fn divisors(n: i64) -> Vec<i64> {
     let n = n.max(1);
-    let mut out: Vec<i64> = (1..=n).filter(|d| n % d == 0).collect();
-    out.sort_unstable();
-    out
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            low.push(d);
+            if d != n / d {
+                high.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    high.reverse();
+    low.extend(high);
+    low
 }
 
 #[cfg(test)]
@@ -160,8 +204,48 @@ mod tests {
     fn divisor_lists() {
         assert_eq!(divisors(32), vec![1, 2, 4, 8, 16, 32]);
         assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(36), vec![1, 2, 3, 4, 6, 9, 12, 18, 36]);
         assert_eq!(divisors(1), vec![1]);
         assert_eq!(divisors(0), vec![1]);
+    }
+
+    #[test]
+    fn divisors_match_naive_enumeration() {
+        for n in 1..=200 {
+            let naive: Vec<i64> = (1..=n).filter(|d| n % d == 0).collect();
+            assert_eq!(divisors(n), naive, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn products_between_lists_representable_products() {
+        let s = DesignSpace::new(&[64, 32], &[true, true]);
+        let products = s.products_between(1, 2048);
+        // Exactly the powers of two 1..=2048 (products of two powers of
+        // two bounded by 64·32).
+        let expect: Vec<i64> = (0..=11).map(|k| 1i64 << k).collect();
+        assert_eq!(products, expect);
+        // Agreement with members_with_product over the whole range.
+        let (lo, hi) = (s.base_vector(), s.max_vector());
+        for p in 1..=2048 {
+            let has_member = !s.members_with_product(p, &lo, &hi).is_empty();
+            assert_eq!(products.contains(&p), has_member, "product {p}");
+        }
+        assert_eq!(s.products_between(3, 7), vec![4]);
+        assert_eq!(s.products_between(9, 3), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn products_between_respects_pinned_levels() {
+        let s = DesignSpace::new(&[12, 5, 8], &[true, false, true]);
+        let products = s.products_between(1, 96);
+        assert!(products.contains(&1));
+        assert!(products.contains(&96)); // 12 · 1 · 8
+        assert!(!products.contains(&5)); // pinned level contributes only 1
+        for &p in &products {
+            let m = s.members_with_product(p, &s.base_vector(), &s.max_vector());
+            assert!(!m.is_empty(), "product {p} has no member");
+        }
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Structured search traces.
+//!
+//! The paper's argument rests on the Figure-2 search visiting only a
+//! handful of points while provably landing near the best design
+//! (Observations 1–3 on balance monotonicity around `Psat`). A
+//! [`SearchResult`](crate::SearchResult) alone cannot show *why* a step
+//! doubled, halved or converged; this module turns every run into a
+//! checkable artifact. The search emits one typed [`TraceEvent`] per
+//! decision into a pluggable [`TraceSink`]:
+//!
+//! - [`NullSink`] — the default; records nothing at zero cost;
+//! - [`MemorySink`] — collects every event, for the
+//!   [auditor](crate::audit) and tests;
+//! - [`RingBufferSink`] — keeps the last `N` events, for always-on
+//!   tracing in long-running services;
+//! - [`JsonlSink`] — streams events as JSON Lines to any writer (the
+//!   CLI's `--trace out.jsonl`).
+//!
+//! Events are **deterministic by construction**: they describe the
+//! search's decisions (which are bit-identical at any worker count), not
+//! the engine's runtime behaviour. Nondeterministic observability —
+//! wall-clock per evaluation, per-shard cache hit/miss counters — lives
+//! in [`EvalStats`](crate::EvalStats) and
+//! [`CacheShardStats`](crate::engine::CacheShardStats) instead, so a
+//! trace taken at 8 workers is byte-identical to one taken at 1.
+
+use crate::search::Termination;
+use defacto_xform::UnrollVector;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One step of a search (or pipeline mapping), in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The search asked for one design point's estimate. `cache_hit` is
+    /// the *search-level* revisit flag — true when this exact point was
+    /// already visited earlier in the same search — so it is identical
+    /// at any worker count (an engine-level prefetch hit is not a
+    /// revisit).
+    Visit {
+        /// The design point.
+        unroll: UnrollVector,
+        /// Its balance `B = F/C`.
+        balance: f64,
+        /// Estimated execution cycles.
+        cycles: u64,
+        /// Estimated area in slices.
+        slices: u32,
+        /// Whether the design fits the device.
+        fits: bool,
+        /// True when this point was already visited in this search.
+        cache_hit: bool,
+    },
+    /// `Increase(U)`: the unroll product doubled while every design was
+    /// still compute bound.
+    Increase {
+        /// The point doubled from.
+        from: UnrollVector,
+        /// The point doubled to (`P(to) = 2·P(from)`).
+        to: UnrollVector,
+    },
+    /// `SelectBetween(Usmall, Ularge)`: the binary-search midpoint pick.
+    /// `chosen` is `None` when no candidate product remains (the search
+    /// has converged).
+    SelectBetween {
+        /// Lower bound of the bracket.
+        lo: UnrollVector,
+        /// Upper bound of the bracket.
+        hi: UnrollVector,
+        /// The member picked strictly between the two products, if any.
+        chosen: Option<UnrollVector>,
+    },
+    /// `FindLargestFit(Ubase, Uinit)`: the fallback scan below the
+    /// saturation point when the initial design exceeds capacity.
+    FindLargestFit {
+        /// The scan's lower bound (the unroll-free baseline).
+        base: UnrollVector,
+        /// The scan's upper bound (the saturation point).
+        init: UnrollVector,
+        /// The largest fitting member found (the base vector if none).
+        chosen: UnrollVector,
+    },
+    /// The doubling frontier — the chain of points the search visits
+    /// while compute bound, which the parallel engine speculatively
+    /// prefetches. Emitted before the search replays serially; the
+    /// chain is a pure function of the space, so it is identical
+    /// whether or not a prefetch actually ran.
+    Frontier {
+        /// The chain, saturation point first, products doubling.
+        points: Vec<UnrollVector>,
+    },
+    /// The search stopped; `selected` is the design it returns.
+    Terminate {
+        /// Why the search stopped.
+        reason: Termination,
+        /// The selected design point.
+        selected: UnrollVector,
+    },
+    /// Multi-FPGA mapping: one pipeline stage was placed.
+    StagePlaced {
+        /// Stage name.
+        stage: String,
+        /// Hosting FPGA index.
+        fpga: usize,
+        /// The design selected for the stage.
+        unroll: UnrollVector,
+        /// Its estimated cycles.
+        cycles: u64,
+        /// Its estimated slices.
+        slices: u32,
+    },
+    /// Multi-FPGA mapping: rebalancing improved the bottleneck stage.
+    StageRebalanced {
+        /// Stage name.
+        stage: String,
+        /// Hosting FPGA index.
+        fpga: usize,
+        /// The improved design.
+        unroll: UnrollVector,
+        /// Cycles before rebalancing.
+        from_cycles: u64,
+        /// Cycles after rebalancing.
+        to_cycles: u64,
+    },
+}
+
+fn json_factors(u: &UnrollVector) -> String {
+    let inner: Vec<String> = u.factors().iter().map(i64::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+/// Kebab-case label of a termination reason, stable for JSON traces.
+pub fn termination_label(t: Termination) -> &'static str {
+    match t {
+        Termination::Balanced => "balanced",
+        Termination::MemoryBoundAtInit => "memory-bound-at-init",
+        Termination::SpaceConstrained => "space-constrained",
+        Termination::Converged => "converged",
+        Termination::ExhaustedCompute => "exhausted-compute",
+    }
+}
+
+impl TraceEvent {
+    /// One-line JSON rendering (the JSONL schema documented in
+    /// DESIGN.md). Deterministic: equal events render to equal bytes.
+    pub fn to_json(&self) -> String {
+        match self {
+            TraceEvent::Visit {
+                unroll,
+                balance,
+                cycles,
+                slices,
+                fits,
+                cache_hit,
+            } => format!(
+                "{{\"event\":\"visit\",\"unroll\":{},\"product\":{},\"balance\":{},\
+                 \"cycles\":{cycles},\"slices\":{slices},\"fits\":{fits},\"cache_hit\":{cache_hit}}}",
+                json_factors(unroll),
+                unroll.product(),
+                json_f64(*balance),
+            ),
+            TraceEvent::Increase { from, to } => format!(
+                "{{\"event\":\"increase\",\"from\":{},\"to\":{}}}",
+                json_factors(from),
+                json_factors(to),
+            ),
+            TraceEvent::SelectBetween { lo, hi, chosen } => format!(
+                "{{\"event\":\"select_between\",\"lo\":{},\"hi\":{},\"chosen\":{}}}",
+                json_factors(lo),
+                json_factors(hi),
+                chosen
+                    .as_ref()
+                    .map_or_else(|| "null".into(), json_factors),
+            ),
+            TraceEvent::FindLargestFit { base, init, chosen } => format!(
+                "{{\"event\":\"find_largest_fit\",\"base\":{},\"init\":{},\"chosen\":{}}}",
+                json_factors(base),
+                json_factors(init),
+                json_factors(chosen),
+            ),
+            TraceEvent::Frontier { points } => {
+                let inner: Vec<String> = points.iter().map(json_factors).collect();
+                format!(
+                    "{{\"event\":\"frontier\",\"points\":[{}]}}",
+                    inner.join(",")
+                )
+            }
+            TraceEvent::Terminate { reason, selected } => format!(
+                "{{\"event\":\"terminate\",\"reason\":\"{}\",\"selected\":{}}}",
+                termination_label(*reason),
+                json_factors(selected),
+            ),
+            TraceEvent::StagePlaced {
+                stage,
+                fpga,
+                unroll,
+                cycles,
+                slices,
+            } => format!(
+                "{{\"event\":\"stage_placed\",\"stage\":\"{stage}\",\"fpga\":{fpga},\
+                 \"unroll\":{},\"cycles\":{cycles},\"slices\":{slices}}}",
+                json_factors(unroll),
+            ),
+            TraceEvent::StageRebalanced {
+                stage,
+                fpga,
+                unroll,
+                from_cycles,
+                to_cycles,
+            } => format!(
+                "{{\"event\":\"stage_rebalanced\",\"stage\":\"{stage}\",\"fpga\":{fpga},\
+                 \"unroll\":{},\"from_cycles\":{from_cycles},\"to_cycles\":{to_cycles}}}",
+                json_factors(unroll),
+            ),
+        }
+    }
+}
+
+/// Render a slice of events as a JSONL document (one event per line,
+/// trailing newline). Byte-identical for identical event sequences.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Receiver of trace events. Sinks are shared between the search and the
+/// engine's worker threads, so they take `&self` and must be `Sync`;
+/// implementations serialize internally where needed.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Record one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Whether recording has any effect. The explorer skips computing
+    /// trace-only artifacts (e.g. the frontier event at one worker) when
+    /// the sink is disabled.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects every event in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink lock").clone()
+    }
+
+    /// The recorded events as a JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events())
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace sink lock").clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace sink lock")
+            .push(event.clone());
+    }
+}
+
+/// Keeps only the most recent `capacity` events — bounded memory for
+/// always-on tracing.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingBufferSink {
+    /// A ring buffer holding at most `capacity` events (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("trace sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut buf = self.events.lock().expect("trace sink lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to a writer (a file for the CLI's
+/// `--trace out.jsonl`). Write errors are swallowed — tracing is
+/// best-effort observability and must never fail the search; callers
+/// that need certainty call [`JsonlSink::flush`] and check it.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Stream events to `writer`.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonlSink {
+            out: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Create (truncate) `path` and stream events to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+
+    /// Flush the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O failure.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("trace sink lock").flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().expect("trace sink lock");
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn visit(p: i64) -> TraceEvent {
+        TraceEvent::Visit {
+            unroll: UnrollVector(vec![p, 1]),
+            balance: 2.0,
+            cycles: 100,
+            slices: 10,
+            fits: true,
+            cache_hit: false,
+        }
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        let json = visit(4).to_json();
+        assert_eq!(
+            json,
+            "{\"event\":\"visit\",\"unroll\":[4,1],\"product\":4,\"balance\":2,\
+             \"cycles\":100,\"slices\":10,\"fits\":true,\"cache_hit\":false}"
+        );
+        let t = TraceEvent::Terminate {
+            reason: Termination::Balanced,
+            selected: UnrollVector(vec![4, 1]),
+        };
+        assert_eq!(
+            t.to_json(),
+            "{\"event\":\"terminate\",\"reason\":\"balanced\",\"selected\":[4,1]}"
+        );
+        let s = TraceEvent::SelectBetween {
+            lo: UnrollVector(vec![1, 1]),
+            hi: UnrollVector(vec![4, 1]),
+            chosen: None,
+        };
+        assert!(s.to_json().ends_with("\"chosen\":null}"));
+    }
+
+    #[test]
+    fn non_finite_balance_renders_as_string() {
+        let e = TraceEvent::Visit {
+            unroll: UnrollVector(vec![1]),
+            balance: f64::INFINITY,
+            cycles: 1,
+            slices: 1,
+            fits: true,
+            cache_hit: false,
+        };
+        assert!(e.to_json().contains("\"balance\":\"inf\""));
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        sink.record(&visit(1));
+        sink.record(&visit(2));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], visit(1));
+        assert_eq!(sink.to_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let sink = RingBufferSink::new(2);
+        for p in 1..=4 {
+            sink.record(&visit(p));
+        }
+        let events = sink.events();
+        assert_eq!(events, vec![visit(3), visit(4)]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Shared::default();
+        let sink = JsonlSink::new(shared.clone());
+        sink.record(&visit(1));
+        sink.record(&visit(2));
+        sink.flush().unwrap();
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, to_jsonl(&[visit(1), visit(2)]));
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(MemorySink::new().enabled());
+    }
+}

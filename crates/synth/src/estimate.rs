@@ -32,6 +32,23 @@ const LOOP_SETUP_OVERHEAD: u64 = 1;
 /// Slices for one loop's 16-bit counter + bound comparator.
 const LOOP_CONTROL_SLICES: u32 = 12;
 
+/// How an estimate was produced — which estimator features shaped it and
+/// how much scheduling work it took. Carried on every [`Estimate`] so
+/// traces and reports can attribute a number to its configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Provenance {
+    /// Straight-line segments scheduled (one DFG build + list schedule
+    /// each) across the whole loop structure.
+    pub segments: u32,
+    /// Designer operator bounds were in effect (paper §2.3).
+    pub constrained: bool,
+    /// Bit-width narrowing was applied (paper §2.4).
+    pub bitwidth_narrowed: bool,
+    /// Small-type packing was applied (paper §4).
+    pub packed: bool,
+}
+
 /// A behavioral-synthesis estimate for one design point.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -56,6 +73,8 @@ pub struct Estimate {
     pub clock_ns: u32,
     /// Whether the design fits the device.
     pub fits: bool,
+    /// How the estimate was produced.
+    pub provenance: Provenance,
 }
 
 impl Estimate {
@@ -86,6 +105,7 @@ struct Aggregate {
     op_usage: HashMap<(HwOp, u32), OpUsage>,
     fsm_states: u64,
     loops: u32,
+    segments: u32,
 }
 
 impl Aggregate {
@@ -100,6 +120,7 @@ impl Aggregate {
         }
         self.fsm_states += other.fsm_states;
         self.loops += other.loops;
+        self.segments += other.segments;
     }
 }
 
@@ -210,6 +231,12 @@ pub fn estimate_opts(
         balance,
         clock_ns: dev.clock_ns,
         fits: dev.fits(slices),
+        provenance: Provenance {
+            segments: agg.segments,
+            constrained: opts.constraints != ResourceConstraints::default(),
+            bitwidth_narrowed: opts.bitwidth_narrowing,
+            packed: opts.pack_small_types,
+        },
     }
 }
 
@@ -246,6 +273,7 @@ fn walk(
         agg.comp_busy += sched.t_comp;
         agg.bits += sched.bits_transferred;
         agg.fsm_states += sched.length;
+        agg.segments += 1;
         let sub = Aggregate {
             op_usage: sched.op_usage.clone(),
             ..Aggregate::default()
@@ -543,7 +571,48 @@ mod tests {
                 ..SynthesisOptions::default()
             },
         );
-        assert_eq!(a, b);
+        // Provenance records the configuration (packed on/off), so
+        // compare everything else.
+        let b_with_a_provenance = Estimate {
+            provenance: a.provenance,
+            ..b
+        };
+        assert_eq!(a, b_with_a_provenance);
+    }
+
+    #[test]
+    fn provenance_records_configuration_and_work() {
+        let d = fir_design(vec![2, 2]);
+        let mem = MemoryModel::wildstar_pipelined();
+        let dev = FpgaDevice::virtex1000();
+        let plain = estimate(&d, &mem, &dev);
+        // FIR's nest has one scheduled segment (the innermost body).
+        assert!(plain.provenance.segments >= 1);
+        assert!(!plain.provenance.constrained);
+        assert!(!plain.provenance.bitwidth_narrowed);
+        assert!(!plain.provenance.packed);
+        let tuned = estimate_opts(
+            &d,
+            &mem,
+            &dev,
+            &SynthesisOptions {
+                bitwidth_narrowing: true,
+                pack_small_types: true,
+                ..SynthesisOptions::default()
+            },
+        );
+        assert!(tuned.provenance.bitwidth_narrowed);
+        assert!(tuned.provenance.packed);
+        assert!(!tuned.provenance.constrained);
+        use crate::constraints::ResourceConstraints;
+        use crate::oplib::HwOp;
+        let capped = estimate_constrained(
+            &d,
+            &mem,
+            &dev,
+            &ResourceConstraints::new().with_limit(HwOp::Mul, 2),
+        );
+        assert!(capped.provenance.constrained);
     }
 
     #[test]

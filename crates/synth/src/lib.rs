@@ -44,7 +44,9 @@ pub use device::FpgaDevice;
 pub use dfg::{
     build_dfg, build_dfg_opts, build_dfg_ranged, Dfg, DfgOptions, Node, NodeId, NodeKind,
 };
-pub use estimate::{estimate, estimate_constrained, estimate_opts, Estimate, SynthesisOptions};
+pub use estimate::{
+    estimate, estimate_constrained, estimate_opts, Estimate, Provenance, SynthesisOptions,
+};
 pub use memory::MemoryModel;
 pub use oplib::{op_spec, HwOp, OpSpec};
 pub use par::{place_and_route, ParResult};

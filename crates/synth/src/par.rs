@@ -104,6 +104,7 @@ mod tests {
             balance: 1.0,
             clock_ns: 40,
             fits: true,
+            provenance: Default::default(),
         }
     }
 

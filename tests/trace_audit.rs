@@ -1,0 +1,120 @@
+//! Trace and auditor contract over the whole paper suite.
+//!
+//! Every search on every paper kernel must produce a trace that (a) the
+//! invariant auditor accepts with zero violations, (b) is byte-identical
+//! at any worker count (tracing is an observability feature, not a
+//! scheduling one), and (c) agrees with the un-traced run. The plain
+//! [`run_search`] entry point and [`Explorer::explore`] must also agree
+//! on cache accounting for the same serial run, since both sit on a
+//! single cache layer.
+
+use defacto::prelude::*;
+use defacto::{run_search, to_jsonl, SearchConfig};
+use std::sync::Arc;
+
+const WORKER_COUNTS: [usize; 2] = [1, 8];
+
+fn traced_run(
+    kernel: &defacto_ir::Kernel,
+    workers: usize,
+) -> (SearchResult, Vec<TraceEvent>, SaturationInfo, DesignSpace) {
+    let sink = Arc::new(MemorySink::new());
+    let ex = Explorer::new(kernel).threads(workers).trace(sink.clone());
+    let (sat, space) = ex.analyze().expect("analysis succeeds");
+    let r = ex.explore().expect("search succeeds");
+    (r, sink.events(), sat, space)
+}
+
+#[test]
+fn audit_is_clean_on_every_paper_kernel_at_every_worker_count() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        for workers in WORKER_COUNTS {
+            let (r, events, sat, space) = traced_run(&kernel, workers);
+            let report = audit_search_trace(&events, &space, &sat);
+            assert!(report.is_clean(), "{name} at {workers} workers: {report}");
+            assert!(report.checks > 0, "{name}");
+            // The trace ends by selecting exactly what the result says.
+            match events.last() {
+                Some(TraceEvent::Terminate { selected, .. }) => {
+                    assert_eq!(selected, &r.selected.unroll, "{name}");
+                }
+                other => panic!("{name}: trace does not end in Terminate: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_are_byte_identical_across_worker_counts() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let (_, serial_events, _, _) = traced_run(&kernel, 1);
+        let serial = to_jsonl(&serial_events);
+        for workers in WORKER_COUNTS {
+            let (_, events, _, _) = traced_run(&kernel, workers);
+            assert_eq!(
+                to_jsonl(&events),
+                serial,
+                "{name}: trace bytes differ at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_change_the_search_result() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let plain = Explorer::new(&kernel).threads(1).explore().unwrap();
+        let (traced, _, _, _) = traced_run(&kernel, 1);
+        assert_eq!(traced.selected, plain.selected, "{name}");
+        assert_eq!(traced.visited, plain.visited, "{name}");
+        assert_eq!(traced.termination, plain.termination, "{name}");
+    }
+}
+
+#[test]
+fn visit_events_mirror_the_visited_list() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let (r, events, _, _) = traced_run(&kernel, 1);
+        let first_visits: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Visit {
+                    unroll,
+                    cache_hit: false,
+                    ..
+                } => Some(unroll.clone()),
+                _ => None,
+            })
+            .collect();
+        let visited: Vec<_> = r.visited.iter().map(|d| d.unroll.clone()).collect();
+        assert_eq!(first_visits, visited, "{name}");
+    }
+}
+
+#[test]
+fn run_search_and_explorer_agree_on_cache_accounting() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let ex = Explorer::new(&kernel).threads(1);
+        let (sat, space) = ex.analyze().unwrap();
+        let from_explorer = ex.explore().unwrap();
+
+        // A fresh evaluator for the plain entry point: run_search's own
+        // memo layer is the only cache in this run, so hits counted
+        // there must match the engine-backed run above.
+        let eval_ex = Explorer::new(&kernel).threads(1);
+        let r = run_search(&space, &sat, &SearchConfig::default(), |u| {
+            eval_ex.evaluate(u).map(|d| d.estimate)
+        })
+        .unwrap();
+
+        assert_eq!(
+            r.stats.cache_hits, from_explorer.stats.cache_hits,
+            "{name}: cache-hit accounting disagrees between run_search and Explorer"
+        );
+        assert_eq!(
+            r.stats.evaluated, from_explorer.stats.evaluated,
+            "{name}: evaluation counts disagree between run_search and Explorer"
+        );
+        assert_eq!(r.selected.unroll, from_explorer.selected.unroll, "{name}");
+    }
+}
