@@ -16,7 +16,9 @@
 //!   narrowing (paper §2.4's "reduced data widths");
 //! - [`reuse`]: classification of each uniformly generated set's reuse
 //!   pattern (rolling window, outer-loop register chain, hoistable
-//!   invariant, or inconsistent), which drives scalar replacement.
+//!   invariant, or inconsistent), which drives scalar replacement;
+//! - [`lint`]: the kernel linter, reporting legality and profitability
+//!   problems as structured `DF0xx` diagnostics with source spans.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@
 pub mod access;
 pub mod dependence;
 pub mod linalg;
+pub mod lint;
 pub mod range;
 pub mod reuse;
 pub mod uniform;
@@ -54,6 +57,7 @@ pub use dependence::{
     CarriedAt, DepKind, Dependence, DependenceGraph, DistElem,
 };
 pub use linalg::{solve_affine, Rational, VarSolution};
+pub use lint::{lint_kernel, lint_source, LintContext, LintReport, LintRule};
 pub use range::{infer_ranges, Interval, RangeInfo};
 pub use reuse::{classify_set, classify_set_bounded, ReuseStrategy};
 pub use uniform::{uniform_sets, UniformSet};

@@ -1,0 +1,506 @@
+//! The kernel-level lint rules (`DF005`–`DF008`).
+
+use super::{LintContext, LintRule};
+use crate::access::AccessTable;
+use crate::dependence::{analyze_dependences_with_bounds, DependenceGraph, DistElem};
+use crate::range::Interval;
+use crate::uniform::uniform_sets;
+use defacto_ir::diag::{codes, Diagnostic};
+use defacto_ir::stmt::collect_accesses;
+use defacto_ir::{ArrayAccess, Expr, LValue, Stmt};
+use std::collections::{HashMap, HashSet};
+
+/// All kernel-level rules, in reporting order.
+pub fn all() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(OutOfBoundsAccess),
+        Box::new(UnusedDecl),
+        Box::new(JamBlocked),
+        Box::new(WriteWriteConflict),
+    ]
+}
+
+/// `DF005`: a subscript's value range, computed from the loop bounds by
+/// interval arithmetic, falls outside the declared extent.
+///
+/// Accesses under an `if` are skipped — the guard may be exactly what
+/// keeps them in bounds — while accesses in a `?:` are checked, since the
+/// reference interpreter evaluates both arms.
+pub struct OutOfBoundsAccess;
+
+impl LintRule for OutOfBoundsAccess {
+    fn code(&self) -> &'static str {
+        codes::OUT_OF_BOUNDS
+    }
+
+    fn name(&self) -> &'static str {
+        "out-of-bounds-access"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut env: HashMap<String, Interval> = HashMap::new();
+        check_bounds_stmts(ctx, ctx.kernel.body(), &mut env, &mut diags);
+        diags
+    }
+}
+
+fn check_bounds_stmts(
+    ctx: &LintContext<'_>,
+    stmts: &[Stmt],
+    env: &mut HashMap<String, Interval>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Array(a) = lhs {
+                    check_bounds_access(ctx, a, env, diags);
+                }
+                check_bounds_expr(ctx, rhs, env, diags);
+            }
+            Stmt::If { cond, .. } => {
+                // The condition always evaluates; the guarded bodies are
+                // skipped (see rule docs).
+                check_bounds_expr(ctx, cond, env, diags);
+            }
+            Stmt::For(l) => {
+                if l.trip_count() > 0 {
+                    let max = l.lower + (l.trip_count() - 1) * l.step;
+                    env.insert(l.var.clone(), Interval::new(l.lower, max));
+                    check_bounds_stmts(ctx, &l.body, env, diags);
+                    env.remove(&l.var);
+                }
+            }
+            Stmt::Rotate(_) => {}
+        }
+    }
+}
+
+fn check_bounds_expr(
+    ctx: &LintContext<'_>,
+    e: &Expr,
+    env: &HashMap<String, Interval>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match e {
+        Expr::Int(_) | Expr::Scalar(_) => {}
+        Expr::Load(a) => check_bounds_access(ctx, a, env, diags),
+        Expr::Unary(_, e) => check_bounds_expr(ctx, e, env, diags),
+        Expr::Binary(_, a, b) => {
+            check_bounds_expr(ctx, a, env, diags);
+            check_bounds_expr(ctx, b, env, diags);
+        }
+        Expr::Select(c, t, f) => {
+            check_bounds_expr(ctx, c, env, diags);
+            check_bounds_expr(ctx, t, env, diags);
+            check_bounds_expr(ctx, f, env, diags);
+        }
+    }
+}
+
+fn check_bounds_access(
+    ctx: &LintContext<'_>,
+    access: &ArrayAccess,
+    env: &HashMap<String, Interval>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(decl) = ctx.kernel.array(&access.array) else {
+        return; // undeclared arrays are the validator's problem
+    };
+    for (d, idx) in access.indices.iter().enumerate() {
+        let Some(&extent) = decl.dims.get(d) else {
+            continue;
+        };
+        let mut range = Interval::point(idx.constant_term());
+        let mut symbolic = false;
+        for v in idx.vars() {
+            match env.get(v) {
+                Some(&iv) => range = range.add(iv.mul(Interval::point(idx.coeff(v)))),
+                None => {
+                    symbolic = true;
+                    break;
+                }
+            }
+        }
+        if symbolic {
+            continue;
+        }
+        if range.lo < 0 || range.hi >= extent as i64 {
+            diags.push(
+                Diagnostic::error(
+                    codes::OUT_OF_BOUNDS,
+                    format!(
+                        "subscript {d} of `{}` spans {}..={} over the loop bounds, \
+                         outside the declared extent {extent}",
+                        access.array, range.lo, range.hi
+                    ),
+                )
+                .with_span_opt(ctx.spans.and_then(|s| s.access(access)))
+                .with_help(format!(
+                    "shrink the loop bounds or grow `{}` to at least {} elements",
+                    access.array,
+                    range.hi + 1
+                )),
+            );
+        }
+    }
+}
+
+/// `DF006`: a declared array or scalar is never referenced by the body.
+pub struct UnusedDecl;
+
+impl LintRule for UnusedDecl {
+    fn code(&self) -> &'static str {
+        codes::UNUSED_DECL
+    }
+
+    fn name(&self) -> &'static str {
+        "unused-declaration"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let used_arrays: HashSet<String> = collect_accesses(ctx.kernel.body())
+            .into_iter()
+            .map(|(a, _)| a.array)
+            .collect();
+        for a in ctx.kernel.arrays() {
+            if !used_arrays.contains(&a.name) {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::UNUSED_DECL,
+                        format!("array `{}` is declared but never accessed", a.name),
+                    )
+                    .with_span_opt(ctx.spans.and_then(|s| s.decl(&a.name)))
+                    .with_help("remove the declaration or reference the array"),
+                );
+            }
+        }
+        let mut used_scalars = HashSet::new();
+        collect_scalar_uses(ctx.kernel.body(), &mut used_scalars);
+        for s in ctx.kernel.scalars() {
+            if !used_scalars.contains(s.name.as_str()) {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::UNUSED_DECL,
+                        format!("scalar `{}` is declared but never used", s.name),
+                    )
+                    .with_span_opt(ctx.spans.and_then(|sp| sp.decl(&s.name)))
+                    .with_help("remove the declaration or reference the scalar"),
+                );
+            }
+        }
+        diags
+    }
+}
+
+fn collect_scalar_uses(stmts: &[Stmt], out: &mut HashSet<String>) {
+    fn expr(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::Int(_) | Expr::Load(_) => {}
+            Expr::Scalar(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Unary(_, e) => expr(e, out),
+            Expr::Binary(_, a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Expr::Select(c, t, f) => {
+                expr(c, out);
+                expr(t, out);
+                expr(f, out);
+            }
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Scalar(n) = lhs {
+                    out.insert(n.clone());
+                }
+                expr(rhs, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, out);
+                collect_scalar_uses(then_body, out);
+                collect_scalar_uses(else_body, out);
+            }
+            Stmt::For(l) => collect_scalar_uses(&l.body, out),
+            Stmt::Rotate(regs) => out.extend(regs.iter().cloned()),
+        }
+    }
+}
+
+/// `DF007`: the dependence structure blocks unroll-and-jam at *every*
+/// level that would jam inner loops, so the search can only unroll the
+/// innermost loop and most of the design space collapses.
+pub struct JamBlocked;
+
+impl LintRule for JamBlocked {
+    fn code(&self) -> &'static str {
+        codes::JAM_BLOCKED
+    }
+
+    fn name(&self) -> &'static str {
+        "jam-blocked-everywhere"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(nest) = ctx.kernel.perfect_nest() else {
+            return Vec::new();
+        };
+        let depth = nest.depth();
+        if depth < 2 {
+            return Vec::new(); // nothing to jam in a 1-deep nest
+        }
+        let table = AccessTable::from_stmts(nest.innermost_body());
+        let vars = nest.vars();
+        let bounds: Vec<(i64, i64)> = nest
+            .loops()
+            .iter()
+            .map(|l| (l.lower, l.upper - 1))
+            .collect();
+        let deps = analyze_dependences_with_bounds(&table, &vars, &bounds);
+        // A level is jammable when unrolling it (alone, by 2) keeps all
+        // dependences legal; mirror `defacto_xform::unroll_is_legal`.
+        let blocked: Vec<usize> = (0..depth - 1)
+            .filter(|&l| nest.loop_at(l).trip_count() >= 2 && jam_violation(&deps, l).is_some())
+            .collect();
+        let jammable = (0..depth - 1)
+            .any(|l| nest.loop_at(l).trip_count() >= 2 && jam_violation(&deps, l).is_none());
+        if jammable || blocked.is_empty() {
+            return Vec::new();
+        }
+        let (array, _) = jam_violation(&deps, blocked[0]).expect("blocked level has a violation");
+        vec![Diagnostic::warning(
+            codes::JAM_BLOCKED,
+            format!(
+                "dependences on `{array}` block unroll-and-jam at every loop level; \
+                 only innermost unrolling remains"
+            ),
+        )
+        .with_span_opt(ctx.spans.and_then(|s| s.loop_header(&nest.loop_at(0).var)))
+        .with_help("restructure the recurrence (e.g. skew or interchange the nest) to free a loop")]
+    }
+}
+
+/// The first dependence that makes jamming illegal after unrolling level
+/// `l` by 2, if any: carried at `l` within the unroll window with a
+/// negative or unknown component at a deeper level.
+fn jam_violation(deps: &DependenceGraph, l: usize) -> Option<(String, usize)> {
+    for dep in deps.deps().iter().filter(|d| d.kind.constrains()) {
+        if !dep.may_be_carried_by(l) {
+            continue;
+        }
+        let within_window = match dep.distance[l] {
+            DistElem::Exact(k) => k.abs() < 2,
+            DistElem::Any | DistElem::Unknown => true,
+        };
+        if !within_window {
+            continue;
+        }
+        for deeper in l + 1..dep.distance.len() {
+            match dep.distance[deeper] {
+                DistElem::Exact(k) if k < 0 => return Some((dep.array.clone(), deeper)),
+                DistElem::Unknown => return Some((dep.array.clone(), deeper)),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// `DF008`: two or more distinct uniformly generated write sets target
+/// one array, so redundant-write elimination cannot collapse the array's
+/// stores and scalar replacement keeps all of them in memory traffic.
+pub struct WriteWriteConflict;
+
+impl LintRule for WriteWriteConflict {
+    fn code(&self) -> &'static str {
+        codes::WRITE_WRITE_CONFLICT
+    }
+
+    fn name(&self) -> &'static str {
+        "write-write-conflict"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(nest) = ctx.kernel.perfect_nest() else {
+            return Vec::new();
+        };
+        let table = AccessTable::from_stmts(nest.innermost_body());
+        let vars = nest.vars();
+        let sets = uniform_sets(&table, &vars);
+        let mut write_sets_per_array: HashMap<&str, usize> = HashMap::new();
+        for set in sets.iter().filter(|s| s.is_write) {
+            *write_sets_per_array.entry(set.array.as_str()).or_default() += 1;
+        }
+        let mut conflicted: Vec<&str> = write_sets_per_array
+            .iter()
+            .filter(|(_, &n)| n >= 2)
+            .map(|(&a, _)| a)
+            .collect();
+        conflicted.sort_unstable();
+        conflicted
+            .into_iter()
+            .map(|array| {
+                let span = ctx.spans.and_then(|s| {
+                    collect_accesses(nest.innermost_body())
+                        .iter()
+                        .find(|(a, w)| *w && a.array == array)
+                        .and_then(|(a, _)| s.access(a))
+                });
+                Diagnostic::warning(
+                    codes::WRITE_WRITE_CONFLICT,
+                    format!(
+                        "array `{array}` is written through multiple distinct references; \
+                         redundant-write elimination cannot collapse its stores"
+                    ),
+                )
+                .with_span_opt(span)
+                .with_help("write each array element through a single reference shape")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint_source;
+
+    #[test]
+    fn out_of_bounds_constant_access_is_reported() {
+        let src = "kernel oob { in A: i32[16]; out B: i32[16];
+               for i in 0..16 { B[i] = A[i + 4]; } }";
+        let report = lint_source(src);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::OUT_OF_BOUNDS)
+            .expect("DF005 reported");
+        assert!(d.is_error());
+        assert!(d.message.contains("4..=19"), "{}", d.message);
+        assert!(d.primary.is_some());
+    }
+
+    #[test]
+    fn negative_subscript_is_reported() {
+        let report = lint_source(
+            "kernel neg { in A: i32[16]; out B: i32[16];
+               for i in 0..16 { B[i] = A[i - 1]; } }",
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::OUT_OF_BOUNDS));
+    }
+
+    #[test]
+    fn guarded_access_is_not_reported() {
+        // The `if` keeps the access in bounds; the rule must stay silent.
+        let report = lint_source(
+            "kernel g { in A: i32[16]; out B: i32[16];
+               for i in 0..16 { if (i > 0) { B[i] = A[i - 1]; } } }",
+        );
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::OUT_OF_BOUNDS),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn stencil_with_shifted_bounds_is_clean() {
+        // jac-style bounds: 1..33 keeps i-1 and i+1 inside [0, 34).
+        let report = lint_source(
+            "kernel j { in A: i16[34]; out B: i16[34];
+               for i in 1..33 { B[i] = (A[i - 1] + A[i + 1]) / 2; } }",
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unused_array_and_scalar_are_warned() {
+        let report = lint_source(
+            "kernel u { in A: i32[4]; in T: i32[4]; out B: i32[4]; var t: i32;
+               for i in 0..4 { B[i] = A[i]; } }",
+        );
+        let unused: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::UNUSED_DECL)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(unused.len(), 2, "{unused:?}");
+        assert!(unused.iter().any(|m| m.contains("`T`")));
+        assert!(unused.iter().any(|m| m.contains("`t`")));
+        assert!(!report.has_errors(), "DF006 is a warning");
+    }
+
+    #[test]
+    fn wavefront_recurrence_blocks_all_jamming() {
+        let report = lint_source(
+            "kernel wf { inout A: i32[9][9];
+               for i in 0..8 { for j in 1..8 {
+                 A[i][j] = A[i + 1][j - 1] + 1; } } }",
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::JAM_BLOCKED),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn fir_jams_fine() {
+        let report = lint_source(
+            "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+               for j in 0..64 { for i in 0..32 {
+                 D[j] = D[j] + S[i + j] * C[i]; } } }",
+        );
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::JAM_BLOCKED));
+    }
+
+    #[test]
+    fn distinct_write_references_conflict() {
+        let report = lint_source(
+            "kernel ww { out A: i32[66]; in B: i32[66];
+               for i in 0..32 { A[i] = B[i]; A[2*i] = B[i + 1]; } }",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::WRITE_WRITE_CONFLICT)
+            .expect("DF008 reported");
+        assert!(!d.is_error(), "DF008 is a warning");
+        assert!(d.message.contains("`A`"));
+    }
+
+    #[test]
+    fn single_write_reference_is_clean() {
+        let report = lint_source(
+            "kernel sw { out A: i32[32]; in B: i32[32];
+               for i in 0..32 { A[i] = B[i] * 2; } }",
+        );
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::WRITE_WRITE_CONFLICT));
+    }
+}

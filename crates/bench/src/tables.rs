@@ -122,6 +122,10 @@ pub struct SearchStatsRow {
     pub trace_events: usize,
     /// Invariant violations the auditor found in the trace (expected 0).
     pub audit_violations: usize,
+    /// Lint diagnostics per `DF0xx` code, sorted (front-end rules plus
+    /// the platform capacity rule). The paper suite is expected to be
+    /// clean.
+    pub lint_hits: Vec<(String, usize)>,
 }
 
 /// Compute the search statistics across the suite.
@@ -140,15 +144,24 @@ pub fn search_stats() -> Vec<SearchStatsRow> {
             let events = sink.events();
             let audit = audit_search_trace(&events, &space, &sat);
             // The paper counts "all possible unroll factors for each
-            // loop": the full integer grid over the explored loops.
-            let norm = defacto_xform::normalize_loops(&bk.kernel).expect("normalizes");
-            let nest = norm.perfect_nest().expect("perfect nest");
-            let full_space: u64 = nest
-                .trip_counts()
-                .iter()
-                .zip(&sat.unrollable)
-                .map(|(&t, &on)| if on { t as u64 } else { 1 })
-                .product();
+            // loop": the full integer grid over the explored loops. Fall
+            // back to the divisor space if the kernel ever stops
+            // normalizing to a perfect nest rather than panicking mid
+            // report.
+            let full_space: u64 = defacto_xform::normalize_loops(&bk.kernel)
+                .ok()
+                .and_then(|norm| {
+                    let nest = norm.perfect_nest()?;
+                    Some(
+                        nest.trip_counts()
+                            .iter()
+                            .zip(&sat.unrollable)
+                            .map(|(&t, &on)| if on { t as u64 } else { 1 })
+                            .product(),
+                    )
+                })
+                .unwrap_or_else(|| space.size());
+            let lint = ex.lint();
             out.push(SearchStatsRow {
                 kernel: bk.name.to_string(),
                 memory: label.to_string(),
@@ -161,6 +174,7 @@ pub fn search_stats() -> Vec<SearchStatsRow> {
                 cache_hit_rate: r.stats.cache_hit_rate(),
                 trace_events: events.len(),
                 audit_violations: audit.violations.len(),
+                lint_hits: lint.rule_hits.into_iter().collect(),
             });
         }
     }
@@ -184,6 +198,15 @@ pub fn print_search_stats(rows: &[SearchStatsRow]) {
                 format!("{:.0}%", 100.0 * r.cache_hit_rate),
                 r.trace_events.to_string(),
                 r.audit_violations.to_string(),
+                if r.lint_hits.is_empty() {
+                    "clean".to_string()
+                } else {
+                    r.lint_hits
+                        .iter()
+                        .map(|(code, n)| format!("{code}:{n}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                },
             ]
         })
         .collect();
@@ -203,6 +226,7 @@ pub fn print_search_stats(rows: &[SearchStatsRow]) {
                 "hit rate",
                 "events",
                 "audit",
+                "lint",
             ],
             &table_rows
         )
@@ -356,5 +380,18 @@ mod tests {
         let avg: f64 = rows.iter().map(|r| r.fraction_full).sum::<f64>() / rows.len() as f64;
         // The paper reports 0.3%; we stay within the same order.
         assert!(avg < 0.02, "average fraction {avg}");
+    }
+
+    #[test]
+    fn paper_suite_is_lint_clean() {
+        for row in search_stats() {
+            assert!(
+                row.lint_hits.is_empty(),
+                "{} ({}): {:?}",
+                row.kernel,
+                row.memory,
+                row.lint_hits
+            );
+        }
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! defacto explore <file> [options]   run the balance-guided search
+//! defacto lint    <file> [options]   report DF0xx diagnostics for the kernel
 //! defacto audit   <file> [options]   trace the search and verify invariants
 //! defacto sweep   <file> [options]   evaluate every design in the space
 //! defacto analyze <file> [options]   saturation & dependence analysis
@@ -16,8 +17,12 @@
 //!   --threads N                        evaluation worker threads
 //!                                      (default: DEFACTO_THREADS or all cores)
 //!   --trace FILE                       write the search trace as JSONL
+//!   --verify                           re-verify IR invariants after every pass
 //!   --json                             machine-readable output
 //! ```
+//!
+//! `lint` exits non-zero when it reports anything; `explore` runs the
+//! linter first and refuses kernels with lint *errors*.
 //!
 //! The binary is a thin wrapper over [`run`], which is fully testable.
 
@@ -44,6 +49,8 @@ pub struct Cli {
     pub threads: Option<usize>,
     /// Write the search trace to this JSONL file.
     pub trace: Option<String>,
+    /// Run the IR verifier after every transformation pass.
+    pub verify: bool,
     /// Emit JSON instead of tables.
     pub json: bool,
 }
@@ -53,6 +60,8 @@ pub struct Cli {
 pub enum Command {
     /// Balance-guided search.
     Explore,
+    /// Kernel lint: structured `DF0xx` diagnostics.
+    Lint,
     /// Trace the search and replay the trace against the paper's
     /// invariants.
     Audit,
@@ -78,10 +87,36 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// `lint` found something: the rendered diagnostics plus a summary. The
+/// binary surfaces this with a non-zero exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFailure {
+    /// Number of error-severity diagnostics.
+    pub errors: usize,
+    /// Number of warning-severity diagnostics.
+    pub warnings: usize,
+    /// The diagnostics, already rendered (human or JSON per `--json`).
+    pub rendered: String,
+}
+
+impl std::fmt::Display for LintFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "lint reported {} error(s), {} warning(s)",
+            self.errors, self.warnings
+        )?;
+        write!(f, "{}", self.rendered)
+    }
+}
+
+impl std::error::Error for LintFailure {}
+
 /// The usage string printed on bad invocations.
-pub const USAGE: &str = "usage: defacto <explore|audit|sweep|analyze|vhdl|schedule> <file.kernel> \
-[--memory pipelined|non-pipelined] [--memories N] \
-[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] [--json]";
+pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule> \
+<file.kernel> [--memory pipelined|non-pipelined] [--memories N] \
+[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] \
+[--verify] [--json]";
 
 /// Parse command-line arguments (without the program name).
 ///
@@ -93,6 +128,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut it = args.iter();
     let command = match it.next().map(String::as_str) {
         Some("explore") => Command::Explore,
+        Some("lint") => Command::Lint,
         Some("audit") => Command::Audit,
         Some("sweep") => Command::Sweep,
         Some("analyze") => Command::Analyze,
@@ -112,6 +148,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut unroll = None;
     let mut threads = None;
     let mut trace = None;
+    let mut verify = false;
     let mut json = false;
 
     while let Some(flag) = it.next() {
@@ -172,6 +209,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     .ok_or_else(|| UsageError("--trace expects a file path".into()))?;
                 trace = Some(path.clone());
             }
+            "--verify" => verify = true,
             "--json" => json = true,
             other => return Err(UsageError(format!("unknown flag `{other}`\n{USAGE}"))),
         }
@@ -190,6 +228,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         unroll,
         threads,
         trace,
+        verify,
         json,
     })
 }
@@ -201,17 +240,33 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
 ///
 /// Propagates parse/exploration failures as boxed errors.
 pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>> {
+    if cli.command == Command::Lint {
+        return run_lint(cli, source);
+    }
     let kernel = parse_kernel(source)?;
     let mut explorer = Explorer::new(&kernel)
         .memory(cli.memory.clone())
-        .device(cli.device.clone());
+        .device(cli.device.clone())
+        .verify_each_pass(cli.verify);
     if let Some(n) = cli.threads {
         explorer = explorer.threads(n);
     }
     let mut out = String::new();
 
     match cli.command {
+        Command::Lint => unreachable!("handled above"),
         Command::Explore => {
+            // Gate the search on the linter: a kernel with lint errors
+            // would fail (or mislead) mid-search anyway; report the
+            // diagnostics up front instead. Warnings do not block.
+            let lint = full_lint(&explorer, source);
+            if lint.has_errors() {
+                return Err(Box::new(LintFailure {
+                    errors: lint.error_count(),
+                    warnings: lint.warning_count(),
+                    rendered: defacto::ir::diag::render_all_human(&lint.diagnostics, Some(source)),
+                }));
+            }
             let jsonl = match &cli.trace {
                 Some(path) => {
                     let sink = Arc::new(JsonlSink::create(path)?);
@@ -231,6 +286,7 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     "visited": r.visited.len(),
                     "space_size": r.space_size,
                     "termination": format!("{:?}", r.termination),
+                    "verified_each_pass": cli.verify,
                     "stats": serde_json::json!({
                         "evaluated": r.stats.evaluated,
                         "cache_hits": r.stats.cache_hits,
@@ -265,6 +321,15 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     if r.stats.workers == 1 { "" } else { "s" },
                     r.stats.wall.as_secs_f64() * 1e3
                 )?;
+                if cli.verify {
+                    // Reaching here means no evaluation raised
+                    // `XformError::Verify`: every pass of every visited
+                    // design produced structurally sound IR.
+                    writeln!(
+                        out,
+                        "verifier: clean after every pass of every visited design"
+                    )?;
+                }
             }
         }
         Command::Audit => {
@@ -387,6 +452,63 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
         }
     }
     Ok(out)
+}
+
+/// Front-end lint over the source text plus the platform capacity rule.
+///
+/// The `DF009` check only runs on kernels that are otherwise error-free:
+/// a kernel that does not parse has no saturation point to test.
+fn full_lint(explorer: &Explorer<'_>, source: &str) -> LintReport {
+    let mut report = lint_source(source);
+    if !report.has_errors() {
+        for d in explorer.capacity_diagnostics() {
+            report.push(d);
+        }
+    }
+    report
+}
+
+/// The `lint` subcommand: render every diagnostic; any finding at all
+/// (errors *or* warnings) is a non-zero exit, so CI can gate on a clean
+/// corpus.
+fn run_lint(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let mut report = lint_source(source);
+    let parsed = if report.has_errors() {
+        None
+    } else {
+        parse_kernel(source).ok()
+    };
+    if let Some(kernel) = &parsed {
+        let mut explorer = Explorer::new(kernel)
+            .memory(cli.memory.clone())
+            .device(cli.device.clone());
+        if let Some(n) = cli.threads {
+            explorer = explorer.threads(n);
+        }
+        for d in explorer.capacity_diagnostics() {
+            report.push(d);
+        }
+    }
+    let rendered = if cli.json {
+        defacto::ir::diag::render_all_json(&report.diagnostics)
+    } else {
+        defacto::ir::diag::render_all_human(&report.diagnostics, Some(source))
+    };
+    if report.diagnostics.is_empty() {
+        return Ok(if cli.json {
+            rendered
+        } else {
+            let name = parsed
+                .as_ref()
+                .map_or_else(|| cli.file.clone(), |k| format!("`{}`", k.name()));
+            format!("{name}: no diagnostics\n")
+        });
+    }
+    Err(Box::new(LintFailure {
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        rendered,
+    }))
 }
 
 #[cfg(test)]
@@ -528,5 +650,72 @@ mod tests {
     fn bad_kernel_source_errors() {
         let cli = parse_args(&argv("explore x.kernel")).unwrap();
         assert!(run(&cli, "kernel broken {").is_err());
+    }
+
+    #[test]
+    fn lint_clean_kernel_exits_zero() {
+        let cli = parse_args(&argv("lint fir.kernel")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("no diagnostics"), "{out}");
+    }
+
+    #[test]
+    fn lint_bad_kernel_is_an_error_with_code_and_span() {
+        let cli = parse_args(&argv("lint x.kernel")).unwrap();
+        let src = "kernel x { in A: i32[16]; out B: i32[4];
+               for i in 0..4 { B[i] = A[i * i]; } }";
+        let err = run(&cli, src).unwrap_err().to_string();
+        assert!(err.contains("error[DF002]"), "{err}");
+        assert!(err.contains("i * i"), "{err}");
+        assert!(err.contains("-->"), "{err}"); // span rendered
+    }
+
+    #[test]
+    fn lint_warnings_also_exit_nonzero() {
+        let cli = parse_args(&argv("lint x.kernel")).unwrap();
+        let src = "kernel x { in A: i32[4]; in U: i32[4]; out B: i32[4];
+               for i in 0..4 { B[i] = A[i]; } }";
+        let err = run(&cli, src).unwrap_err().to_string();
+        assert!(err.contains("warning[DF006]"), "{err}");
+        assert!(err.contains("0 error(s), 1 warning(s)"), "{err}");
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let cli = parse_args(&argv("lint x.kernel --json")).unwrap();
+        let src = "kernel x { in A: i32[4]; for i in 0..n { A[i] = A[i]; } }";
+        let err = run(&cli, src).unwrap_err();
+        let lint = err.downcast_ref::<LintFailure>().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&lint.rendered).unwrap();
+        assert_eq!(v[0]["code"], "DF003");
+        assert_eq!(v[0]["severity"], "error");
+    }
+
+    #[test]
+    fn lint_small_device_reports_capacity() {
+        // 16 memories push Psat to 16; no P(U)=16 design fits an XCV300.
+        let cli = parse_args(&argv("lint fir.kernel --device xcv300 --memories 16")).unwrap();
+        match run(&cli, FIR) {
+            Ok(out) => panic!("expected DF009, got clean: {out}"),
+            Err(e) => assert!(e.to_string().contains("DF009"), "{e}"),
+        }
+    }
+
+    #[test]
+    fn explore_refuses_kernels_with_lint_errors() {
+        let cli = parse_args(&argv("explore x.kernel")).unwrap();
+        // Parses fine but indexes A out of bounds (DF005).
+        let src = "kernel x { in A: i32[4]; out B: i32[8];
+               for i in 0..8 { B[i] = A[i]; } }";
+        let err = run(&cli, src).unwrap_err().to_string();
+        assert!(err.contains("DF005"), "{err}");
+    }
+
+    #[test]
+    fn explore_with_verify_reports_clean_verifier() {
+        let cli = parse_args(&argv("explore fir.kernel --verify")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("verifier: clean"), "{out}");
+        assert!(out.contains("selected unroll"), "{out}");
     }
 }

@@ -106,6 +106,24 @@ impl<'k> Explorer<'k> {
         self
     }
 
+    /// The device being targeted.
+    pub fn device_ref(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// The kernel being explored.
+    pub fn kernel_ref(&self) -> &Kernel {
+        self.kernel
+    }
+
+    /// Run the IR verifier on every transformation pass's output (see
+    /// [`TransformOptions::verify_each_pass`]): a pass that emits
+    /// malformed IR fails the evaluation instead of skewing estimates.
+    pub fn verify_each_pass(mut self, on: bool) -> Self {
+        self.opts.verify_each_pass = on;
+        self
+    }
+
     /// Override the transformation options (e.g. for ablations). The
     /// memory count is forced back in sync with the memory model.
     pub fn options(mut self, opts: TransformOptions) -> Self {

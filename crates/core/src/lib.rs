@@ -41,6 +41,7 @@ pub mod engine;
 pub mod error;
 pub mod exhaustive;
 pub mod explorer;
+pub mod lint;
 pub mod multi;
 pub mod saturation;
 pub mod search;
@@ -49,6 +50,8 @@ pub mod strategies;
 pub mod trace;
 
 pub use audit::{audit_search_trace, AuditReport, AuditViolation, Invariant};
+pub use defacto_analysis::{lint_kernel, lint_source, LintReport};
+pub use defacto_ir::{diag, Diagnostic, Severity};
 pub use engine::{
     CacheKey, CacheShardStats, CounterSnapshot, EstimateCache, EvalEngine, EvalStats,
 };
@@ -84,7 +87,8 @@ pub mod prelude {
     pub use crate::space::DesignSpace;
     pub use crate::strategies::{hill_climb, random_search, StrategyOutcome};
     pub use crate::trace::{MemorySink, TraceEvent, TraceSink};
-    pub use defacto_ir::{parse_kernel, Kernel, KernelBuilder};
+    pub use defacto_analysis::{lint_kernel, lint_source, LintReport};
+    pub use defacto_ir::{parse_kernel, Diagnostic, Kernel, KernelBuilder, Severity};
     pub use defacto_synth::{Estimate, FpgaDevice, MemoryModel};
     pub use defacto_xform::{TransformOptions, UnrollVector};
 }

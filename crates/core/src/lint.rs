@@ -1,0 +1,130 @@
+//! Platform-aware lint: the capacity rule `DF009`.
+//!
+//! The front-end rules (`DF001`–`DF008`) live in `defacto_analysis::lint`
+//! and need nothing but the kernel. `DF009` asks whether the *platform*
+//! can realize the kernel's saturation point — it needs saturation
+//! analysis and behavioral-synthesis estimates, so it lives here and is
+//! composed with the front-end driver by [`Explorer::lint`].
+
+use crate::explorer::Explorer;
+use defacto_analysis::{lint_kernel, LintReport};
+use defacto_ir::diag::{codes, Diagnostic};
+use defacto_xform::UnrollVector;
+
+impl Explorer<'_> {
+    /// The `DF009` capacity check against this explorer's device.
+    ///
+    /// - **error** when not even the baseline design (no unrolling) fits
+    ///   the device — every point of the space is infeasible;
+    /// - **warning** when the baseline fits but no saturation-set design
+    ///   does: the search will terminate on capacity before reaching
+    ///   balance, settling for a memory-starved design.
+    ///
+    /// Kernels the saturation analysis rejects (imperfect nests) yield no
+    /// diagnostics here — the front-end rules already report why.
+    pub fn capacity_diagnostics(&self) -> Vec<Diagnostic> {
+        let Ok((sat, space)) = self.analyze() else {
+            return Vec::new();
+        };
+        let device = self.device_ref();
+        let baseline = UnrollVector::ones(space.levels());
+        if let Ok(d) = self.evaluate(&baseline) {
+            if !d.estimate.fits {
+                return vec![Diagnostic::error(
+                    codes::CAPACITY_INFEASIBLE,
+                    format!(
+                        "baseline design needs {} slices but device `{}` has {}",
+                        d.estimate.slices, device.name, device.capacity_slices
+                    ),
+                )
+                .with_help("no unroll vector can fit; target a larger device")];
+            }
+        }
+        let mut smallest: Option<u32> = None;
+        for u in &sat.sat_set {
+            match self.evaluate(u) {
+                Ok(d) if d.estimate.fits => return Vec::new(),
+                Ok(d) => {
+                    smallest =
+                        Some(smallest.map_or(d.estimate.slices, |s| s.min(d.estimate.slices)))
+                }
+                Err(_) => {}
+            }
+        }
+        match smallest {
+            Some(slices) => vec![Diagnostic::warning(
+                codes::CAPACITY_INFEASIBLE,
+                format!(
+                    "no saturation-set design (P(U) = {}) fits device `{}`: \
+                     smallest needs {} of {} slices",
+                    sat.psat, device.name, slices, device.capacity_slices
+                ),
+            )
+            .with_help(
+                "the search will stop on capacity before reaching balance; \
+                 target a larger device to exploit the full memory bandwidth",
+            )],
+            // Empty saturation set (psat above the space maximum): the
+            // space itself caps parallelism first, capacity is moot.
+            None => Vec::new(),
+        }
+    }
+
+    /// Lint the kernel with every front-end rule plus the `DF009`
+    /// capacity rule for this explorer's platform.
+    ///
+    /// The kernel is already parsed, so diagnostics carry no source
+    /// spans; the CLI composes [`defacto_analysis::lint_source`] (which
+    /// has them) with [`Explorer::capacity_diagnostics`] instead.
+    pub fn lint(&self) -> LintReport {
+        let mut report = lint_kernel(self.kernel_ref());
+        for d in self.capacity_diagnostics() {
+            report.push(d);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defacto_ir::parse_kernel;
+    use defacto_synth::FpgaDevice;
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    #[test]
+    fn fir_on_virtex1000_is_capacity_clean() {
+        let k = parse_kernel(FIR).unwrap();
+        let report = Explorer::new(&k).lint();
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn tiny_device_trips_df009() {
+        let k = parse_kernel(FIR).unwrap();
+        let tiny = FpgaDevice {
+            name: "tiny".into(),
+            capacity_slices: 900,
+            clock_ns: 40,
+        };
+        let diags = Explorer::new(&k).device(tiny).capacity_diagnostics();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::CAPACITY_INFEASIBLE);
+    }
+
+    #[test]
+    fn df009_is_an_error_when_even_the_baseline_overflows() {
+        let k = parse_kernel(FIR).unwrap();
+        let hopeless = FpgaDevice {
+            name: "hopeless".into(),
+            capacity_slices: 1,
+            clock_ns: 40,
+        };
+        let report = Explorer::new(&k).device(hopeless).lint();
+        assert!(report.has_errors(), "{:?}", report.diagnostics);
+        assert_eq!(report.rule_hits.get("DF009"), Some(&1));
+    }
+}

@@ -1,5 +1,6 @@
 //! Error types shared across the IR crate.
 
+use crate::span::Span;
 use std::fmt;
 
 /// Convenience alias for results produced by this crate.
@@ -18,7 +19,12 @@ pub enum IrError {
         msg: String,
     },
     /// A subscript expression was not affine in the loop index variables.
-    NonAffine(String),
+    NonAffine {
+        /// The offending expression, pretty-printed.
+        expr: String,
+        /// Where the subscript appears in the source.
+        span: Span,
+    },
     /// A name was referenced but never declared.
     Undeclared(String),
     /// A name was declared more than once.
@@ -53,7 +59,9 @@ impl fmt::Display for IrError {
             IrError::Parse { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }
-            IrError::NonAffine(e) => write!(f, "subscript expression is not affine: {e}"),
+            IrError::NonAffine { expr, .. } => {
+                write!(f, "subscript expression is not affine: {expr}")
+            }
             IrError::Undeclared(n) => write!(f, "use of undeclared name `{n}`"),
             IrError::Redeclared(n) => write!(f, "name `{n}` declared more than once"),
             IrError::DimensionMismatch {
@@ -88,7 +96,10 @@ mod tests {
                 col: 2,
                 msg: "unexpected token".into(),
             },
-            IrError::NonAffine("i*i".into()),
+            IrError::NonAffine {
+                expr: "i*i".into(),
+                span: Span::default(),
+            },
             IrError::Undeclared("x".into()),
             IrError::Redeclared("x".into()),
             IrError::DimensionMismatch {

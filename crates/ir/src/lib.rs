@@ -46,23 +46,29 @@
 pub mod affine;
 pub mod builder;
 pub mod decl;
+pub mod diag;
 pub mod error;
 pub mod expr;
 pub mod interp;
 pub mod kernel;
 pub mod parser;
 pub mod pretty;
+pub mod span;
 pub mod stmt;
 pub mod types;
+pub mod verify;
 pub mod visit;
 
 pub use affine::AffineExpr;
 pub use builder::{BodyBuilder, KernelBuilder};
 pub use decl::{ArrayDecl, ArrayKind, ScalarDecl};
+pub use diag::{Diagnostic, Severity};
 pub use error::{IrError, Result};
 pub use expr::{ArrayAccess, BinOp, Expr, UnOp};
 pub use interp::{run_with_inputs, ExecStats, Interpreter, Workspace};
 pub use kernel::{Kernel, NestView};
-pub use parser::parse_kernel;
+pub use parser::{parse_kernel, parse_kernel_with_spans};
+pub use span::{Span, SpanMap};
 pub use stmt::{LValue, Loop, Stmt};
 pub use types::ScalarType;
+pub use verify::verify;

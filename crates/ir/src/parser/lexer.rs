@@ -71,7 +71,7 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its source position (1-based line/column).
+/// A token with its source position (1-based line/column) and byte range.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// What was lexed.
@@ -80,6 +80,17 @@ pub struct Token {
     pub line: usize,
     /// Column of the first character.
     pub col: usize,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's source span.
+    pub fn span(&self) -> crate::span::Span {
+        crate::span::Span::new(self.start, self.end, self.line, self.col)
+    }
 }
 
 /// Tokenize `src`, appending an [`TokenKind::Eof`] sentinel.
@@ -94,36 +105,46 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = src.chars().collect();
     let mut i = 0;
+    let mut off = 0; // byte offset of chars[i]
     let mut line = 1;
     let mut col = 1;
 
+    // Single-character and symbol tokens are ASCII, so their byte length
+    // equals their character length; only whitespace/comments may contain
+    // wider characters, handled with `len_utf8` below.
     macro_rules! push {
         ($kind:expr, $len:expr, $l:expr, $c:expr) => {{
             tokens.push(Token {
                 kind: $kind,
                 line: $l,
                 col: $c,
+                start: off,
+                end: off + $len,
             });
             i += $len;
+            off += $len;
             col += $len;
         }};
     }
 
     while i < chars.len() {
         let c = chars[i];
-        let (tl, tc) = (line, col);
+        let (tl, tc, toff) = (line, col, off);
         match c {
             '\n' => {
                 i += 1;
+                off += 1;
                 line += 1;
                 col = 1;
             }
             c if c.is_whitespace() => {
                 i += 1;
+                off += c.len_utf8();
                 col += 1;
             }
             '/' if chars.get(i + 1) == Some(&'/') => {
                 while i < chars.len() && chars[i] != '\n' {
+                    off += chars[i].len_utf8();
                     i += 1;
                 }
             }
@@ -134,10 +155,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = chars[start..i].iter().collect();
                 col += i - start;
+                off += i - start;
                 tokens.push(Token {
                     kind: TokenKind::Ident(text),
                     line: tl,
                     col: tc,
+                    start: toff,
+                    end: off,
                 });
             }
             c if c.is_ascii_digit() => {
@@ -147,6 +171,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = chars[start..i].iter().collect();
                 col += i - start;
+                off += i - start;
                 let value: i64 = text.parse().map_err(|_| IrError::Parse {
                     line: tl,
                     col: tc,
@@ -156,6 +181,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     kind: TokenKind::Int(value),
                     line: tl,
                     col: tc,
+                    start: toff,
+                    end: off,
                 });
             }
             '{' => push!(TokenKind::LBrace, 1, tl, tc),
@@ -200,6 +227,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
         kind: TokenKind::Eof,
         line,
         col,
+        start: off,
+        end: off,
     });
     Ok(tokens)
 }
@@ -265,6 +294,22 @@ mod tests {
         let toks = lex("ab\n  cd").unwrap();
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_offsets_slice_back_to_source() {
+        let src = "ab\n  cd[3]";
+        for t in lex(src).unwrap() {
+            let text = &src[t.start..t.end];
+            match &t.kind {
+                TokenKind::Ident(n) => assert_eq!(text, n),
+                TokenKind::Int(v) => assert_eq!(text, v.to_string()),
+                TokenKind::LBracket => assert_eq!(text, "["),
+                TokenKind::RBracket => assert_eq!(text, "]"),
+                TokenKind::Eof => assert!(text.is_empty()),
+                other => panic!("unexpected token {other:?}"),
+            }
+        }
     }
 
     #[test]

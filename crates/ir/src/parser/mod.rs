@@ -10,6 +10,7 @@ mod parse;
 
 use crate::error::Result;
 use crate::kernel::Kernel;
+use crate::span::SpanMap;
 
 pub use lexer::{Token, TokenKind};
 
@@ -37,8 +38,24 @@ pub use lexer::{Token, TokenKind};
 /// # }
 /// ```
 pub fn parse_kernel(src: &str) -> Result<Kernel> {
+    parse_kernel_with_spans(src).map(|(k, _)| k)
+}
+
+/// Parse a kernel and also return the [`SpanMap`] side-table mapping its
+/// declarations, loop headers and array accesses back to source spans.
+///
+/// Diagnostics (see [`crate::diag`]) use the map to point at the offending
+/// entity. Spans live in a side table rather than in the AST so that
+/// parsed and programmatically built kernels remain structurally equal.
+///
+/// # Errors
+///
+/// Same as [`parse_kernel`].
+pub fn parse_kernel_with_spans(src: &str) -> Result<(Kernel, SpanMap)> {
     let tokens = lexer::lex(src)?;
-    parse::Parser::new(tokens).parse_kernel()
+    let mut parser = parse::Parser::new(tokens);
+    let kernel = parser.parse_kernel()?;
+    Ok((kernel, parser.take_spans()))
 }
 
 #[cfg(test)]
@@ -112,7 +129,7 @@ mod tests {
           for i in 0..4 { B[i] = A[i * i]; }
         }";
         let err = parse_kernel(src).unwrap_err();
-        assert!(matches!(err, crate::IrError::NonAffine(_)), "{err}");
+        assert!(matches!(err, crate::IrError::NonAffine { .. }), "{err}");
     }
 
     #[test]
@@ -147,6 +164,77 @@ mod tests {
             crate::IrError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn rejects_missing_loop_bound() {
+        let err = parse_kernel(
+            "kernel x { in A: i32[4]; out B: i32[4];
+               for i in 0.. { B[i] = A[i]; } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::IrError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("loop upper bound"), "{err}");
+    }
+
+    #[test]
+    fn rejects_symbolic_loop_bound_with_targeted_message() {
+        let err = parse_kernel(
+            "kernel x { in A: i32[4]; out B: i32[4];
+               for i in 0..n { B[i] = A[i]; } }",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("must be a compile-time constant"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_control_flow_keywords() {
+        for stmt in ["while (1) { }", "break;", "continue;", "return;"] {
+            let src = format!("kernel x {{ in A: i32[4]; for i in 0..4 {{ {stmt} }} }}");
+            let err = parse_kernel(&src).unwrap_err();
+            assert!(
+                err.to_string().contains("unsupported control flow"),
+                "{stmt}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_subscript_with_span() {
+        let src = "kernel x { in A: i32[16]; out B: i32[4];
+               for i in 0..4 { B[i] = A[i * i]; } }";
+        match parse_kernel(src).unwrap_err() {
+            crate::IrError::NonAffine { expr, span } => {
+                assert_eq!(expr, "i * i");
+                assert_eq!(&src[span.start..span.end], "i * i");
+            }
+            other => panic!("expected NonAffine, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_array_decl() {
+        let err = parse_kernel(
+            "kernel x { in A: i32[4]; in A: i32[8];
+               for i in 0..4 { A[i] = A[i]; } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::IrError::Redeclared(_)), "{err}");
+    }
+
+    #[test]
+    fn span_map_locates_entities() {
+        let (k, spans) = parse_kernel_with_spans(FIR).unwrap();
+        let d_span = spans.decl("D").unwrap();
+        assert_eq!(&FIR[d_span.start..d_span.end], "D");
+        assert!(spans.loop_header("j").is_some());
+        assert!(spans.kernel_name().is_some());
+        let (acc, _) = crate::stmt::collect_accesses(k.body())[0].clone();
+        let a_span = spans.access(&acc).unwrap();
+        assert_eq!(&FIR[a_span.start..a_span.end], "D[j]");
     }
 
     #[test]

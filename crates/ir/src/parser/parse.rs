@@ -6,17 +6,35 @@ use crate::decl::{ArrayDecl, ArrayKind, ScalarDecl};
 use crate::error::{IrError, Result};
 use crate::expr::{ArrayAccess, BinOp, Expr, UnOp};
 use crate::kernel::Kernel;
+use crate::span::{Span, SpanMap};
 use crate::stmt::{LValue, Loop, Stmt};
 use crate::types::ScalarType;
+
+/// Control-flow keywords of C-family languages the DSL deliberately does
+/// not support; naming them yields a targeted diagnostic (DF004) instead
+/// of a generic syntax error.
+const UNSUPPORTED_CONTROL_FLOW: &[&str] = &[
+    "while", "do", "break", "continue", "switch", "goto", "return",
+];
 
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    spans: SpanMap,
 }
 
 impl Parser {
     pub(crate) fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            spans: SpanMap::default(),
+        }
+    }
+
+    /// The span side-table accumulated while parsing.
+    pub(crate) fn take_spans(self) -> SpanMap {
+        self.spans
     }
 
     fn peek(&self) -> &TokenKind {
@@ -30,6 +48,16 @@ impl Parser {
     fn here(&self) -> (usize, usize) {
         let t = &self.tokens[self.pos];
         (t.line, t.col)
+    }
+
+    /// Span of the current token.
+    fn span_here(&self) -> Span {
+        self.tokens[self.pos].span()
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span()
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -99,7 +127,9 @@ impl Parser {
         if !self.eat_keyword("kernel") {
             return Err(self.error("expected `kernel`"));
         }
+        let name_span = self.span_here();
         let name = self.expect_ident("kernel name")?;
+        self.spans.record_kernel_name(name_span);
         self.expect(TokenKind::LBrace, "`{`")?;
 
         let mut arrays = Vec::new();
@@ -135,7 +165,9 @@ impl Parser {
     }
 
     fn parse_array_decl(&mut self, kind: ArrayKind) -> Result<ArrayDecl> {
+        let name_span = self.span_here();
         let name = self.expect_ident("array name")?;
+        self.spans.record_decl(&name, name_span);
         self.expect(TokenKind::Colon, "`:`")?;
         let ty = self.parse_type()?;
         let mut dims = Vec::new();
@@ -166,7 +198,9 @@ impl Parser {
     }
 
     fn parse_scalar_decl(&mut self) -> Result<ScalarDecl> {
+        let name_span = self.span_here();
         let name = self.expect_ident("scalar name")?;
+        self.spans.record_decl(&name, name_span);
         self.expect(TokenKind::Colon, "`:`")?;
         let ty = self.parse_type()?;
         self.expect(TokenKind::Semi, "`;`")?;
@@ -184,25 +218,44 @@ impl Parser {
             TokenKind::Ident(kw) if kw == "for" => self.parse_for(),
             TokenKind::Ident(kw) if kw == "if" => self.parse_if(),
             TokenKind::Ident(kw) if kw == "rotate" => self.parse_rotate(),
+            TokenKind::Ident(kw) if UNSUPPORTED_CONTROL_FLOW.contains(&kw.as_str()) => Err(self
+                .error(format!(
+                    "unsupported control flow `{kw}`; only `for` loops, structured \
+                     `if` and assignments are allowed"
+                ))),
             TokenKind::Ident(_) => self.parse_assign(),
             other => Err(self.error(format!("expected statement, found {other:?}"))),
         }
     }
 
+    /// Parse a loop bound, which must be a constant integer; a symbolic
+    /// bound gets a dedicated message that lint maps to DF003.
+    fn parse_loop_bound(&mut self, what: &str) -> Result<i64> {
+        if let TokenKind::Ident(name) = self.peek() {
+            let name = name.clone();
+            return Err(self.error(format!(
+                "{what} must be a compile-time constant, found `{name}`"
+            )));
+        }
+        self.expect_int(what)
+    }
+
     fn parse_for(&mut self) -> Result<Stmt> {
+        let for_span = self.span_here();
         assert!(self.eat_keyword("for"));
         let var = self.expect_ident("loop variable")?;
         if !self.eat_keyword("in") {
             return Err(self.error("expected `in`"));
         }
-        let lower = self.expect_int("loop lower bound")?;
+        let lower = self.parse_loop_bound("loop lower bound")?;
         self.expect(TokenKind::DotDot, "`..`")?;
-        let upper = self.expect_int("loop upper bound")?;
+        let upper = self.parse_loop_bound("loop upper bound")?;
         let step = if self.eat_keyword("step") {
             self.expect_int("loop step")?
         } else {
             1
         };
+        self.spans.record_loop(&var, for_span.to(self.prev_span()));
         self.expect(TokenKind::LBrace, "`{`")?;
         let mut body = Vec::new();
         while *self.peek() != TokenKind::RBrace {
@@ -258,9 +311,10 @@ impl Parser {
     }
 
     fn parse_assign(&mut self) -> Result<Stmt> {
+        let name_span = self.span_here();
         let name = self.expect_ident("assignment target")?;
         let lhs = if *self.peek() == TokenKind::LBracket {
-            LValue::Array(self.parse_subscripts(name)?)
+            LValue::Array(self.parse_subscripts(name, name_span)?)
         } else {
             LValue::Scalar(name)
         };
@@ -270,17 +324,24 @@ impl Parser {
         Ok(Stmt::Assign { lhs, rhs })
     }
 
-    fn parse_subscripts(&mut self, array: String) -> Result<ArrayAccess> {
+    fn parse_subscripts(&mut self, array: String, name_span: Span) -> Result<ArrayAccess> {
         let mut indices = Vec::new();
         while *self.peek() == TokenKind::LBracket {
             self.bump();
+            let sub_start = self.span_here();
             let e = self.parse_expr()?;
-            let affine = expr_to_affine(&e)
-                .ok_or_else(|| IrError::NonAffine(crate::pretty::print_expr(&e, 0)))?;
+            let sub_span = sub_start.to(self.prev_span());
+            let affine = expr_to_affine(&e).ok_or_else(|| IrError::NonAffine {
+                expr: crate::pretty::print_expr(&e, 0),
+                span: sub_span,
+            })?;
             indices.push(affine);
             self.expect(TokenKind::RBracket, "`]`")?;
         }
-        Ok(ArrayAccess { array, indices })
+        let access = ArrayAccess { array, indices };
+        self.spans
+            .record_access(&access, name_span.to(self.prev_span()));
+        Ok(access)
     }
 
     /// Expression parsing: ternary over precedence-climbing binary ops.
@@ -363,9 +424,10 @@ impl Parser {
                 Ok(Expr::Unary(UnOp::Abs, Box::new(e)))
             }
             TokenKind::Ident(name) => {
+                let name_span = self.span_here();
                 self.bump();
                 if *self.peek() == TokenKind::LBracket {
-                    Ok(Expr::Load(self.parse_subscripts(name)?))
+                    Ok(Expr::Load(self.parse_subscripts(name, name_span)?))
                 } else {
                     Ok(Expr::Scalar(name))
                 }

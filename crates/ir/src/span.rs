@@ -1,0 +1,175 @@
+//! Byte-offset source spans and the span side-table.
+//!
+//! Spans deliberately live *outside* the AST: `Kernel` derives `Eq` and the
+//! pretty-printer round-trip tests compare parsed kernels structurally, so
+//! attaching positions to nodes would make `parse(print(k)) != k`. Instead
+//! [`crate::parser::parse_kernel_with_spans`] returns a [`SpanMap`] keyed by
+//! the entities diagnostics point at: declarations, loop headers and array
+//! accesses.
+
+use crate::expr::ArrayAccess;
+use std::collections::HashMap;
+
+/// A half-open byte range `[start, end)` in kernel source text, together
+/// with the 1-based line/column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column of the first byte.
+    pub col: usize,
+}
+
+impl Span {
+    /// Build a span from explicit byte offsets and position.
+    pub fn new(start: usize, end: usize, line: usize, col: usize) -> Span {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Compute a length-`len` span from a 1-based line/column position by
+    /// scanning `src`. Used to recover spans for errors that only carry
+    /// line/column (e.g. [`crate::IrError::Parse`]).
+    pub fn from_line_col(src: &str, line: usize, col: usize, len: usize) -> Span {
+        let mut start = 0;
+        for (n, l) in src.split('\n').enumerate() {
+            if n + 1 == line {
+                let in_line: usize = l
+                    .chars()
+                    .take(col.saturating_sub(1))
+                    .map(char::len_utf8)
+                    .sum();
+                start += in_line;
+                break;
+            }
+            start += l.len() + 1;
+        }
+        Span {
+            start,
+            end: start + len.max(1),
+            line,
+            col,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The span from the start of `self` to the end of `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start,
+            end: other.end.max(self.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// Side table mapping kernel entities to their source spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanMap {
+    kernel_name: Option<Span>,
+    decls: HashMap<String, Span>,
+    loops: HashMap<String, Span>,
+    accesses: HashMap<ArrayAccess, Span>,
+}
+
+impl SpanMap {
+    /// Record the span of the kernel name.
+    pub fn record_kernel_name(&mut self, span: Span) {
+        self.kernel_name = Some(span);
+    }
+
+    /// Record the span of a declaration's name token.
+    pub fn record_decl(&mut self, name: &str, span: Span) {
+        self.decls.entry(name.to_string()).or_insert(span);
+    }
+
+    /// Record the span of a loop header (`for v in lo..hi`).
+    pub fn record_loop(&mut self, var: &str, span: Span) {
+        self.loops.entry(var.to_string()).or_insert(span);
+    }
+
+    /// Record the span of an array access. The first textual occurrence of
+    /// a given access wins, so diagnostics about a repeated access (e.g.
+    /// `D[j]` as both load and store) point at its first appearance.
+    pub fn record_access(&mut self, access: &ArrayAccess, span: Span) {
+        self.accesses.entry(access.clone()).or_insert(span);
+    }
+
+    /// Span of the kernel name, if recorded.
+    pub fn kernel_name(&self) -> Option<Span> {
+        self.kernel_name
+    }
+
+    /// Span of a declaration's name token.
+    pub fn decl(&self, name: &str) -> Option<Span> {
+        self.decls.get(name).copied()
+    }
+
+    /// Span of the header of the loop over `var`.
+    pub fn loop_header(&self, var: &str) -> Option<Span> {
+        self.loops.get(var).copied()
+    }
+
+    /// Span of the first textual occurrence of `access`.
+    pub fn access(&self, access: &ArrayAccess) -> Option<Span> {
+        self.accesses.get(access).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_line_col_finds_offsets() {
+        let src = "ab\n  cd\nxy";
+        let s = Span::from_line_col(src, 2, 3, 2);
+        assert_eq!(&src[s.start..s.end], "cd");
+        assert_eq!((s.line, s.col), (2, 3));
+    }
+
+    #[test]
+    fn from_line_col_past_end_does_not_panic() {
+        let s = Span::from_line_col("ab", 5, 1, 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn to_unions_spans() {
+        let a = Span::new(3, 5, 1, 4);
+        let b = Span::new(8, 12, 1, 9);
+        let u = a.to(b);
+        assert_eq!((u.start, u.end), (3, 12));
+        assert_eq!((u.line, u.col), (1, 4));
+    }
+
+    #[test]
+    fn first_access_occurrence_wins() {
+        let mut m = SpanMap::default();
+        let acc = ArrayAccess {
+            array: "D".into(),
+            indices: vec![],
+        };
+        m.record_access(&acc, Span::new(1, 2, 1, 2));
+        m.record_access(&acc, Span::new(9, 10, 1, 10));
+        assert_eq!(m.access(&acc).unwrap().start, 1);
+    }
+}

@@ -183,13 +183,15 @@ pub fn estimate_opts(
     let pack = opts.pack_small_types.then_some(mem.width_bits);
     let agg = walk(
         design.kernel.body(),
-        &design.kernel,
-        design,
-        mem,
-        &opts.constraints,
-        ranges.as_ref(),
-        pack,
-        opts.priority,
+        &WalkCtx {
+            kernel: &design.kernel,
+            design,
+            mem,
+            constraints: &opts.constraints,
+            ranges: ranges.as_ref(),
+            pack,
+            priority: opts.priority,
+        },
     );
 
     let balance = match (agg.comp_busy, agg.mem_busy) {
@@ -240,17 +242,19 @@ pub fn estimate_opts(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn walk(
-    stmts: &[Stmt],
-    kernel: &Kernel,
-    design: &TransformedDesign,
-    mem: &MemoryModel,
-    constraints: &ResourceConstraints,
-    ranges: Option<&RangeInfo>,
+/// Everything [`walk`] needs besides the statements themselves — fixed
+/// for a whole estimate, threaded unchanged through the loop recursion.
+struct WalkCtx<'a> {
+    kernel: &'a Kernel,
+    design: &'a TransformedDesign,
+    mem: &'a MemoryModel,
+    constraints: &'a ResourceConstraints,
+    ranges: Option<&'a RangeInfo>,
     pack: Option<u32>,
     priority: ListPriority,
-) -> Aggregate {
+}
+
+fn walk(stmts: &[Stmt], ctx: &WalkCtx<'_>) -> Aggregate {
     let mut agg = Aggregate::default();
     let mut segment: Vec<Stmt> = Vec::new();
 
@@ -260,14 +264,14 @@ fn walk(
         }
         let dfg = crate::dfg::build_dfg_opts(
             segment,
-            kernel,
-            &design.binding,
+            ctx.kernel,
+            &ctx.design.binding,
             &crate::dfg::DfgOptions {
-                ranges,
-                pack_word_bits: pack,
+                ranges: ctx.ranges,
+                pack_word_bits: ctx.pack,
             },
         );
-        let sched = schedule_dfg_prioritized(&dfg, mem, constraints, priority);
+        let sched = schedule_dfg_prioritized(&dfg, ctx.mem, ctx.constraints, ctx.priority);
         agg.cycles += sched.length;
         agg.mem_busy += sched.t_mem;
         agg.comp_busy += sched.t_comp;
@@ -286,16 +290,7 @@ fn walk(
         match s {
             Stmt::For(l) => {
                 flush(&mut segment, &mut agg);
-                let inner = walk(
-                    &l.body,
-                    kernel,
-                    design,
-                    mem,
-                    constraints,
-                    ranges,
-                    pack,
-                    priority,
-                );
+                let inner = walk(&l.body, ctx);
                 let trips = l.trip_count().max(0) as u64;
                 agg.cycles += LOOP_SETUP_OVERHEAD + trips * (inner.cycles + LOOP_ITER_OVERHEAD);
                 agg.mem_busy += trips * inner.mem_busy;

@@ -1,9 +1,195 @@
 //! Error type for the transformation crate.
+//!
+//! Legality and request failures carry structured payloads (which loop,
+//! which dependence, which levels) rather than pre-formatted strings, so
+//! upstack consumers — the lint driver, the explorer's search tracing —
+//! can report them with stable codes and precise messages. The `Display`
+//! output is unchanged from the stringly predecessors.
 
+use defacto_ir::Diagnostic;
 use std::fmt;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, XformError>;
+
+/// Why an unroll-factor vector (or nest permutation) was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorError {
+    /// The vector's length does not match the nest depth.
+    WrongLength {
+        /// Number of entries supplied.
+        got: usize,
+        /// Depth of the nest.
+        depth: usize,
+    },
+    /// A loop of the nest is not normalized (`lower = 0`, `step = 1`).
+    NotNormalized {
+        /// The loop's induction variable.
+        var: String,
+    },
+    /// An unroll factor below 1.
+    BadFactor {
+        /// The loop's induction variable.
+        var: String,
+        /// The offending factor.
+        factor: i64,
+    },
+    /// An interchange order that is not a permutation of the levels.
+    NotAPermutation {
+        /// The requested order.
+        order: Vec<usize>,
+        /// Depth of the nest.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for VectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorError::WrongLength { got, depth } => {
+                write!(f, "vector has {got} entries for a {depth}-deep nest")
+            }
+            VectorError::NotNormalized { var } => write!(f, "loop `{var}` is not normalized"),
+            VectorError::BadFactor { var, factor } => {
+                write!(f, "factor {factor} for loop `{var}`")
+            }
+            VectorError::NotAPermutation { order, depth } => {
+                write!(f, "`{order:?}` is not a permutation of 0..{depth}")
+            }
+        }
+    }
+}
+
+/// The dependence that makes an unroll-and-jam or interchange illegal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JamViolation {
+    /// Unroll-and-jam: a dependence carried at the unrolled `level` has a
+    /// negative component at a `deeper` level — the jam would execute the
+    /// dependent iteration before its source.
+    NegativeDeeper {
+        /// Array carrying the dependence.
+        array: String,
+        /// The unrolled level that carries it.
+        level: usize,
+        /// The deeper level with the negative distance component.
+        deeper: usize,
+    },
+    /// Unroll-and-jam: the deeper component is unknown, so the jam is
+    /// conservatively rejected.
+    UnknownDeeper {
+        /// Array carrying the dependence.
+        array: String,
+        /// The unrolled level that carries it.
+        level: usize,
+        /// The deeper level with the unknown distance component.
+        deeper: usize,
+    },
+    /// Interchange: the permutation changes the relative order of the
+    /// dependence's may-be-nonzero distance components.
+    Reordered {
+        /// Array carrying the dependence.
+        array: String,
+        /// The levels (original order) at which it carries.
+        levels: Vec<usize>,
+    },
+}
+
+impl JamViolation {
+    /// The array whose dependence blocks the transformation.
+    pub fn array(&self) -> &str {
+        match self {
+            JamViolation::NegativeDeeper { array, .. }
+            | JamViolation::UnknownDeeper { array, .. }
+            | JamViolation::Reordered { array, .. } => array,
+        }
+    }
+}
+
+impl fmt::Display for JamViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JamViolation::NegativeDeeper {
+                array,
+                level,
+                deeper,
+            } => write!(
+                f,
+                "dependence on `{array}` carried at level {level} has negative \
+                 component at level {deeper}"
+            ),
+            JamViolation::UnknownDeeper {
+                array,
+                level,
+                deeper,
+            } => write!(
+                f,
+                "dependence on `{array}` carried at level {level} has unknown \
+                 component at level {deeper}"
+            ),
+            JamViolation::Reordered { array, levels } => write!(
+                f,
+                "dependence on `{array}` carries at levels {levels:?}, \
+                 which the permutation reorders"
+            ),
+        }
+    }
+}
+
+/// Why a tiling request was invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// The requested level does not exist in the nest.
+    LevelOutOfRange {
+        /// The requested level.
+        level: usize,
+        /// Depth of the nest.
+        depth: usize,
+    },
+    /// The target loop is not normalized.
+    NotNormalized {
+        /// The loop's induction variable.
+        var: String,
+    },
+    /// The tile size does not evenly divide the trip count.
+    NonDividingTile {
+        /// The requested tile size.
+        tile: i64,
+        /// Trip count of the target loop.
+        trip: i64,
+    },
+    /// Hoisting the tile loop outermost would reorder a dependence.
+    ReorderedDependence {
+        /// The tiled level.
+        level: usize,
+        /// The level the tile loop must cross.
+        crossed: usize,
+        /// Array carrying the dependence.
+        array: String,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::LevelOutOfRange { level, depth } => {
+                write!(f, "level {level} out of range for {depth}-deep nest")
+            }
+            TileError::NotNormalized { var } => write!(f, "loop `{var}` is not normalized"),
+            TileError::NonDividingTile { tile, trip } => {
+                write!(f, "tile size {tile} does not divide trip count {trip}")
+            }
+            TileError::ReorderedDependence {
+                level,
+                crossed,
+                array,
+            } => write!(
+                f,
+                "hoisting the tile loop of level {level} across level {crossed} \
+                 would reorder a dependence on `{array}`"
+            ),
+        }
+    }
+}
 
 /// Errors raised by loop/data transformations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,7 +198,7 @@ pub enum XformError {
     /// requires one.
     NotPerfectNest,
     /// An unroll-factor vector did not match the nest.
-    BadUnrollVector(String),
+    BadUnrollVector(VectorError),
     /// An unroll factor does not evenly divide the loop's trip count (the
     /// system only explores divisor unroll factors, so behavioral
     /// synthesis sees constant bounds without cleanup code).
@@ -24,10 +210,18 @@ pub enum XformError {
         /// Offending factor.
         factor: i64,
     },
-    /// Unroll-and-jam would reorder a dependence.
-    IllegalJam(String),
+    /// Unroll-and-jam (or interchange) would reorder a dependence.
+    IllegalJam(JamViolation),
     /// A tiling request was invalid.
-    BadTile(String),
+    BadTile(TileError),
+    /// The IR verifier found structural violations after a pipeline stage
+    /// (only raised when `verify_each_pass` is enabled).
+    Verify {
+        /// The pipeline stage whose output failed verification.
+        stage: &'static str,
+        /// The violations, as `DF1xx` diagnostics.
+        diagnostics: Vec<Diagnostic>,
+    },
     /// An underlying IR validation error.
     Ir(defacto_ir::IrError),
 }
@@ -45,6 +239,17 @@ impl fmt::Display for XformError {
             ),
             XformError::IllegalJam(m) => write!(f, "unroll-and-jam would be illegal: {m}"),
             XformError::BadTile(m) => write!(f, "bad tiling request: {m}"),
+            XformError::Verify { stage, diagnostics } => {
+                write!(
+                    f,
+                    "IR verifier found {} violation(s) after {stage}",
+                    diagnostics.len()
+                )?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, ": [{}] {}", first.code, first.message)?;
+                }
+                Ok(())
+            }
             XformError::Ir(e) => write!(f, "ir error: {e}"),
         }
     }
@@ -73,18 +278,63 @@ mod tests {
     fn display_nonempty() {
         let errs = [
             XformError::NotPerfectNest,
-            XformError::BadUnrollVector("len 3 vs 2".into()),
+            XformError::BadUnrollVector(VectorError::WrongLength { got: 3, depth: 2 }),
             XformError::NonDividingFactor {
                 var: "i".into(),
                 trip: 10,
                 factor: 3,
             },
-            XformError::IllegalJam("neg dep".into()),
-            XformError::BadTile("t".into()),
+            XformError::IllegalJam(JamViolation::NegativeDeeper {
+                array: "A".into(),
+                level: 0,
+                deeper: 1,
+            }),
+            XformError::BadTile(TileError::NonDividingTile { tile: 5, trip: 32 }),
+            XformError::Verify {
+                stage: "unroll-and-jam",
+                diagnostics: vec![Diagnostic::error("DF101", "boom")],
+            },
             XformError::Ir(defacto_ir::IrError::Undeclared("x".into())),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn display_prefixes_are_stable() {
+        // Messages consumers (and older tests) matched on keep their shape.
+        let jam = XformError::IllegalJam(JamViolation::UnknownDeeper {
+            array: "A".into(),
+            level: 1,
+            deeper: 2,
+        });
+        assert_eq!(
+            jam.to_string(),
+            "unroll-and-jam would be illegal: dependence on `A` carried at \
+             level 1 has unknown component at level 2"
+        );
+        let vec = XformError::BadUnrollVector(VectorError::NotAPermutation {
+            order: vec![0, 0],
+            depth: 2,
+        });
+        assert_eq!(
+            vec.to_string(),
+            "bad unroll vector: `[0, 0]` is not a permutation of 0..2"
+        );
+        let tile = XformError::BadTile(TileError::LevelOutOfRange { level: 5, depth: 2 });
+        assert_eq!(
+            tile.to_string(),
+            "bad tiling request: level 5 out of range for 2-deep nest"
+        );
+    }
+
+    #[test]
+    fn jam_violation_exposes_array() {
+        let v = JamViolation::Reordered {
+            array: "C".into(),
+            levels: vec![0, 2],
+        };
+        assert_eq!(v.array(), "C");
     }
 }

@@ -16,7 +16,7 @@
 //! freely; `Any`/`Unknown` components are handled soundly because their
 //! instance sets were lex-positive to begin with.)
 
-use crate::error::{Result, XformError};
+use crate::error::{JamViolation, Result, VectorError, XformError};
 use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DependenceGraph};
 use defacto_ir::{Kernel, Loop, Stmt};
 
@@ -26,7 +26,7 @@ use defacto_ir::{Kernel, Loop, Stmt};
 pub fn interchange_is_legal(
     deps: &DependenceGraph,
     order: &[usize],
-) -> std::result::Result<(), String> {
+) -> std::result::Result<(), JamViolation> {
     for dep in deps.deps().iter().filter(|d| d.kind.constrains()) {
         // Positions that can be non-zero, in original order.
         let hot: Vec<usize> = (0..dep.distance.len())
@@ -38,10 +38,10 @@ pub fn interchange_is_legal(
         // Their order in the permuted nest.
         let permuted: Vec<usize> = order.iter().copied().filter(|l| hot.contains(l)).collect();
         if permuted != hot {
-            return Err(format!(
-                "dependence on `{}` carries at levels {:?}, which the permutation reorders",
-                dep.array, hot
-            ));
+            return Err(JamViolation::Reordered {
+                array: dep.array.clone(),
+                levels: hot,
+            });
         }
     }
     Ok(())
@@ -84,9 +84,10 @@ pub fn interchange(kernel: &Kernel, order: &[usize]) -> Result<Kernel> {
             }
         })
     {
-        return Err(XformError::BadUnrollVector(format!(
-            "`{order:?}` is not a permutation of 0..{depth}"
-        )));
+        return Err(XformError::BadUnrollVector(VectorError::NotAPermutation {
+            order: order.to_vec(),
+            depth,
+        }));
     }
 
     let table = AccessTable::from_stmts(nest.innermost_body());

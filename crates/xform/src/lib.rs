@@ -39,7 +39,7 @@ pub mod simplify;
 pub mod tiling;
 pub mod unroll;
 
-pub use error::{Result, XformError};
+pub use error::{JamViolation, Result, TileError, VectorError, XformError};
 pub use interchange::{interchange, interchange_is_legal};
 pub use layout::{assign_memories, MemoryBinding};
 pub use normalize::normalize_loops;

@@ -13,7 +13,7 @@
 //! 5. loop peeling + constant folding, producing the uniform steady-state
 //!    bodies behavioral synthesis schedules.
 
-use crate::error::Result;
+use crate::error::{Result, XformError};
 use crate::layout::{assign_memories, MemoryBinding};
 use crate::normalize::normalize_loops;
 use crate::peel::peel_first_iterations;
@@ -79,6 +79,11 @@ pub struct TransformOptions {
     pub peel: bool,
     /// Number of external memories of the target board.
     pub num_memories: usize,
+    /// Run the IR verifier ([`defacto_ir::verify`]) on the output of every
+    /// pipeline stage, failing with [`XformError::Verify`] on the first
+    /// stage that emits structurally invalid IR. Off by default: passes
+    /// are trusted in production runs and the sweep is hot.
+    pub verify_each_pass: bool,
 }
 
 impl Default for TransformOptions {
@@ -90,6 +95,7 @@ impl Default for TransformOptions {
             register_budget: None,
             peel: true,
             num_memories: 4,
+            verify_each_pass: false,
         }
     }
 }
@@ -136,8 +142,22 @@ pub fn transform(
     unroll: &UnrollVector,
     opts: &TransformOptions,
 ) -> Result<TransformedDesign> {
+    let checkpoint = |stage: &'static str, k: &Kernel| -> Result<()> {
+        if !opts.verify_each_pass {
+            return Ok(());
+        }
+        let diagnostics = defacto_ir::verify(k);
+        if diagnostics.is_empty() {
+            Ok(())
+        } else {
+            Err(XformError::Verify { stage, diagnostics })
+        }
+    };
+
     let normalized = normalize_loops(kernel)?;
+    checkpoint("loop normalization", &normalized)?;
     let unrolled = unroll_and_jam(&normalized, unroll.factors())?;
+    checkpoint("unroll-and-jam", &unrolled)?;
 
     let (replaced, info) = if opts.scalar_replacement {
         scalar_replace(
@@ -150,6 +170,7 @@ pub fn transform(
     } else {
         (unrolled, ScalarReplacementInfo::default())
     };
+    checkpoint("scalar replacement", &replaced)?;
 
     // Layout before peeling (see module docs).
     let binding = if opts.custom_layout {
@@ -163,6 +184,14 @@ pub fn transform(
     } else {
         simplify_kernel(&replaced)?
     };
+    checkpoint(
+        if opts.peel {
+            "loop peeling"
+        } else {
+            "simplify"
+        },
+        &final_kernel,
+    )?;
 
     Ok(TransformedDesign {
         kernel: final_kernel,
@@ -234,6 +263,18 @@ mod tests {
         // Without scalar replacement the memory traffic is unchanged.
         assert_eq!(s0.memory_accesses(), s1.memory_accesses());
         assert_eq!(d.info.total_registers(), 0);
+    }
+
+    #[test]
+    fn verify_each_pass_is_clean_on_the_default_pipeline() {
+        let k = parse_kernel(FIR).unwrap();
+        let opts = TransformOptions {
+            verify_each_pass: true,
+            ..TransformOptions::default()
+        };
+        for factors in [vec![1, 1], vec![2, 2], vec![8, 4]] {
+            transform(&k, &UnrollVector(factors), &opts).unwrap();
+        }
     }
 
     #[test]

@@ -187,20 +187,32 @@ pub fn scalar_replace(
                     continue;
                 }
                 plan_accumulator(
-                    &mut plan,
-                    &mut names,
-                    &mut info,
+                    &mut PlanCtx {
+                        plan: &mut plan,
+                        names: &mut names,
+                        info: &mut info,
+                        vars: &var_refs,
+                        kernel,
+                    },
                     g,
                     read,
                     write,
                     *deepest_varying,
-                    &var_refs,
-                    kernel,
                 );
             }
             // Pure reads.
             (ReuseStrategy::FullyInvariant, Some(read), None) => {
-                plan_invariant(&mut plan, &mut names, &mut info, g, read, &var_refs, kernel);
+                plan_invariant(
+                    &mut PlanCtx {
+                        plan: &mut plan,
+                        names: &mut names,
+                        info: &mut info,
+                        vars: &var_refs,
+                        kernel,
+                    },
+                    g,
+                    read,
+                );
             }
             (
                 ReuseStrategy::Consistent {
@@ -212,14 +224,16 @@ pub fn scalar_replace(
                 None,
             ) if *hoist_inner >= 1 => {
                 plan_hoisted_read(
-                    &mut plan,
-                    &mut names,
-                    &mut info,
+                    &mut PlanCtx {
+                        plan: &mut plan,
+                        names: &mut names,
+                        info: &mut info,
+                        vars: &var_refs,
+                        kernel,
+                    },
                     g,
                     read,
                     *deepest_varying,
-                    &var_refs,
-                    kernel,
                 );
             }
             (
@@ -263,15 +277,17 @@ pub fn scalar_replace(
                     continue;
                 }
                 plan_accumulator(
-                    &mut plan,
-                    &mut names,
-                    &mut info,
+                    &mut PlanCtx {
+                        plan: &mut plan,
+                        names: &mut names,
+                        info: &mut info,
+                        vars: &var_refs,
+                        kernel,
+                    },
                     g,
                     None,
                     write,
                     *deepest_varying,
-                    &var_refs,
-                    kernel,
                 );
             }
             _ => {
@@ -448,6 +464,16 @@ impl NameGen {
     }
 }
 
+/// The state every per-group planner mutates, bundled so the planners
+/// take one context instead of five parallel arguments.
+struct PlanCtx<'a> {
+    plan: &'a mut Plan,
+    names: &'a mut NameGen,
+    info: &'a mut ScalarReplacementInfo,
+    vars: &'a [&'a str],
+    kernel: &'a Kernel,
+}
+
 fn members_conditional(table: &AccessTable, set: Option<&UniformSet>) -> bool {
     set.map(|s| s.members.iter().any(|&id| table.get(id).conditional))
         .unwrap_or(false)
@@ -474,18 +500,20 @@ fn element_type(kernel: &Kernel, array: &str) -> ScalarType {
     kernel.array(array).map(|a| a.ty).unwrap_or(ScalarType::I32)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn plan_accumulator(
-    plan: &mut Plan,
-    names: &mut NameGen,
-    info: &mut ScalarReplacementInfo,
+    ctx: &mut PlanCtx<'_>,
     g: &Group<'_>,
     read: Option<&UniformSet>,
     write: &UniformSet,
     deepest_varying: usize,
-    vars: &[&str],
-    kernel: &Kernel,
 ) {
+    let PlanCtx {
+        plan,
+        names,
+        info,
+        vars,
+        kernel,
+    } = ctx;
     let ty = element_type(kernel, g.array);
     // Registers for the union of read/write offsets.
     let mut offsets: Vec<Vec<i64>> = write.distinct_offsets();
@@ -522,15 +550,14 @@ fn plan_accumulator(
     }
 }
 
-fn plan_invariant(
-    plan: &mut Plan,
-    names: &mut NameGen,
-    info: &mut ScalarReplacementInfo,
-    g: &Group<'_>,
-    read: &UniformSet,
-    vars: &[&str],
-    kernel: &Kernel,
-) {
+fn plan_invariant(ctx: &mut PlanCtx<'_>, g: &Group<'_>, read: &UniformSet) {
+    let PlanCtx {
+        plan,
+        names,
+        info,
+        vars,
+        kernel,
+    } = ctx;
     let ty = element_type(kernel, g.array);
     let base = g.array.to_lowercase();
     for off in read.distinct_offsets() {
@@ -545,17 +572,19 @@ fn plan_invariant(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn plan_hoisted_read(
-    plan: &mut Plan,
-    names: &mut NameGen,
-    info: &mut ScalarReplacementInfo,
+    ctx: &mut PlanCtx<'_>,
     g: &Group<'_>,
     read: &UniformSet,
     deepest_varying: usize,
-    vars: &[&str],
-    kernel: &Kernel,
 ) {
+    let PlanCtx {
+        plan,
+        names,
+        info,
+        vars,
+        kernel,
+    } = ctx;
     let ty = element_type(kernel, g.array);
     let base = g.array.to_lowercase();
     for off in read.distinct_offsets() {

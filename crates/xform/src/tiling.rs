@@ -6,7 +6,7 @@
 //! split; the pipeline combines it with the scalar-replacement register
 //! budget.
 
-use crate::error::{Result, XformError};
+use crate::error::{Result, TileError, XformError};
 use defacto_ir::visit::{map_accesses_stmts, map_scalar_reads_stmt};
 use defacto_ir::{AffineExpr, Expr, Kernel, Loop, Stmt};
 
@@ -26,23 +26,22 @@ use defacto_ir::{AffineExpr, Expr, Kernel, Loop, Stmt};
 pub fn strip_mine(kernel: &Kernel, level: usize, tile_size: i64) -> Result<Kernel> {
     let nest = kernel.perfect_nest().ok_or(XformError::NotPerfectNest)?;
     if level >= nest.depth() {
-        return Err(XformError::BadTile(format!(
-            "level {level} out of range for {}-deep nest",
-            nest.depth()
-        )));
+        return Err(XformError::BadTile(TileError::LevelOutOfRange {
+            level,
+            depth: nest.depth(),
+        }));
     }
     let target = nest.loop_at(level);
     if !target.is_normalized() {
-        return Err(XformError::BadTile(format!(
-            "loop `{}` is not normalized",
-            target.var
-        )));
+        return Err(XformError::BadTile(TileError::NotNormalized {
+            var: target.var.clone(),
+        }));
     }
     if tile_size < 1 || target.trip_count() % tile_size != 0 {
-        return Err(XformError::BadTile(format!(
-            "tile size {tile_size} does not divide trip count {}",
-            target.trip_count()
-        )));
+        return Err(XformError::BadTile(TileError::NonDividingTile {
+            tile: tile_size,
+            trip: target.trip_count(),
+        }));
     }
     if tile_size == target.trip_count() {
         return Ok(kernel.clone()); // single tile: no-op
@@ -115,10 +114,10 @@ pub fn tile_for_registers(kernel: &Kernel, level: usize, tile_size: i64) -> Resu
 
     let nest = kernel.perfect_nest().ok_or(XformError::NotPerfectNest)?;
     if level >= nest.depth() {
-        return Err(XformError::BadTile(format!(
-            "level {level} out of range for {}-deep nest",
-            nest.depth()
-        )));
+        return Err(XformError::BadTile(TileError::LevelOutOfRange {
+            level,
+            depth: nest.depth(),
+        }));
     }
     // Interchange legality on the original nest: crossing levels
     // 0..level must all be Exact(0) or Any for constraining deps that the
@@ -136,11 +135,11 @@ pub fn tile_for_registers(kernel: &Kernel, level: usize, tile_size: i64) -> Resu
             match dep.distance[crossed] {
                 DistElem::Exact(0) | DistElem::Any => {}
                 _ => {
-                    return Err(XformError::BadTile(format!(
-                        "hoisting the tile loop of level {level} across level {crossed} \
-                         would reorder a dependence on `{}`",
-                        dep.array
-                    )))
+                    return Err(XformError::BadTile(TileError::ReorderedDependence {
+                        level,
+                        crossed,
+                        array: dep.array.clone(),
+                    }))
                 }
             }
         }
@@ -152,7 +151,7 @@ pub fn tile_for_registers(kernel: &Kernel, level: usize, tile_size: i64) -> Resu
     }
     // The tile loop currently sits at position `level`; rotate it to the
     // front.
-    let nest2 = mined.perfect_nest().expect("strip_mine keeps the nest");
+    let nest2 = mined.perfect_nest().ok_or(XformError::NotPerfectNest)?;
     let mut order: Vec<usize> = (0..nest2.depth()).collect();
     let tile_pos = order.remove(level);
     order.insert(0, tile_pos);

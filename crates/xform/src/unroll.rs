@@ -7,7 +7,7 @@
 //! unrolled loop's step becomes its unroll factor and the innermost body
 //! is replicated once per combination of unroll offsets.
 
-use crate::error::{Result, XformError};
+use crate::error::{JamViolation, Result, VectorError, XformError};
 use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DependenceGraph, DistElem};
 use defacto_ir::visit::offset_var_stmts;
 use defacto_ir::{Kernel, Loop, Stmt};
@@ -21,7 +21,10 @@ use defacto_ir::{Kernel, Loop, Stmt};
 /// source. `Unknown` deeper components are conservatively rejected;
 /// `Any` components arise from loop-invariant references and are
 /// symmetric, hence harmless.
-pub fn unroll_is_legal(deps: &DependenceGraph, factors: &[i64]) -> std::result::Result<(), String> {
+pub fn unroll_is_legal(
+    deps: &DependenceGraph,
+    factors: &[i64],
+) -> std::result::Result<(), JamViolation> {
     for (l, &u) in factors.iter().enumerate() {
         if u <= 1 {
             continue;
@@ -42,18 +45,18 @@ pub fn unroll_is_legal(deps: &DependenceGraph, factors: &[i64]) -> std::result::
             for deeper in l + 1..dep.distance.len() {
                 match dep.distance[deeper] {
                     DistElem::Exact(k) if k < 0 => {
-                        return Err(format!(
-                            "dependence on `{}` carried at level {l} has negative \
-                             component at level {deeper}",
-                            dep.array
-                        ));
+                        return Err(JamViolation::NegativeDeeper {
+                            array: dep.array.clone(),
+                            level: l,
+                            deeper,
+                        });
                     }
                     DistElem::Unknown => {
-                        return Err(format!(
-                            "dependence on `{}` carried at level {l} has unknown \
-                             component at level {deeper}",
-                            dep.array
-                        ));
+                        return Err(JamViolation::UnknownDeeper {
+                            array: dep.array.clone(),
+                            level: l,
+                            deeper,
+                        });
                     }
                     _ => {}
                 }
@@ -78,25 +81,23 @@ pub fn unroll_is_legal(deps: &DependenceGraph, factors: &[i64]) -> std::result::
 pub fn unroll_and_jam(kernel: &Kernel, factors: &[i64]) -> Result<Kernel> {
     let nest = kernel.perfect_nest().ok_or(XformError::NotPerfectNest)?;
     if factors.len() != nest.depth() {
-        return Err(XformError::BadUnrollVector(format!(
-            "vector has {} entries for a {}-deep nest",
-            factors.len(),
-            nest.depth()
-        )));
+        return Err(XformError::BadUnrollVector(VectorError::WrongLength {
+            got: factors.len(),
+            depth: nest.depth(),
+        }));
     }
     for (l, loop_) in nest.loops().iter().enumerate() {
         if !loop_.is_normalized() {
-            return Err(XformError::BadUnrollVector(format!(
-                "loop `{}` is not normalized",
-                loop_.var
-            )));
+            return Err(XformError::BadUnrollVector(VectorError::NotNormalized {
+                var: loop_.var.clone(),
+            }));
         }
         let u = factors[l];
         if u < 1 {
-            return Err(XformError::BadUnrollVector(format!(
-                "factor {u} for loop `{}`",
-                loop_.var
-            )));
+            return Err(XformError::BadUnrollVector(VectorError::BadFactor {
+                var: loop_.var.clone(),
+                factor: u,
+            }));
         }
         if loop_.trip_count() % u != 0 {
             return Err(XformError::NonDividingFactor {

@@ -154,6 +154,9 @@ fn every_option_combination_preserves_fir() {
                             peel,
                             register_budget,
                             num_memories: 4,
+                            // Every combination must also emit
+                            // structurally sound IR at each stage.
+                            verify_each_pass: true,
                         };
                         assert_preserves(&k, vec![4, 2], &opts, &inputs, &["D"]);
                     }
