@@ -40,6 +40,18 @@ impl AccessTable {
         AccessTable { accesses }
     }
 
+    /// Assemble a table from an explicit access list whose ids are
+    /// positional. Used by analytic derivations (see [`crate::jam`]) that
+    /// build a body's table without re-walking its statements.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that each access's id equals its position.
+    pub fn from_accesses(accesses: Vec<Access>) -> Self {
+        debug_assert!(accesses.iter().enumerate().all(|(i, a)| a.id.0 == i));
+        AccessTable { accesses }
+    }
+
     /// All accesses in program order.
     pub fn accesses(&self) -> &[Access] {
         &self.accesses

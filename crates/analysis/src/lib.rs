@@ -45,6 +45,7 @@
 
 pub mod access;
 pub mod dependence;
+pub mod jam;
 pub mod linalg;
 pub mod lint;
 pub mod range;
@@ -56,6 +57,7 @@ pub use dependence::{
     analyze_dependences, analyze_dependences_with_bounds, banerjee_may_depend, gcd_may_depend,
     CarriedAt, DepKind, Dependence, DependenceGraph, DistElem,
 };
+pub use jam::{jammed_access_table, jammed_uniform_sets};
 pub use linalg::{solve_affine, Rational, VarSolution};
 pub use lint::{lint_kernel, lint_source, LintContext, LintReport, LintRule};
 pub use range::{infer_ranges, Interval, RangeInfo};

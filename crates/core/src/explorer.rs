@@ -11,9 +11,9 @@ use crate::space::DesignSpace;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use defacto_ir::Kernel;
 use defacto_synth::{estimate_opts, Estimate, FpgaDevice, MemoryModel, SynthesisOptions};
-use defacto_xform::{transform, TransformOptions, TransformedDesign, UnrollVector};
+use defacto_xform::{transform, PreparedKernel, TransformOptions, TransformedDesign, UnrollVector};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// One evaluated design point.
@@ -42,6 +42,13 @@ pub struct Explorer<'k> {
     explore_override: Option<Vec<bool>>,
     engine: Arc<EvalEngine>,
     sink: Arc<dyn TraceSink>,
+    /// Everything besides the unroll vector that determines an estimate,
+    /// hashed once per configuration change instead of once per cache
+    /// lookup.
+    context_hash: u64,
+    /// Point-invariant pipeline artifacts, prepared lazily on the first
+    /// evaluation and shared (clones included) across workers.
+    prepared: OnceLock<Option<Arc<PreparedKernel>>>,
 }
 
 impl<'k> Explorer<'k> {
@@ -51,7 +58,7 @@ impl<'k> Explorer<'k> {
         // explorers over structurally identical kernels share entries.
         let mut h = std::collections::hash_map::DefaultHasher::new();
         kernel.to_string().hash(&mut h);
-        Explorer {
+        let mut ex = Explorer {
             kernel,
             kernel_hash: h.finish(),
             mem: MemoryModel::wildstar_pipelined(),
@@ -62,7 +69,11 @@ impl<'k> Explorer<'k> {
             explore_override: None,
             engine: Arc::new(EvalEngine::default()),
             sink: Arc::new(NullSink),
-        }
+            context_hash: 0,
+            prepared: OnceLock::new(),
+        };
+        ex.context_hash = ex.compute_context_hash();
+        ex
     }
 
     /// Record every search decision into `sink` (see [`crate::trace`]).
@@ -97,12 +108,14 @@ impl<'k> Explorer<'k> {
     pub fn memory(mut self, mem: MemoryModel) -> Self {
         self.opts.num_memories = mem.num_memories;
         self.mem = mem;
+        self.context_hash = self.compute_context_hash();
         self
     }
 
     /// Target a different device.
     pub fn device(mut self, device: FpgaDevice) -> Self {
         self.device = device;
+        self.context_hash = self.compute_context_hash();
         self
     }
 
@@ -121,6 +134,7 @@ impl<'k> Explorer<'k> {
     /// malformed IR fails the evaluation instead of skewing estimates.
     pub fn verify_each_pass(mut self, on: bool) -> Self {
         self.opts.verify_each_pass = on;
+        self.context_hash = self.compute_context_hash();
         self
     }
 
@@ -131,6 +145,7 @@ impl<'k> Explorer<'k> {
             num_memories: self.mem.num_memories,
             ..opts
         };
+        self.context_hash = self.compute_context_hash();
         self
     }
 
@@ -138,12 +153,14 @@ impl<'k> Explorer<'k> {
     /// (paper §2.3) and bit-width narrowing (paper §2.4).
     pub fn synthesis(mut self, synthesis: SynthesisOptions) -> Self {
         self.synthesis = synthesis;
+        self.context_hash = self.compute_context_hash();
         self
     }
 
     /// Enable/disable bit-width narrowing from value-range analysis.
     pub fn bitwidth_narrowing(mut self, on: bool) -> Self {
         self.synthesis.bitwidth_narrowing = on;
+        self.context_hash = self.compute_context_hash();
         self
     }
 
@@ -171,7 +188,30 @@ impl<'k> Explorer<'k> {
     ///
     /// Propagates transformation failures (e.g. non-dividing factors).
     pub fn design(&self, unroll: &UnrollVector) -> Result<TransformedDesign> {
-        Ok(transform(self.kernel, unroll, &self.opts)?)
+        match self.prepared() {
+            // Bit-identical to the scratch pipeline (enforced by the
+            // incremental-equivalence property test) but skips the
+            // point-invariant work.
+            Some(p) => Ok(p.transform(unroll, &self.opts)?),
+            // Preparation fails exactly when every point would fail;
+            // running the scratch pipeline reproduces the per-point error.
+            None => Ok(transform(self.kernel, unroll, &self.opts)?),
+        }
+    }
+
+    fn prepared(&self) -> Option<&Arc<PreparedKernel>> {
+        self.prepared
+            .get_or_init(|| PreparedKernel::prepare(self.kernel).ok().map(Arc::new))
+            .as_ref()
+    }
+
+    /// Offset-copy cache statistics `(hits, misses)` of the prepared
+    /// evaluation path, if any design has been evaluated yet.
+    pub fn prepared_stats(&self) -> Option<(u64, u64)> {
+        self.prepared
+            .get()
+            .and_then(Option::as_ref)
+            .map(|p| p.copy_cache_stats())
     }
 
     /// Hash of everything besides the unroll vector that determines an
@@ -179,7 +219,10 @@ impl<'k> Explorer<'k> {
     /// memory model, and the device's capacity and clock. The device
     /// *name* is excluded so renamed-but-identical devices (the
     /// multi-FPGA mapper's `XCV1000#0`) still share cache entries.
-    fn context_hash(&self) -> u64 {
+    ///
+    /// Recomputed eagerly by the builder methods that change an input,
+    /// and cached in `self.context_hash` for the per-lookup fast path.
+    fn compute_context_hash(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.kernel_hash.hash(&mut h);
         self.opts.hash(&mut h);
@@ -193,7 +236,7 @@ impl<'k> Explorer<'k> {
     fn cache_key(&self, unroll: &UnrollVector) -> CacheKey {
         CacheKey {
             unroll: unroll.clone(),
-            context: self.context_hash(),
+            context: self.context_hash,
         }
     }
 

@@ -81,10 +81,11 @@ impl SaturationInfo {
                     // Deterministic tie-break: larger factors on preferred
                     // loops, then the lexicographically smaller vector.
                     .then_with(|| {
-                        let key = |u: &UnrollVector| -> Vec<i64> {
-                            self.preference.iter().map(|&l| u.factors()[l]).collect()
-                        };
-                        key(b).cmp(&key(a))
+                        // Compare without materializing the permuted
+                        // factor vectors (this runs per candidate pair).
+                        let bk = self.preference.iter().map(|&l| b.factors()[l]);
+                        let ak = self.preference.iter().map(|&l| a.factors()[l]);
+                        bk.cmp(ak)
                     })
                     .then_with(|| a.factors().cmp(b.factors()))
             })
@@ -114,10 +115,11 @@ impl SaturationInfo {
                     .partial_cmp(&score(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| {
-                        let key = |u: &UnrollVector| -> Vec<i64> {
-                            self.preference.iter().map(|&l| u.factors()[l]).collect()
-                        };
-                        key(b).cmp(&key(a))
+                        // Compare without materializing the permuted
+                        // factor vectors (this runs per candidate pair).
+                        let bk = self.preference.iter().map(|&l| b.factors()[l]);
+                        let ak = self.preference.iter().map(|&l| a.factors()[l]);
+                        bk.cmp(ak)
                     })
                     .then_with(|| a.factors().cmp(b.factors()))
             })

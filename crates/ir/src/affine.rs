@@ -181,6 +181,18 @@ impl AffineExpr {
         out
     }
 
+    /// Offset several variables at once: `var := var + delta` for every
+    /// pair, in one clone. Equivalent to chaining
+    /// [`AffineExpr::offset_var`] over the pairs (offsets only touch the
+    /// constant term, so they commute).
+    pub fn offset_vars(&self, deltas: &[(&str, i64)]) -> AffineExpr {
+        let mut out = self.clone();
+        for &(var, delta) in deltas {
+            out.constant += self.coeff(var) * delta;
+        }
+        out
+    }
+
     /// Rename a variable, keeping its coefficient.
     pub fn rename_var(&self, from: &str, to: &str) -> AffineExpr {
         match self.coeffs.get(from).copied() {

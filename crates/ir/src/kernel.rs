@@ -115,6 +115,38 @@ impl Kernel {
         Kernel::new(self.name.clone(), self.arrays.clone(), scalars, body)
     }
 
+    /// [`Kernel::with_body`] without revalidation, for transformation
+    /// pipelines whose output is valid by construction (e.g. rebuilding a
+    /// nest from an already-validated kernel's own statements). The
+    /// validation in [`Kernel::validate`] is a pure check — it never
+    /// alters the kernel — so skipping it changes nothing but time; any
+    /// caller handing over statements of uncertain provenance must use
+    /// [`Kernel::with_body`] instead.
+    #[must_use]
+    pub fn with_body_unchecked(&self, body: Vec<Stmt>) -> Kernel {
+        Kernel {
+            name: self.name.clone(),
+            arrays: self.arrays.clone(),
+            scalars: self.scalars.clone(),
+            body,
+        }
+    }
+
+    /// [`Kernel::with_body_and_temps`] without revalidation; the caller
+    /// guarantees the body is valid and the temporary names are fresh
+    /// (see [`Kernel::with_body_unchecked`]).
+    #[must_use]
+    pub fn with_body_and_temps_unchecked(&self, body: Vec<Stmt>, temps: Vec<ScalarDecl>) -> Kernel {
+        let mut scalars = self.scalars.clone();
+        scalars.extend(temps);
+        Kernel {
+            name: self.name.clone(),
+            arrays: self.arrays.clone(),
+            scalars,
+            body,
+        }
+    }
+
     /// View the body as a perfect loop nest, if it is one: a chain of
     /// single-statement loops ending in a body with no further loops.
     pub fn perfect_nest(&self) -> Option<NestView<'_>> {

@@ -68,6 +68,30 @@ pub fn offset_var_stmts(stmts: &[Stmt], var: &str, delta: i64) -> Vec<Stmt> {
     rewritten
 }
 
+/// [`offset_var_stmts`] for several variables in one pair of traversals
+/// instead of one pair per variable. Zero deltas are skipped, so the
+/// result is bit-identical to chaining `offset_var_stmts` over the
+/// non-zero pairs in any order (subscript offsets commute on the constant
+/// term; scalar-read rewrites touch disjoint leaves).
+pub fn offset_vars_stmts(stmts: &[Stmt], deltas: &[(&str, i64)]) -> Vec<Stmt> {
+    let active: Vec<(&str, i64)> = deltas.iter().filter(|&&(_, d)| d != 0).copied().collect();
+    if active.is_empty() {
+        return stmts.to_vec();
+    }
+    let rewritten = map_accesses_stmts(stmts, &mut |a| a.map_indices(|e| e.offset_vars(&active)));
+    rewritten
+        .iter()
+        .map(|s| {
+            map_scalar_reads_stmt(s, &mut |n| {
+                active
+                    .iter()
+                    .find(|&&(v, _)| v == n)
+                    .map(|&(_, d)| Expr::add(Expr::scalar(n), Expr::Int(d)))
+            })
+        })
+        .collect()
+}
+
 /// Rename a scalar/loop variable everywhere (subscripts and scalar reads).
 pub fn rename_var_stmts(stmts: &[Stmt], from: &str, to: &str) -> Vec<Stmt> {
     let renamed = map_accesses_stmts(stmts, &mut |a| a.map_indices(|e| e.rename_var(from, to)));

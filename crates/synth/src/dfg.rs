@@ -166,6 +166,18 @@ pub fn build_dfg_opts(
     binding: &MemoryBinding,
     opts: &DfgOptions<'_>,
 ) -> Dfg {
+    build_dfg_stmts(stmts, kernel, binding, opts)
+}
+
+/// [`build_dfg_opts`] over any iterator of borrowed statements, so
+/// callers walking a body can feed straight-line segments without
+/// cloning them into a contiguous buffer first.
+pub(crate) fn build_dfg_stmts<'s>(
+    stmts: impl IntoIterator<Item = &'s Stmt>,
+    kernel: &Kernel,
+    binding: &MemoryBinding,
+    opts: &DfgOptions<'_>,
+) -> Dfg {
     let mut b = Builder {
         dfg: Dfg::default(),
         kernel,
@@ -274,7 +286,9 @@ impl Builder<'_> {
             } => {
                 let (c, _, _) = self.expr(cond);
                 // Predicated execution: evaluate both branches, mux scalar
-                // defs, issue memory accesses unconditionally.
+                // defs, issue memory accesses unconditionally. Two clones
+                // of the def map (pre-branch state for each branch); the
+                // merge mutates the restored map in place.
                 let saved: HashMap<String, NodeId> = self.defs.clone();
                 for st in then_body {
                     self.stmt(st);
@@ -283,19 +297,21 @@ impl Builder<'_> {
                 for st in else_body {
                     self.stmt(st);
                 }
-                let else_defs = std::mem::replace(&mut self.defs, saved.clone());
-                let mut merged = saved.clone();
+                let else_defs = std::mem::replace(&mut self.defs, saved);
                 let mut touched: Vec<&String> = then_defs.keys().chain(else_defs.keys()).collect();
                 touched.sort();
                 touched.dedup();
                 for name in touched {
                     let t = then_defs.get(name).copied();
                     let e = else_defs.get(name).copied();
-                    let pre = saved.get(name).copied();
+                    // `self.defs` holds the pre-branch defs again; the
+                    // loop only ever overwrites the name it is merging,
+                    // so later lookups still see pre-branch values.
+                    let pre = self.defs.get(name).copied();
                     let (t, e) = (t.or(pre), e.or(pre));
                     match (t, e) {
                         (Some(tv), Some(ev)) if tv == ev => {
-                            merged.insert(name.clone(), tv);
+                            self.defs.insert(name.clone(), tv);
                         }
                         (Some(tv), Some(ev)) => {
                             let bits = self.scalar_bits(name);
@@ -306,17 +322,16 @@ impl Builder<'_> {
                                 },
                                 vec![c, tv, ev],
                             );
-                            merged.insert(name.clone(), mux);
+                            self.defs.insert(name.clone(), mux);
                         }
                         (Some(tv), None) | (None, Some(tv)) => {
                             // Defined on one path only and not before:
                             // keep the defined value (estimation only).
-                            merged.insert(name.clone(), tv);
+                            self.defs.insert(name.clone(), tv);
                         }
                         (None, None) => {}
                     }
                 }
-                self.defs = merged;
             }
             Stmt::Rotate(regs) => {
                 let bits = regs.first().map(|r| self.scalar_bits(r)).unwrap_or(32);

@@ -110,7 +110,14 @@ struct Aggregate {
 
 impl Aggregate {
     fn merge_static(&mut self, other: &Aggregate) {
-        for (k, u) in &other.op_usage {
+        self.merge_op_usage(&other.op_usage);
+        self.fsm_states += other.fsm_states;
+        self.loops += other.loops;
+        self.segments += other.segments;
+    }
+
+    fn merge_op_usage(&mut self, usage: &HashMap<(HwOp, u32), OpUsage>) {
+        for (k, u) in usage {
             let e = self.op_usage.entry(*k).or_default();
             // Operators are shared across segments: allocation is the max
             // concurrency anywhere; uses accumulate (they contend for the
@@ -118,9 +125,6 @@ impl Aggregate {
             e.max_concurrent = e.max_concurrent.max(u.max_concurrent);
             e.total_uses += u.total_uses;
         }
-        self.fsm_states += other.fsm_states;
-        self.loops += other.loops;
-        self.segments += other.segments;
     }
 }
 
@@ -256,14 +260,16 @@ struct WalkCtx<'a> {
 
 fn walk(stmts: &[Stmt], ctx: &WalkCtx<'_>) -> Aggregate {
     let mut agg = Aggregate::default();
-    let mut segment: Vec<Stmt> = Vec::new();
+    // Straight-line statements are borrowed from the body, not cloned:
+    // segments only feed the DFG builder, which reads them.
+    let mut segment: Vec<&Stmt> = Vec::new();
 
-    let flush = |segment: &mut Vec<Stmt>, agg: &mut Aggregate| {
+    let flush = |segment: &mut Vec<&Stmt>, agg: &mut Aggregate| {
         if segment.is_empty() {
             return;
         }
-        let dfg = crate::dfg::build_dfg_opts(
-            segment,
+        let dfg = crate::dfg::build_dfg_stmts(
+            segment.iter().copied(),
             ctx.kernel,
             &ctx.design.binding,
             &crate::dfg::DfgOptions {
@@ -278,11 +284,7 @@ fn walk(stmts: &[Stmt], ctx: &WalkCtx<'_>) -> Aggregate {
         agg.bits += sched.bits_transferred;
         agg.fsm_states += sched.length;
         agg.segments += 1;
-        let sub = Aggregate {
-            op_usage: sched.op_usage.clone(),
-            ..Aggregate::default()
-        };
-        agg.merge_static(&sub);
+        agg.merge_op_usage(&sched.op_usage);
         segment.clear();
     };
 
@@ -299,7 +301,7 @@ fn walk(stmts: &[Stmt], ctx: &WalkCtx<'_>) -> Aggregate {
                 agg.merge_static(&inner);
                 agg.loops += 1;
             }
-            other => segment.push(other.clone()),
+            other => segment.push(other),
         }
     }
     flush(&mut segment, &mut agg);

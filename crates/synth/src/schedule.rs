@@ -205,7 +205,7 @@ pub fn schedule_dfg_prioritized(
     // Packed-word fetches already issued: (array, bank, word) → the
     // fetch's start cycle. Follow-up loads of the same word ride along
     // without occupying the port again.
-    let mut fetched_words: HashMap<(String, usize, i64), u64> = HashMap::new();
+    let mut fetched_words: HashMap<(&str, usize, i64), u64> = HashMap::new();
     // Bounded operator classes: a min-heap of unit-free times per class.
     let mut unit_pools: HashMap<HwOp, BinaryHeap<Reverse<u64>>> = HashMap::new();
     for (op, units) in constraints.iter() {
@@ -231,7 +231,7 @@ pub fn schedule_dfg_prioritized(
                 word,
             } => {
                 let bank = (*bank) % bank_free.len();
-                let key = (array.clone(), bank, *word);
+                let key = (array.as_str(), bank, *word);
                 match fetched_words.get(&key) {
                     // The word is already being fetched: ride along.
                     Some(&fetch_start) => {

@@ -34,6 +34,7 @@ pub mod layout;
 pub mod normalize;
 pub mod peel;
 pub mod pipeline;
+pub mod prepared;
 pub mod scalar;
 pub mod simplify;
 pub mod tiling;
@@ -45,6 +46,7 @@ pub use layout::{assign_memories, MemoryBinding};
 pub use normalize::normalize_loops;
 pub use peel::peel_first_iterations;
 pub use pipeline::{transform, TransformOptions, TransformedDesign, UnrollVector};
+pub use prepared::PreparedKernel;
 pub use scalar::{scalar_replace, ScalarReplacementInfo};
 pub use simplify::simplify_kernel;
 pub use tiling::strip_mine;

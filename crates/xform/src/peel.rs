@@ -10,9 +10,9 @@
 //! remaining iterations.
 
 use crate::error::Result;
-use crate::simplify::{simplify_expr, simplify_stmts};
+use crate::simplify::{fold_binary, fold_unary, simplify_expr, simplify_stmts};
 use defacto_ir::visit::{map_accesses_stmts, map_scalar_reads_stmt};
-use defacto_ir::{AffineExpr, BinOp, Expr, Kernel, Loop, Stmt};
+use defacto_ir::{AffineExpr, BinOp, Expr, Kernel, LValue, Loop, Stmt};
 
 /// Peel the first iteration of every loop that guards statements with
 /// `if (var == lower)`, recursively.
@@ -23,6 +23,223 @@ use defacto_ir::{AffineExpr, BinOp, Expr, Kernel, Loop, Stmt};
 pub fn peel_first_iterations(kernel: &Kernel) -> Result<Kernel> {
     let body = peel_stmts(kernel.body());
     Ok(kernel.with_body(simplify_stmts(&body))?)
+}
+
+/// [`peel_first_iterations`] for the prepared evaluation path: produces
+/// the same kernel while skipping revalidation and fusing peeling with
+/// simplification into a single bottom-up walk.
+///
+/// The eager path interleaves `peel_stmts` with per-level and final
+/// `simplify_stmts` passes, walking (and re-cloning) the tree several
+/// times. The fused walk maintains the invariant that every statement
+/// list it returns is already in `simplify_stmts` normal form —
+/// expressions folded, constant branches spliced, zero-trip loops
+/// dropped — so no follow-up pass is needed:
+///
+/// - guard detection runs on the simplified peeled body, where constant
+///   `if`s cannot occur, so the plain [`tests_first_iteration`] applies;
+/// - the peeled first copy is produced by `substitute_fold_stmts`, which
+///   substitutes `var := lower` and folds in one pass (folding is
+///   bottom-up, so substituting at the leaves and folding on the way up
+///   yields exactly `simplify(substitute(x))`);
+/// - the steady-state loop body is produced by `kill_fold_stmts`, which
+///   rewrites dead guards to constant false and splices the resulting
+///   constant branches in the same pass.
+///
+/// Because `simplify_stmts` is idempotent and each fused operator
+/// reproduces its two-pass counterpart node for node, the result is
+/// bit-identical to the eager path; the incremental-equivalence property
+/// test pins the two against each other on every paper kernel.
+pub(crate) fn peel_first_iterations_lite(kernel: &Kernel) -> Kernel {
+    kernel.with_body_unchecked(peel_simplify_stmts(kernel.body()))
+}
+
+/// Fused `simplify_stmts(peel_stmts(..))`: peel and simplify in one
+/// bottom-up walk. Output is in `simplify_stmts` normal form.
+fn peel_simplify_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    peel_simplify_into(stmts, &mut out);
+    out
+}
+
+fn peel_simplify_into(stmts: &[Stmt], out: &mut Vec<Stmt>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => out.push(Stmt::Assign {
+                lhs: lhs.clone(),
+                rhs: simplify_expr(rhs),
+            }),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => match simplify_expr(cond) {
+                Expr::Int(0) => peel_simplify_into(else_body, out),
+                Expr::Int(_) => peel_simplify_into(then_body, out),
+                cond => out.push(Stmt::If {
+                    cond,
+                    then_body: peel_simplify_stmts(then_body),
+                    else_body: peel_simplify_stmts(else_body),
+                }),
+            },
+            Stmt::For(l) => {
+                if l.trip_count() == 0 {
+                    continue;
+                }
+                let body = peel_simplify_stmts(&l.body);
+                if tests_first_iteration(&body, &l.var, l.lower) {
+                    substitute_fold_into(&body, &l.var, l.lower, out);
+                    if l.trip_count() > 1 {
+                        out.push(Stmt::For(Loop {
+                            var: l.var.clone(),
+                            lower: l.lower + l.step,
+                            upper: l.upper,
+                            step: l.step,
+                            body: kill_fold_stmts(&body, &l.var, l.lower),
+                        }));
+                    }
+                } else {
+                    out.push(Stmt::For(Loop {
+                        var: l.var.clone(),
+                        lower: l.lower,
+                        upper: l.upper,
+                        step: l.step,
+                        body,
+                    }));
+                }
+            }
+            Stmt::Rotate(r) => out.push(Stmt::Rotate(r.clone())),
+        }
+    }
+}
+
+/// Fused `simplify_stmts(substitute_const(..))` over an
+/// already-simplified body: substitute `var := value` at the leaves and
+/// refold on the way up, splicing branches whose condition becomes
+/// constant.
+fn substitute_fold_stmts(stmts: &[Stmt], var: &str, value: i64) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    substitute_fold_into(stmts, var, value, &mut out);
+    out
+}
+
+fn substitute_fold_into(stmts: &[Stmt], var: &str, value: i64, out: &mut Vec<Stmt>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => out.push(Stmt::Assign {
+                lhs: match lhs {
+                    LValue::Array(a) => LValue::Array(
+                        a.map_indices(|e| e.substitute(var, &AffineExpr::constant(value))),
+                    ),
+                    scalar => scalar.clone(),
+                },
+                rhs: substitute_fold_expr(rhs, var, value),
+            }),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => match substitute_fold_expr(cond, var, value) {
+                Expr::Int(0) => substitute_fold_into(else_body, var, value, out),
+                Expr::Int(_) => substitute_fold_into(then_body, var, value, out),
+                cond => out.push(Stmt::If {
+                    cond,
+                    then_body: substitute_fold_stmts(then_body, var, value),
+                    else_body: substitute_fold_stmts(else_body, var, value),
+                }),
+            },
+            // Loop bounds are literals, so trip counts are unaffected by
+            // substitution and no zero-trip loop can appear here.
+            Stmt::For(l) => out.push(Stmt::For(Loop {
+                var: l.var.clone(),
+                lower: l.lower,
+                upper: l.upper,
+                step: l.step,
+                body: substitute_fold_stmts(&l.body, var, value),
+            })),
+            Stmt::Rotate(r) => out.push(Stmt::Rotate(r.clone())),
+        }
+    }
+}
+
+fn substitute_fold_expr(e: &Expr, var: &str, value: i64) -> Expr {
+    match e {
+        Expr::Scalar(n) if n == var => Expr::Int(value),
+        Expr::Int(_) | Expr::Scalar(_) => e.clone(),
+        Expr::Load(a) => {
+            Expr::Load(a.map_indices(|ix| ix.substitute(var, &AffineExpr::constant(value))))
+        }
+        Expr::Unary(op, inner) => fold_unary(*op, substitute_fold_expr(inner, var, value)),
+        Expr::Binary(op, a, b) => fold_binary(
+            *op,
+            substitute_fold_expr(a, var, value),
+            substitute_fold_expr(b, var, value),
+        ),
+        Expr::Select(c, t, f) => match substitute_fold_expr(c, var, value) {
+            Expr::Int(0) => substitute_fold_expr(f, var, value),
+            Expr::Int(_) => substitute_fold_expr(t, var, value),
+            c => Expr::Select(
+                Box::new(c),
+                Box::new(substitute_fold_expr(t, var, value)),
+                Box::new(substitute_fold_expr(f, var, value)),
+            ),
+        },
+    }
+}
+
+/// Fused `simplify_stmts(kill_first_iteration_guards(..))` over an
+/// already-simplified body: rewrite `var == lower` tests to constant
+/// false and splice the branches that become constant, leaving every
+/// untouched statement as is (it is already in normal form).
+fn kill_fold_stmts(stmts: &[Stmt], var: &str, lower: i64) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    kill_fold_into(stmts, var, lower, &mut out);
+    out
+}
+
+fn kill_fold_into(stmts: &[Stmt], var: &str, lower: i64, out: &mut Vec<Stmt>) {
+    for s in stmts {
+        match s {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => match kill_fold_expr(cond, var, lower) {
+                Expr::Int(0) => kill_fold_into(else_body, var, lower, out),
+                Expr::Int(_) => kill_fold_into(then_body, var, lower, out),
+                cond => out.push(Stmt::If {
+                    cond,
+                    then_body: kill_fold_stmts(then_body, var, lower),
+                    else_body: kill_fold_stmts(else_body, var, lower),
+                }),
+            },
+            Stmt::For(l) => out.push(Stmt::For(Loop {
+                var: l.var.clone(),
+                lower: l.lower,
+                upper: l.upper,
+                step: l.step,
+                body: kill_fold_stmts(&l.body, var, lower),
+            })),
+            other => out.push(other.clone()),
+        }
+    }
+}
+
+/// Fused `simplify_expr(kill_in_expr(..))` over an already-simplified
+/// expression. Like `kill_in_expr`, only binary chains are searched for
+/// the guard; other nodes are untouched (and already folded).
+fn kill_fold_expr(e: &Expr, var: &str, lower: i64) -> Expr {
+    match e {
+        Expr::Binary(BinOp::Eq, a, b) if matches!((&**a, &**b), (Expr::Scalar(v), Expr::Int(k)) if v == var && *k == lower) => {
+            Expr::Int(0)
+        }
+        Expr::Binary(op, a, b) => fold_binary(
+            *op,
+            kill_fold_expr(a, var, lower),
+            kill_fold_expr(b, var, lower),
+        ),
+        other => other.clone(),
+    }
 }
 
 fn peel_stmts(stmts: &[Stmt]) -> Vec<Stmt> {

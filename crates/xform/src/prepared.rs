@@ -1,0 +1,343 @@
+//! Incremental design-point evaluation: a prepared kernel.
+//!
+//! Every design point of one exploration shares the same source kernel.
+//! The full pipeline ([`crate::transform`]) nevertheless re-runs every
+//! point-invariant step per point: loop normalization, access collection,
+//! dependence analysis, jam legality inputs, and uniformly-generated-set
+//! partitioning. A [`PreparedKernel`] hoists all of that to a single
+//! up-front `prepare` call and then evaluates each unroll vector with
+//! only the point-*variant* work:
+//!
+//! - unrolled bodies are assembled from a cache of offset copies of the
+//!   base innermost body, keyed by offset tuple. The offset tuples of
+//!   factor vector `U` are a subset of those of any component-wise larger
+//!   vector, so the doubling chains and bisections of the paper's Figure 2
+//!   search (and the exhaustive sweeps) reuse every copy built for a
+//!   smaller factor — a design at `2u` is derived from the cached copies
+//!   of the design at `u` plus only the new offsets;
+//! - on the default path (scalar replacement on, per-pass verification
+//!   off) the jammed body is never even concatenated: scalar replacement
+//!   reads the cached copies through statement references and rebuilds
+//!   the nest itself, so the `P(U)`-statement intermediate kernel is
+//!   skipped entirely;
+//! - the unrolled body's uniformly generated sets are derived
+//!   analytically from the base analyses ([`defacto_analysis::jam`])
+//!   instead of re-walking the `P(U)`-times larger body, and each set's
+//!   distinct-offset list and conditional-member flag are served from
+//!   per-point (respectively per-kernel) caches;
+//! - intermediate kernels are rebuilt with the unchecked constructors:
+//!   re-validation (a pure structural check) is skipped because the
+//!   transformed bodies are produced by the same code paths the validated
+//!   scratch pipeline uses, and the equivalence property test pins the
+//!   outputs against the scratch pipeline bit for bit.
+//!
+//! `transform` here is required to be *bit-identical* to
+//! [`crate::transform`] on the same inputs — same kernels, same info,
+//! same binding, same errors. `tests/incremental_equivalence.rs`
+//! enforces this across the paper kernels' full design spaces.
+
+use crate::error::{Result, VectorError, XformError};
+use crate::layout::assign_memories;
+use crate::normalize::normalize_loops;
+use crate::peel::peel_first_iterations_lite;
+use crate::pipeline::{TransformOptions, TransformedDesign, UnrollVector};
+use crate::scalar::{scalar_replace_core, ScalarInput, ScalarOptions, ScalarReplacementInfo};
+use crate::simplify::simplify_stmts;
+use crate::unroll::{offset_tuples, unroll_is_legal};
+use defacto_analysis::{
+    analyze_dependences_with_bounds, jammed_uniform_sets, uniform_sets, AccessId, AccessTable,
+    DependenceGraph, UniformSet,
+};
+use defacto_ir::visit::offset_vars_stmts;
+use defacto_ir::{Kernel, Loop, Stmt};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// All point-invariant artifacts of one kernel's design-space walk; see
+/// the module docs. Shared across evaluation workers behind an `Arc` —
+/// the copy cache is internally synchronized.
+#[derive(Debug)]
+pub struct PreparedKernel {
+    /// The normalized kernel every design point starts from.
+    normalized: Kernel,
+    /// Empty-bodied templates of the normalized nest's loops.
+    loops: Vec<Loop>,
+    /// Induction variables, outermost first.
+    var_names: Vec<String>,
+    /// The normalized innermost body.
+    base_body: Vec<Stmt>,
+    /// Access table of `base_body`.
+    base_table: AccessTable,
+    /// Uniformly generated sets of `base_table`.
+    base_sets: Vec<UniformSet>,
+    /// Per base set (keyed by its first member, which jamming preserves):
+    /// does any member execute conditionally? Jamming replicates the
+    /// flags verbatim, so the answer holds for every jammed set too.
+    cond_flags: HashMap<AccessId, bool>,
+    /// Dependences with the nest's bounds, input of jam legality.
+    deps: DependenceGraph,
+    /// Offset copies of `base_body`, keyed by full offset tuple. Copies
+    /// are made directly from the base body (never from another copy:
+    /// offsetting an already-offset copy would nest scalar-read rewrites
+    /// differently than the scratch pipeline).
+    copies: Mutex<HashMap<Vec<i64>, Arc<Vec<Stmt>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PreparedKernel {
+    /// Run every point-invariant pipeline stage once.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when the scratch pipeline would fail for *every*
+    /// unroll vector: the kernel does not normalize or is not a perfect
+    /// nest. Callers fall back to [`crate::transform`] in that case so
+    /// per-point errors stay identical.
+    pub fn prepare(kernel: &Kernel) -> Result<PreparedKernel> {
+        let normalized = normalize_loops(kernel)?;
+        let (loops, var_names, base_body) = {
+            let nest = normalized
+                .perfect_nest()
+                .ok_or(XformError::NotPerfectNest)?;
+            let loops: Vec<Loop> = nest
+                .loops()
+                .iter()
+                .map(|l| Loop {
+                    var: l.var.clone(),
+                    lower: l.lower,
+                    upper: l.upper,
+                    step: l.step,
+                    body: Vec::new(),
+                })
+                .collect();
+            let var_names: Vec<String> = loops.iter().map(|l| l.var.clone()).collect();
+            (loops, var_names, nest.innermost_body().to_vec())
+        };
+        let base_table = AccessTable::from_stmts(&base_body);
+        let var_refs: Vec<&str> = var_names.iter().map(String::as_str).collect();
+        let bounds: Vec<(i64, i64)> = loops.iter().map(|l| (l.lower, l.upper - 1)).collect();
+        let deps = analyze_dependences_with_bounds(&base_table, &var_refs, &bounds);
+        let base_sets = uniform_sets(&base_table, &var_refs);
+        let cond_flags: HashMap<AccessId, bool> = base_sets
+            .iter()
+            .map(|s| {
+                let any = s.members.iter().any(|&id| base_table.get(id).conditional);
+                (s.members[0], any)
+            })
+            .collect();
+        Ok(PreparedKernel {
+            normalized,
+            loops,
+            var_names,
+            base_body,
+            base_table,
+            base_sets,
+            cond_flags,
+            deps,
+            copies: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Offset-copy cache statistics: `(hits, misses)` over all
+    /// [`PreparedKernel::transform`] calls so far.
+    pub fn copy_cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Evaluate one design point. Produces the same
+    /// [`TransformedDesign`] (or the same error) as
+    /// [`crate::transform`] on the prepared kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::transform`].
+    pub fn transform(
+        &self,
+        unroll: &UnrollVector,
+        opts: &TransformOptions,
+    ) -> Result<TransformedDesign> {
+        let checkpoint = |stage: &'static str, k: &Kernel| -> Result<()> {
+            if !opts.verify_each_pass {
+                return Ok(());
+            }
+            let diagnostics = defacto_ir::verify(k);
+            if diagnostics.is_empty() {
+                Ok(())
+            } else {
+                Err(XformError::Verify { stage, diagnostics })
+            }
+        };
+        checkpoint("loop normalization", &self.normalized)?;
+
+        // Factor validation, in the scratch pipeline's order.
+        let factors = unroll.factors();
+        if factors.len() != self.loops.len() {
+            return Err(XformError::BadUnrollVector(VectorError::WrongLength {
+                got: factors.len(),
+                depth: self.loops.len(),
+            }));
+        }
+        for (l, loop_) in self.loops.iter().enumerate() {
+            if !loop_.is_normalized() {
+                return Err(XformError::BadUnrollVector(VectorError::NotNormalized {
+                    var: loop_.var.clone(),
+                }));
+            }
+            let u = factors[l];
+            if u < 1 {
+                return Err(XformError::BadUnrollVector(VectorError::BadFactor {
+                    var: loop_.var.clone(),
+                    factor: u,
+                }));
+            }
+            if loop_.trip_count() % u != 0 {
+                return Err(XformError::NonDividingFactor {
+                    var: loop_.var.clone(),
+                    trip: loop_.trip_count(),
+                    factor: u,
+                });
+            }
+        }
+        unroll_is_legal(&self.deps, factors).map_err(XformError::IllegalJam)?;
+
+        // Fetch (building on miss) the cached offset copies of this
+        // point's tuples.
+        let tuples = offset_tuples(factors);
+        let copies: Vec<Arc<Vec<Stmt>>> = {
+            let mut cache = self.copies.lock().expect("copy cache poisoned");
+            tuples
+                .iter()
+                .map(|t| {
+                    if let Some(copy) = cache.get(t) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Arc::clone(copy)
+                    } else {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let deltas: Vec<(&str, i64)> = self
+                            .var_names
+                            .iter()
+                            .map(String::as_str)
+                            .zip(t.iter().copied())
+                            .collect();
+                        let copy = Arc::new(offset_vars_stmts(&self.base_body, &deltas));
+                        cache.insert(t.clone(), Arc::clone(&copy));
+                        copy
+                    }
+                })
+                .collect()
+        };
+
+        // Materialize the unrolled kernel only when something observes
+        // it: per-pass verification, or the no-scalar-replacement result.
+        // On the default path it is skipped — scalar replacement reads
+        // the copies through references and rebuilds the nest itself.
+        let unrolled: Option<Kernel> = if opts.verify_each_pass || !opts.scalar_replacement {
+            let mut body: Vec<Stmt> = Vec::with_capacity(self.base_body.len() * tuples.len());
+            for copy in &copies {
+                body.extend_from_slice(copy);
+            }
+            let mut stmts = body;
+            for (l, loop_) in self.loops.iter().enumerate().rev() {
+                stmts = vec![Stmt::For(Loop {
+                    var: loop_.var.clone(),
+                    lower: 0,
+                    upper: loop_.upper,
+                    step: factors[l],
+                    body: stmts,
+                })];
+            }
+            Some(self.normalized.with_body_unchecked(stmts))
+        } else {
+            None
+        };
+        if let Some(u) = &unrolled {
+            checkpoint("unroll-and-jam", u)?;
+        }
+
+        let (replaced, info) = if opts.scalar_replacement {
+            // Widened loop templates of the unrolled nest.
+            let widened: Vec<Loop> = self
+                .loops
+                .iter()
+                .enumerate()
+                .map(|(l, loop_)| Loop {
+                    var: loop_.var.clone(),
+                    lower: 0,
+                    upper: loop_.upper,
+                    step: factors[l],
+                    body: Vec::new(),
+                })
+                .collect();
+            let sets = jammed_uniform_sets(&self.base_sets, self.base_table.len(), &tuples);
+            // Memoize each set's distinct offsets for this point. Sets
+            // partition the accesses, so the first member id identifies
+            // its set uniquely.
+            let distinct_cache: HashMap<AccessId, Vec<Vec<i64>>> = sets
+                .iter()
+                .map(|s| (s.members[0], s.distinct_offsets()))
+                .collect();
+            let body_refs: Vec<&Stmt> = copies.iter().flat_map(|c| c.iter()).collect();
+            let (final_body, decls, info) = scalar_replace_core(
+                &self.normalized,
+                &ScalarInput {
+                    loops: &widened,
+                    vars: &self.var_names,
+                    body: &body_refs,
+                    sets: &sets,
+                    conditional: &|s: &UniformSet| self.cond_flags[&s.members[0]],
+                    distinct: &|s: &UniformSet| distinct_cache[&s.members[0]].clone(),
+                },
+                &ScalarOptions {
+                    redundant_write_elim: opts.redundant_write_elim,
+                    register_budget: opts.register_budget,
+                },
+            );
+            (
+                self.normalized
+                    .with_body_and_temps_unchecked(final_body, decls),
+                info,
+            )
+        } else {
+            (
+                unrolled.expect("materialized when scalar replacement is off"),
+                ScalarReplacementInfo::default(),
+            )
+        };
+        checkpoint("scalar replacement", &replaced)?;
+
+        // Layout before peeling, exactly like the scratch pipeline.
+        let binding = if opts.custom_layout {
+            assign_memories(&replaced, opts.num_memories)
+        } else {
+            assign_memories(&replaced, 1)
+        };
+
+        let final_kernel = if opts.peel {
+            peel_first_iterations_lite(&replaced)
+        } else {
+            replaced.with_body_unchecked(simplify_stmts(replaced.body()))
+        };
+        checkpoint(
+            if opts.peel {
+                "loop peeling"
+            } else {
+                "simplify"
+            },
+            &final_kernel,
+        )?;
+
+        Ok(TransformedDesign {
+            kernel: final_kernel,
+            unroll: unroll.clone(),
+            info,
+            binding,
+        })
+    }
+}

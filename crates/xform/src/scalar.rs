@@ -85,6 +85,39 @@ impl Default for ScalarOptions {
     }
 }
 
+/// Supplier of a set's distinct constant-offset vectors.
+///
+/// [`UniformSet::distinct_offsets`] is a pure function, so any supplier
+/// returning its value is behavior-preserving; the prepared evaluation
+/// path caches the (sorted, deduplicated) lists per set instead of
+/// re-sorting the full member list at every use.
+pub(crate) type DistinctFn<'a> = dyn Fn(&UniformSet) -> Vec<Vec<i64>> + 'a;
+
+/// The inputs of [`scalar_replace_core`]: the nest shape for this design
+/// point plus the body's access analyses. The scratch path computes them
+/// from the kernel; the prepared path derives them analytically from the
+/// base body's analyses.
+pub(crate) struct ScalarInput<'a> {
+    /// Empty-bodied loop templates, outermost first (steps already
+    /// widened by unrolling).
+    pub loops: &'a [Loop],
+    /// Induction variables, outermost first.
+    pub vars: &'a [String],
+    /// The innermost (jammed) body, as statement references — the
+    /// prepared path feeds cached copies without concatenating them into
+    /// one owned body.
+    pub body: &'a [&'a Stmt],
+    /// Uniformly generated sets of `body` over `vars`.
+    pub sets: &'a [UniformSet],
+    /// Whether any member of the set is conditionally executed (under an
+    /// `if`). The scratch path answers from the body's access table; the
+    /// prepared path answers from the base body's flags, which jamming
+    /// replicates verbatim.
+    pub conditional: &'a dyn Fn(&UniformSet) -> bool,
+    /// Distinct-offset supplier (see [`DistinctFn`]).
+    pub distinct: &'a DistinctFn<'a>,
+}
+
 /// Apply scalar replacement to a normalized (possibly unrolled) perfect
 /// nest.
 ///
@@ -97,7 +130,6 @@ pub fn scalar_replace(
     opts: &ScalarOptions,
 ) -> Result<(Kernel, ScalarReplacementInfo)> {
     let nest = kernel.perfect_nest().ok_or(XformError::NotPerfectNest)?;
-    let depth = nest.depth();
     let vars: Vec<String> = nest.loops().iter().map(|l| l.var.clone()).collect();
     let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
     let loops: Vec<Loop> = nest
@@ -111,19 +143,49 @@ pub fn scalar_replace(
             body: Vec::new(),
         })
         .collect();
-    let trips: Vec<i64> = loops.iter().map(Loop::trip_count).collect();
-    let body = nest.innermost_body().to_vec();
-
-    let table = AccessTable::from_stmts(&body);
+    let body = nest.innermost_body();
+    let table = AccessTable::from_stmts(body);
     let sets = uniform_sets(&table, &var_refs);
+    let body_refs: Vec<&Stmt> = body.iter().collect();
+    let (final_body, decls, info) = scalar_replace_core(
+        kernel,
+        &ScalarInput {
+            loops: &loops,
+            vars: &vars,
+            body: &body_refs,
+            sets: &sets,
+            conditional: &|s: &UniformSet| members_conditional(&table, Some(s)),
+            distinct: &|s: &UniformSet| s.distinct_offsets(),
+        },
+        opts,
+    );
+    let kernel2 = kernel.with_body_and_temps(final_body, decls)?;
+    Ok((kernel2, info))
+}
 
-    let mut names = NameGen::new(kernel, &vars);
+/// The planning and rewriting shared by the scratch and prepared paths,
+/// returning the rebuilt body and the temporary declarations instead of a
+/// validated kernel (the caller decides whether to revalidate).
+pub(crate) fn scalar_replace_core(
+    kernel: &Kernel,
+    input: &ScalarInput<'_>,
+    opts: &ScalarOptions,
+) -> (Vec<Stmt>, Vec<ScalarDecl>, ScalarReplacementInfo) {
+    let depth = input.loops.len();
+    let vars = input.vars;
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let loops = input.loops;
+    let trips: Vec<i64> = loops.iter().map(Loop::trip_count).collect();
+    let body = input.body;
+    let sets = input.sets;
+
+    let mut names = NameGen::new(kernel, vars);
     let mut plan = Plan::new(depth);
     let mut info = ScalarReplacementInfo::default();
 
     // Group read/write sets by (array, signature).
     let mut groups: Vec<Group<'_>> = Vec::new();
-    for set in &sets {
+    for set in sets {
         match groups
             .iter_mut()
             .find(|g| g.array == set.array && *g.signature == set.signature)
@@ -159,8 +221,8 @@ pub fn scalar_replace(
     let mut carried: Vec<CarriedPlan<'_>> = Vec::new();
 
     for g in &groups {
-        let any_conditional =
-            members_conditional(&table, g.read) || members_conditional(&table, g.write);
+        let any_conditional = g.read.map(input.conditional).unwrap_or(false)
+            || g.write.map(input.conditional).unwrap_or(false);
         let foreign_writes = write_sigs
             .get(g.array)
             .map(|sigs| sigs.iter().any(|s| **s != *g.signature))
@@ -193,6 +255,7 @@ pub fn scalar_replace(
                         info: &mut info,
                         vars: &var_refs,
                         kernel,
+                        distinct: input.distinct,
                     },
                     g,
                     read,
@@ -209,6 +272,7 @@ pub fn scalar_replace(
                         info: &mut info,
                         vars: &var_refs,
                         kernel,
+                        distinct: input.distinct,
                     },
                     g,
                     read,
@@ -230,6 +294,7 @@ pub fn scalar_replace(
                         info: &mut info,
                         vars: &var_refs,
                         kernel,
+                        distinct: input.distinct,
                     },
                     g,
                     read,
@@ -245,7 +310,15 @@ pub fn scalar_replace(
                 Some(read),
                 None,
             ) => {
-                if let Some(c) = plan_chain(g, read, *deepest_varying, *or, &loops, &var_refs) {
+                if let Some(c) = plan_chain(
+                    g,
+                    read,
+                    *deepest_varying,
+                    *or,
+                    loops,
+                    &var_refs,
+                    input.distinct,
+                ) {
                     carried.push(c);
                 }
             }
@@ -258,7 +331,7 @@ pub fn scalar_replace(
                 Some(read),
                 None,
             ) => {
-                if let Some(c) = plan_window(g, read, *deepest_varying, &loops) {
+                if let Some(c) = plan_window(g, read, *deepest_varying, loops, input.distinct) {
                     carried.push(c);
                 }
             }
@@ -283,6 +356,7 @@ pub fn scalar_replace(
                         info: &mut info,
                         vars: &var_refs,
                         kernel,
+                        distinct: input.distinct,
                     },
                     g,
                     None,
@@ -307,7 +381,7 @@ pub fn scalar_replace(
     for c in carried {
         if c.cost <= remaining {
             remaining -= c.cost;
-            apply_carried(&mut plan, &mut names, &mut info, c, kernel);
+            apply_carried(&mut plan, &mut names, &mut info, c, kernel, input.distinct);
         } else {
             info.dropped_by_budget += 1;
             info.unexploited_sets += 1;
@@ -316,15 +390,14 @@ pub fn scalar_replace(
 
     // Rewrite the innermost body.
     let mut new_body: Vec<Stmt> = Vec::new();
-    new_body.extend(plan.body_prefix.clone());
-    for s in &body {
+    new_body.append(&mut plan.body_prefix);
+    for &s in body {
         new_body.extend(rewrite_stmt(s, &plan));
     }
-    new_body.extend(plan.body_suffix.clone());
+    new_body.append(&mut plan.body_suffix);
 
     // Load dedup/hoist on the rewritten body.
-    let hoisted = hoist_remaining_loads(&mut names, &mut info, &new_body, kernel);
-    let new_body = hoisted;
+    let new_body = hoist_remaining_loads(&mut names, &mut info, &new_body, kernel);
 
     // Reassemble the (now imperfect) nest: each loop level wraps its
     // hoisted loads, the inner nest, and its sunk stores.
@@ -333,19 +406,18 @@ pub fn scalar_replace(
         let body = if level == depth - 1 {
             stmts
         } else {
-            let mut b = plan.pre[level].clone();
+            let mut b = std::mem::take(&mut plan.pre[level]);
             b.extend(stmts);
-            b.extend(plan.post[level].clone());
+            b.append(&mut plan.post[level]);
             b
         };
         stmts = vec![wrap_loop(&loops[level], body)];
     }
-    let mut final_body = plan.top.clone();
+    let mut final_body = plan.top;
     final_body.extend(stmts);
-    final_body.extend(plan.bottom.clone());
+    final_body.extend(plan.bottom);
 
-    let kernel2 = kernel.with_body_and_temps(final_body, names.decls)?;
-    Ok((kernel2, info))
+    (final_body, names.decls, info)
 }
 
 fn wrap_loop(template: &Loop, body: Vec<Stmt>) -> Stmt {
@@ -472,6 +544,7 @@ struct PlanCtx<'a> {
     info: &'a mut ScalarReplacementInfo,
     vars: &'a [&'a str],
     kernel: &'a Kernel,
+    distinct: &'a DistinctFn<'a>,
 }
 
 fn members_conditional(table: &AccessTable, set: Option<&UniformSet>) -> bool {
@@ -513,18 +586,20 @@ fn plan_accumulator(
         info,
         vars,
         kernel,
+        distinct,
     } = ctx;
     let ty = element_type(kernel, g.array);
     // Registers for the union of read/write offsets.
-    let mut offsets: Vec<Vec<i64>> = write.distinct_offsets();
-    let read_offsets: Vec<Vec<i64>> = read.map(|r| r.distinct_offsets()).unwrap_or_default();
+    let write_offsets = distinct(write);
+    let mut offsets: Vec<Vec<i64>> = write_offsets.clone();
+    let read_offsets: Vec<Vec<i64>> = read.map(distinct).unwrap_or_default();
     for o in &read_offsets {
         if !offsets.contains(o) {
             offsets.push(o.clone());
         }
     }
     offsets.sort();
-    let written: HashSet<Vec<i64>> = write.distinct_offsets().into_iter().collect();
+    let written: HashSet<Vec<i64>> = write_offsets.into_iter().collect();
     let base = g.array.to_lowercase();
     for off in &offsets {
         let reg = names.fresh(&format!("{base}_{}", join_offsets(off)), ty);
@@ -557,10 +632,11 @@ fn plan_invariant(ctx: &mut PlanCtx<'_>, g: &Group<'_>, read: &UniformSet) {
         info,
         vars,
         kernel,
+        distinct,
     } = ctx;
     let ty = element_type(kernel, g.array);
     let base = g.array.to_lowercase();
-    for off in read.distinct_offsets() {
+    for off in distinct(read) {
         let reg = names.fresh(&format!("{base}_{}", join_offsets(&off)), ty);
         let access = access_of(g.array, g.signature, vars, &off);
         plan.top.push(Stmt::assign(
@@ -584,10 +660,11 @@ fn plan_hoisted_read(
         info,
         vars,
         kernel,
+        distinct,
     } = ctx;
     let ty = element_type(kernel, g.array);
     let base = g.array.to_lowercase();
-    for off in read.distinct_offsets() {
+    for off in distinct(read) {
         let reg = names.fresh(&format!("{base}_{}", join_offsets(&off)), ty);
         let access = access_of(g.array, g.signature, vars, &off);
         plan.pre[deepest_varying].push(Stmt::assign(
@@ -606,6 +683,7 @@ fn plan_chain<'a>(
     outer_reuse: usize,
     loops: &[Loop],
     vars: &[&str],
+    distinct: &DistinctFn<'_>,
 ) -> Option<CarriedPlan<'a>> {
     // Chain length: iterations of the varying loops deeper than the reuse
     // loop (per lane).
@@ -617,7 +695,7 @@ fn plan_chain<'a>(
     if length <= 0 || length > 4096 {
         return None; // degenerate or absurd chain
     }
-    let lanes = read.distinct_offsets();
+    let lanes = distinct(read);
     let invariant_guards: Vec<usize> = (outer_reuse + 1..deepest_varying)
         .filter(|l| !varying.contains(l))
         .collect();
@@ -642,6 +720,7 @@ fn plan_window<'a>(
     read: &'a UniformSet,
     deepest_varying: usize,
     loops: &[Loop],
+    distinct: &DistinctFn<'_>,
 ) -> Option<CarriedPlan<'a>> {
     // Exactly one dimension must vary with the deepest loop.
     let dims: Vec<usize> = g
@@ -661,9 +740,11 @@ fn plan_window<'a>(
         return None; // non-unit stride windows are left to plain loads
     }
     let step = loops[deepest_varying].step;
-    // Group lanes by the offsets of all other dimensions.
+    // Group lanes by the offsets of all other dimensions (an index map
+    // keeps this linear in the jammed offset count).
     let mut lanes: Vec<(Vec<i64>, i64, i64)> = Vec::new();
-    for off in read.distinct_offsets() {
+    let mut lane_index: HashMap<Vec<i64>, usize> = HashMap::new();
+    for off in distinct(read) {
         let key: Vec<i64> = off
             .iter()
             .enumerate()
@@ -671,12 +752,16 @@ fn plan_window<'a>(
             .map(|(_, &v)| v)
             .collect();
         let w = off[window_dim];
-        match lanes.iter_mut().find(|(k, _, _)| *k == key) {
-            Some((_, lo, hi)) => {
+        match lane_index.get(&key) {
+            Some(&i) => {
+                let (_, lo, hi) = &mut lanes[i];
                 *lo = (*lo).min(w);
                 *hi = (*hi).max(w);
             }
-            None => lanes.push((key, w, w)),
+            None => {
+                lane_index.insert(key.clone(), lanes.len());
+                lanes.push((key, w, w));
+            }
         }
     }
     // Keep only lanes with carried reuse; others stay as plain loads.
@@ -707,6 +792,7 @@ fn apply_carried(
     info: &mut ScalarReplacementInfo,
     c: CarriedPlan<'_>,
     kernel: &Kernel,
+    distinct: &DistinctFn<'_>,
 ) {
     let ty = element_type(kernel, &c.group_array);
     let base = c.group_array.to_lowercase();
@@ -765,7 +851,21 @@ fn apply_carried(
             vars,
         } => {
             let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            let all_offsets = distinct(read);
+            // Group the offsets by lane key once, preserving their order
+            // within each lane.
+            let mut by_lane: HashMap<Vec<i64>, Vec<&Vec<i64>>> = HashMap::new();
+            for off in &all_offsets {
+                let key: Vec<i64> = off
+                    .iter()
+                    .enumerate()
+                    .filter(|(d, _)| *d != window_dim)
+                    .map(|(_, &v)| v)
+                    .collect();
+                by_lane.entry(key).or_default().push(off);
+            }
             for (lane_idx, (_key, lo, hi)) in lanes.iter().enumerate() {
+                let lane_offsets = &by_lane[_key];
                 let span = (hi - lo + 1) as usize;
                 let carried = span.saturating_sub(step as usize);
                 let regs: Vec<String> = (0..span)
@@ -773,21 +873,7 @@ fn apply_carried(
                     .collect();
                 // Representative full offset vector for this lane with the
                 // window dimension patched per position.
-                let proto: Vec<i64> = {
-                    // Find any member offset belonging to this lane.
-                    read.distinct_offsets()
-                        .into_iter()
-                        .find(|off| {
-                            let key: Vec<i64> = off
-                                .iter()
-                                .enumerate()
-                                .filter(|(d, _)| *d != window_dim)
-                                .map(|(_, &v)| v)
-                                .collect();
-                            key == *_key
-                        })
-                        .expect("lane came from the offsets")
-                };
+                let proto: Vec<i64> = lane_offsets[0].clone();
                 let make_access = |wpos: i64| {
                     let mut off = proto.clone();
                     off[window_dim] = wpos;
@@ -824,18 +910,9 @@ fn apply_carried(
                     ));
                 }
                 // Body reads come from window positions.
-                for off in read.distinct_offsets() {
-                    let key: Vec<i64> = off
-                        .iter()
-                        .enumerate()
-                        .filter(|(d, _)| *d != window_dim)
-                        .map(|(_, &v)| v)
-                        .collect();
-                    if key != *_key {
-                        continue;
-                    }
+                for off in lane_offsets {
                     let p = (off[window_dim] - lo) as usize;
-                    let access = access_of(&c.group_array, &c.signature, &var_refs, &off);
+                    let access = access_of(&c.group_array, &c.signature, &var_refs, off);
                     plan.load_rewrites
                         .insert(access, Expr::scalar(regs[p].clone()));
                 }
@@ -910,7 +987,8 @@ fn hoist_remaining_loads(
 
     // Distinct loads in first-occurrence order.
     let mut order: Vec<ArrayAccess> = Vec::new();
-    collect_loads(body, &stored, &mut order);
+    let mut seen: HashSet<ArrayAccess> = HashSet::new();
+    collect_loads(body, &stored, &mut seen, &mut order);
     if order.is_empty() {
         return body.to_vec();
     }
@@ -956,13 +1034,23 @@ fn collect_stored_arrays(body: &[Stmt], out: &mut HashSet<String>) {
     }
 }
 
-fn push_load(a: &ArrayAccess, stored: &HashSet<String>, out: &mut Vec<ArrayAccess>) {
-    if !stored.contains(&a.array) && !out.contains(a) {
+fn push_load(
+    a: &ArrayAccess,
+    stored: &HashSet<String>,
+    seen: &mut HashSet<ArrayAccess>,
+    out: &mut Vec<ArrayAccess>,
+) {
+    if !stored.contains(&a.array) && seen.insert(a.clone()) {
         out.push(a.clone());
     }
 }
 
-fn collect_loads(body: &[Stmt], stored: &HashSet<String>, out: &mut Vec<ArrayAccess>) {
+fn collect_loads(
+    body: &[Stmt],
+    stored: &HashSet<String>,
+    seen: &mut HashSet<ArrayAccess>,
+    out: &mut Vec<ArrayAccess>,
+) {
     for s in body {
         match s {
             Stmt::Assign { rhs, .. } => {
@@ -978,7 +1066,7 @@ fn collect_loads(body: &[Stmt], stored: &HashSet<String>, out: &mut Vec<ArrayAcc
                     continue;
                 }
                 for a in rhs.loads() {
-                    push_load(a, stored, out);
+                    push_load(a, stored, seen, out);
                 }
             }
             Stmt::If {
@@ -988,14 +1076,14 @@ fn collect_loads(body: &[Stmt], stored: &HashSet<String>, out: &mut Vec<ArrayAcc
                 ..
             } => {
                 for a in cond.loads() {
-                    push_load(a, stored, out);
+                    push_load(a, stored, seen, out);
                 }
                 // Conditional bodies: hoisting their loads makes them
                 // unconditional, which is what the paper's generated code
                 // does ("always performs conditional memory accesses").
                 // Chain-guard fills (rhs exactly a load) stay conditional.
-                collect_loads(then_body, stored, out);
-                collect_loads(else_body, stored, out);
+                collect_loads(then_body, stored, seen, out);
+                collect_loads(else_body, stored, seen, out);
             }
             _ => {}
         }

@@ -6,7 +6,7 @@
 //! human designer (or the paper's code generator) would write.
 
 use crate::error::Result;
-use defacto_ir::{BinOp, Expr, Kernel, Loop, Stmt};
+use defacto_ir::{BinOp, Expr, Kernel, Loop, Stmt, UnOp};
 
 /// Fold constants and resolve constant branches throughout the kernel.
 ///
@@ -65,32 +65,8 @@ pub fn simplify_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
 pub fn simplify_expr(e: &Expr) -> Expr {
     match e {
         Expr::Int(_) | Expr::Scalar(_) | Expr::Load(_) => e.clone(),
-        Expr::Unary(op, inner) => {
-            let inner = simplify_expr(inner);
-            match inner {
-                Expr::Int(v) => Expr::Int(op.apply(v)),
-                inner => Expr::Unary(*op, Box::new(inner)),
-            }
-        }
-        Expr::Binary(op, a, b) => {
-            let a = simplify_expr(a);
-            let b = simplify_expr(b);
-            match (&a, &b) {
-                (Expr::Int(x), Expr::Int(y)) => Expr::Int(op.apply(*x, *y)),
-                // Additive/multiplicative identities.
-                (Expr::Int(0), _) if *op == BinOp::Add => b,
-                (_, Expr::Int(0)) if matches!(op, BinOp::Add | BinOp::Sub) => a,
-                (Expr::Int(1), _) if *op == BinOp::Mul => b,
-                (_, Expr::Int(1)) if *op == BinOp::Mul => a,
-                (Expr::Int(0), _) | (_, Expr::Int(0)) if *op == BinOp::Mul => Expr::Int(0),
-                // Bitwise-and with a constant zero kills the expression —
-                // this is how dead first-iteration guards disappear.
-                (Expr::Int(0), _) | (_, Expr::Int(0)) if *op == BinOp::And => Expr::Int(0),
-                (Expr::Int(0), _) if *op == BinOp::Or => b,
-                (_, Expr::Int(0)) if *op == BinOp::Or => a,
-                _ => Expr::bin(*op, a, b),
-            }
-        }
+        Expr::Unary(op, inner) => fold_unary(*op, simplify_expr(inner)),
+        Expr::Binary(op, a, b) => fold_binary(*op, simplify_expr(a), simplify_expr(b)),
         Expr::Select(c, t, f) => {
             let c = simplify_expr(c);
             match c {
@@ -103,6 +79,36 @@ pub fn simplify_expr(e: &Expr) -> Expr {
                 ),
             }
         }
+    }
+}
+
+/// Rebuild a unary node over an already-simplified operand, folding
+/// constants. Shared with the fused peel walks so both paths apply the
+/// identical rewrite rules.
+pub(crate) fn fold_unary(op: UnOp, inner: Expr) -> Expr {
+    match inner {
+        Expr::Int(v) => Expr::Int(op.apply(v)),
+        inner => Expr::Unary(op, Box::new(inner)),
+    }
+}
+
+/// Rebuild a binary node over already-simplified operands, folding
+/// constants and algebraic identities. Shared with the fused peel walks.
+pub(crate) fn fold_binary(op: BinOp, a: Expr, b: Expr) -> Expr {
+    match (&a, &b) {
+        (Expr::Int(x), Expr::Int(y)) => Expr::Int(op.apply(*x, *y)),
+        // Additive/multiplicative identities.
+        (Expr::Int(0), _) if op == BinOp::Add => b,
+        (_, Expr::Int(0)) if matches!(op, BinOp::Add | BinOp::Sub) => a,
+        (Expr::Int(1), _) if op == BinOp::Mul => b,
+        (_, Expr::Int(1)) if op == BinOp::Mul => a,
+        (Expr::Int(0), _) | (_, Expr::Int(0)) if op == BinOp::Mul => Expr::Int(0),
+        // Bitwise-and with a constant zero kills the expression —
+        // this is how dead first-iteration guards disappear.
+        (Expr::Int(0), _) | (_, Expr::Int(0)) if op == BinOp::And => Expr::Int(0),
+        (Expr::Int(0), _) if op == BinOp::Or => b,
+        (_, Expr::Int(0)) if op == BinOp::Or => a,
+        _ => Expr::bin(op, a, b),
     }
 }
 

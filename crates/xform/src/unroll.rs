@@ -124,8 +124,7 @@ pub fn unroll_and_jam(kernel: &Kernel, factors: &[i64]) -> Result<Kernel> {
     // slowest) — Figure 1(b) in the paper.
     let mut body: Vec<Stmt> = Vec::new();
     let var_names: Vec<String> = nest.loops().iter().map(|l| l.var.clone()).collect();
-    let mut offsets = vec![0i64; factors.len()];
-    loop {
+    for offsets in offset_tuples(factors) {
         let mut copy = nest.innermost_body().to_vec();
         for (l, &off) in offsets.iter().enumerate() {
             if off != 0 {
@@ -133,25 +132,6 @@ pub fn unroll_and_jam(kernel: &Kernel, factors: &[i64]) -> Result<Kernel> {
             }
         }
         body.extend(copy);
-        // Advance the offset counter.
-        let mut level = factors.len();
-        loop {
-            if level == 0 {
-                break;
-            }
-            level -= 1;
-            offsets[level] += 1;
-            if offsets[level] < factors[level] {
-                break;
-            }
-            offsets[level] = 0;
-            if level == 0 {
-                break;
-            }
-        }
-        if offsets.iter().all(|&o| o == 0) {
-            break;
-        }
     }
 
     // Rebuild the nest with widened steps.
@@ -166,6 +146,38 @@ pub fn unroll_and_jam(kernel: &Kernel, factors: &[i64]) -> Result<Kernel> {
         })];
     }
     Ok(kernel.with_body(stmts)?)
+}
+
+/// All unroll-offset tuples for `factors`, in jam order: lexicographic
+/// with the outermost level varying slowest, starting at the all-zero
+/// tuple. The prepared evaluation path iterates the same list, so the
+/// two unrolling implementations replicate copies in the same order by
+/// construction.
+pub(crate) fn offset_tuples(factors: &[i64]) -> Vec<Vec<i64>> {
+    let mut tuples = Vec::with_capacity(factors.iter().product::<i64>().max(1) as usize);
+    let mut offsets = vec![0i64; factors.len()];
+    loop {
+        tuples.push(offsets.clone());
+        // Advance the mixed-radix counter, innermost level fastest.
+        let mut level = factors.len();
+        loop {
+            if level == 0 {
+                return tuples;
+            }
+            level -= 1;
+            offsets[level] += 1;
+            if offsets[level] < factors[level] {
+                break;
+            }
+            offsets[level] = 0;
+            if level == 0 {
+                return tuples;
+            }
+        }
+        if offsets.iter().all(|&o| o == 0) {
+            return tuples;
+        }
+    }
 }
 
 #[cfg(test)]
