@@ -14,8 +14,14 @@
 //! the cost of re-deriving point-invariant work per point — the quantity
 //! the incremental evaluation path exists to eliminate.
 //!
+//! A third, *memoized* pass re-runs the prepared sweep on the same
+//! explorer: every point answers from the engine's memo cache, which is
+//! where `eval_cache_hit_rate` comes from (a cold exhaustive sweep
+//! legitimately reports 0 — every point is distinct — so the cold rate
+//! said nothing about the cache).
+//!
 //! Output: a human-readable table on stdout and a JSON report
-//! (schema `defacto-bench-sweep/v1`) written to `--out` (default
+//! (schema `defacto-bench-sweep/v2`) written to `--out` (default
 //! `BENCH_sweep.json`).
 //!
 //! Flags:
@@ -34,7 +40,7 @@ use defacto_xform::transform;
 use serde::Serialize;
 use std::time::Instant;
 
-const SCHEMA: &str = "defacto-bench-sweep/v1";
+const SCHEMA: &str = "defacto-bench-sweep/v2";
 
 #[derive(Serialize)]
 struct KernelRow {
@@ -42,6 +48,7 @@ struct KernelRow {
     points: u64,
     from_scratch_ms: f64,
     prepared_ms: f64,
+    memoized_ms: f64,
     points_per_sec: f64,
     eval_cache_hit_rate: f64,
     unroll_reuse_rate: f64,
@@ -135,8 +142,15 @@ fn main() {
 
         // Prepared path: the Explorer's exhaustive sweep.
         let t1 = Instant::now();
-        let (sweep, stats) = ex.sweep_with_stats().expect("prepared sweep");
+        let (sweep, _cold_stats) = ex.sweep_with_stats().expect("prepared sweep");
         let prepared_wall = t1.elapsed();
+
+        // Memoized pass: the same sweep again through the same explorer;
+        // every point is a memo-cache hit, so the measured hit rate is
+        // the cache's, not an artifact of a duplicate-free point list.
+        let t2 = Instant::now();
+        let (_, warm_stats) = ex.sweep_with_stats().expect("memoized sweep");
+        let memoized_wall = t2.elapsed();
 
         if args.check {
             assert_eq!(sweep.len(), points.len(), "{}: point count", bk.name);
@@ -163,8 +177,9 @@ fn main() {
             points: points.len() as u64,
             from_scratch_ms: ms(scratch_wall),
             prepared_ms: ms(prepared_wall),
+            memoized_ms: ms(memoized_wall),
             points_per_sec: points.len() as f64 / prepared_wall.as_secs_f64().max(1e-12),
-            eval_cache_hit_rate: stats.cache_hit_rate(),
+            eval_cache_hit_rate: warm_stats.cache_hit_rate(),
             unroll_reuse_rate: reuse,
             speedup,
         });
@@ -193,6 +208,7 @@ fn main() {
                 r.points.to_string(),
                 defacto_bench::report::fnum(r.from_scratch_ms, 1),
                 defacto_bench::report::fnum(r.prepared_ms, 1),
+                defacto_bench::report::fnum(r.memoized_ms, 2),
                 defacto_bench::report::fnum(r.points_per_sec, 1),
                 defacto_bench::report::fnum(r.eval_cache_hit_rate, 3),
                 defacto_bench::report::fnum(r.unroll_reuse_rate, 3),
@@ -208,6 +224,7 @@ fn main() {
                 "points",
                 "scratch ms",
                 "prepared ms",
+                "memo ms",
                 "pts/s",
                 "eval hit",
                 "reuse",

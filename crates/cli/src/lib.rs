@@ -18,6 +18,7 @@
 //!                                      (default: DEFACTO_THREADS or all cores)
 //!   --trace FILE                       write the search trace as JSONL
 //!   --verify                           re-verify IR invariants after every pass
+//!   --fidelity full|multi|analytic     evaluation fidelity (default full)
 //!   --json                             machine-readable output
 //! ```
 //!
@@ -27,7 +28,7 @@
 //! The binary is a thin wrapper over [`run`], which is fully testable.
 
 use defacto::trace::JsonlSink;
-use defacto::{audit_search_trace, prelude::*, to_jsonl};
+use defacto::{audit_search_trace, prelude::*, to_jsonl, Fidelity};
 use defacto_synth::{describe_schedule, emit_vhdl, main_body_schedule};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -51,6 +52,8 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Run the IR verifier after every transformation pass.
     pub verify: bool,
+    /// Evaluation fidelity (tier-0 analytic / multi-fidelity / full).
+    pub fidelity: Fidelity,
     /// Emit JSON instead of tables.
     pub json: bool,
 }
@@ -116,7 +119,7 @@ impl std::error::Error for LintFailure {}
 pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule> \
 <file.kernel> [--memory pipelined|non-pipelined] [--memories N] \
 [--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] \
-[--verify] [--json]";
+[--verify] [--fidelity full|multi|analytic] [--json]";
 
 /// Parse command-line arguments (without the program name).
 ///
@@ -149,6 +152,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut threads = None;
     let mut trace = None;
     let mut verify = false;
+    let mut fidelity = Fidelity::Full;
     let mut json = false;
 
     while let Some(flag) = it.next() {
@@ -210,6 +214,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                 trace = Some(path.clone());
             }
             "--verify" => verify = true,
+            "--fidelity" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError("--fidelity expects full|multi|analytic".into()))?;
+                fidelity = v.parse::<Fidelity>().map_err(UsageError)?;
+            }
             "--json" => json = true,
             other => return Err(UsageError(format!("unknown flag `{other}`\n{USAGE}"))),
         }
@@ -229,6 +239,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         threads,
         trace,
         verify,
+        fidelity,
         json,
     })
 }
@@ -247,7 +258,8 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
     let mut explorer = Explorer::new(&kernel)
         .memory(cli.memory.clone())
         .device(cli.device.clone())
-        .verify_each_pass(cli.verify);
+        .verify_each_pass(cli.verify)
+        .fidelity(cli.fidelity);
     if let Some(n) = cli.threads {
         explorer = explorer.threads(n);
     }
@@ -287,9 +299,13 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     "space_size": r.space_size,
                     "termination": format!("{:?}", r.termination),
                     "verified_each_pass": cli.verify,
+                    "fidelity": cli.fidelity.label(),
                     "stats": serde_json::json!({
                         "evaluated": r.stats.evaluated,
                         "cache_hits": r.stats.cache_hits,
+                        "tier0_evaluated": r.stats.tier0_evaluated,
+                        "tier0_promoted": r.stats.tier0_promoted,
+                        "tier0_pruned": r.stats.tier0_pruned,
                         "workers": r.stats.workers,
                         "wall_ms": r.stats.wall.as_secs_f64() * 1e3,
                     }),
@@ -321,6 +337,16 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     if r.stats.workers == 1 { "" } else { "s" },
                     r.stats.wall.as_secs_f64() * 1e3
                 )?;
+                if cli.fidelity != Fidelity::Full {
+                    writeln!(
+                        out,
+                        "tier 0 ({}): {} banded, {} promoted, {} pruned",
+                        cli.fidelity,
+                        r.stats.tier0_evaluated,
+                        r.stats.tier0_promoted,
+                        r.stats.tier0_pruned
+                    )?;
+                }
                 if cli.verify {
                     // Reaching here means no evaluation raised
                     // `XformError::Verify`: every pass of every visited
@@ -526,7 +552,8 @@ mod tests {
     #[test]
     fn parses_full_command_line() {
         let cli = parse_args(&argv(
-            "explore fir.kernel --memory non-pipelined --memories 2 --device xcv300 --json",
+            "explore fir.kernel --memory non-pipelined --memories 2 --device xcv300 \
+             --fidelity multi --json",
         ))
         .unwrap();
         assert_eq!(cli.command, Command::Explore);
@@ -534,6 +561,7 @@ mod tests {
         assert!(!cli.memory.pipelined);
         assert_eq!(cli.memory.num_memories, 2);
         assert_eq!(cli.device.name, "XCV300");
+        assert_eq!(cli.fidelity, Fidelity::Multi);
         assert!(cli.json);
     }
 
@@ -549,6 +577,8 @@ mod tests {
         assert!(parse_args(&argv("explore f --threads 0")).is_err());
         assert!(parse_args(&argv("explore f --threads two")).is_err());
         assert!(parse_args(&argv("explore f --trace")).is_err());
+        assert!(parse_args(&argv("explore f --fidelity sideways")).is_err());
+        assert!(parse_args(&argv("explore f --fidelity")).is_err());
         assert!(parse_args(&argv("explore f --what")).is_err());
     }
 
@@ -565,6 +595,13 @@ mod tests {
         let out = run(&cli, FIR).unwrap();
         assert!(out.contains("0 invariant violations"), "{out}");
         assert!(out.contains("trace events"), "{out}");
+    }
+
+    #[test]
+    fn audit_multi_fidelity_trace_is_clean() {
+        let cli = parse_args(&argv("audit fir.kernel --fidelity multi")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("0 invariant violations"), "{out}");
     }
 
     #[test]
@@ -611,6 +648,35 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["kernel"], "fir");
         assert!(v["selected"]["estimate"]["cycles"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn explore_multi_fidelity_agrees_with_full_and_reports_tiers() {
+        let full = run(
+            &parse_args(&argv("explore fir.kernel --json")).unwrap(),
+            FIR,
+        )
+        .unwrap();
+        let multi = run(
+            &parse_args(&argv("explore fir.kernel --fidelity multi --json")).unwrap(),
+            FIR,
+        )
+        .unwrap();
+        let f: serde_json::Value = serde_json::from_str(&full).unwrap();
+        let m: serde_json::Value = serde_json::from_str(&multi).unwrap();
+        assert_eq!(f["selected"], m["selected"]);
+        assert_eq!(f["fidelity"], "full");
+        assert_eq!(m["fidelity"], "multi");
+        assert_eq!(f["stats"]["tier0_evaluated"].as_u64(), Some(0));
+        assert!(m["stats"]["tier0_promoted"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn explore_analytic_reports_tier0_work() {
+        let cli = parse_args(&argv("explore fir.kernel --fidelity analytic")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(out.contains("tier 0 (analytic):"), "{out}");
+        assert!(out.contains("selected unroll"), "{out}");
     }
 
     #[test]

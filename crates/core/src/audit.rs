@@ -30,7 +30,13 @@
 //! - **terminate-final** — exactly one `Terminate` event, last in the
 //!   stream;
 //! - **selected-valid** — the selected design was visited, fits the
-//!   device, and is a member of the space.
+//!   device, and is a member of the space;
+//! - **tier-promotion** — in a multi-fidelity trace (one containing
+//!   `TierPromote`/`TierPrune` events), every first-visited point was
+//!   promoted beforehand and no tier-0-pruned point was ever paid a
+//!   tier-1 evaluation. Together with selected-valid this certifies the
+//!   full path never ran on a point the analytic band pruned. Traces
+//!   without tier events are exempt.
 
 use crate::saturation::SaturationInfo;
 use crate::space::DesignSpace;
@@ -67,6 +73,9 @@ pub enum Invariant {
     /// The selected design is unvisited, does not fit, or is outside the
     /// space.
     SelectedValid,
+    /// In a multi-fidelity trace, a point was tier-1-visited without a
+    /// prior `TierPromote`, or after being tier-0-pruned.
+    TierPromotion,
 }
 
 impl Invariant {
@@ -81,6 +90,7 @@ impl Invariant {
             Invariant::FrontierChain => "frontier-chain",
             Invariant::TerminateFinal => "terminate-final",
             Invariant::SelectedValid => "selected-valid",
+            Invariant::TierPromotion => "tier-promotion",
         }
     }
 }
@@ -167,6 +177,16 @@ pub fn audit_search_trace(
     let mut increases: Vec<(usize, UnrollVector, UnrollVector)> = Vec::new();
     let mut terminate_at: Option<usize> = None;
     let u_init_product = sat.u_init.product().max(1);
+    // The tier-promotion invariant only binds multi-fidelity traces:
+    // one tier event anywhere makes every first visit accountable.
+    let has_tier = events.iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::TierPromote { .. } | TraceEvent::TierPrune { .. }
+        )
+    });
+    // Latest tier-0 verdict per point: true = promoted, false = pruned.
+    let mut tier_state: HashMap<UnrollVector, bool> = HashMap::new();
 
     let fail = |report: &mut AuditReport,
                 invariant: Invariant,
@@ -211,6 +231,26 @@ pub fn audit_search_trace(
                     );
                 } else {
                     first_visit.insert(unroll.clone(), (i, *balance, *fits));
+                    if has_tier {
+                        report.checks += 1;
+                        match tier_state.get(unroll) {
+                            Some(true) => {}
+                            Some(false) => fail(
+                                &mut report,
+                                Invariant::TierPromotion,
+                                i,
+                                e,
+                                format!("tier-1 visit of {unroll} after it was tier-0-pruned"),
+                            ),
+                            None => fail(
+                                &mut report,
+                                Invariant::TierPromotion,
+                                i,
+                                e,
+                                format!("tier-1 visit of {unroll} without a TierPromote"),
+                            ),
+                        }
+                    }
                 }
                 if !space.contains(unroll) {
                     fail(
@@ -361,6 +401,12 @@ pub fn audit_search_trace(
                         format!("selected {selected} is not in the design space"),
                     );
                 }
+            }
+            TraceEvent::TierPromote { unroll, .. } => {
+                tier_state.insert(unroll.clone(), true);
+            }
+            TraceEvent::TierPrune { unroll, .. } => {
+                tier_state.insert(unroll.clone(), false);
             }
             TraceEvent::StagePlaced { .. } | TraceEvent::StageRebalanced { .. } => {}
         }
@@ -606,6 +652,80 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == Invariant::MemberOfSpace));
+    }
+
+    #[test]
+    fn tier_promoted_visits_are_clean() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            TraceEvent::TierPromote {
+                unroll: UnrollVector(vec![4, 1]),
+                forced: false,
+            },
+            visit(&[4, 1], 2.0, true),
+            TraceEvent::TierPrune {
+                unroll: UnrollVector(vec![8, 4]),
+                slices_lo: 14000,
+                cycles_lo: 512,
+            },
+            terminate(&[4, 1]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn visit_without_promotion_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            TraceEvent::TierPromote {
+                unroll: UnrollVector(vec![4, 1]),
+                forced: false,
+            },
+            visit(&[4, 1], 2.0, true),
+            visit(&[4, 2], 1.5, true),
+            terminate(&[4, 1]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::TierPromotion);
+        assert_eq!(report.violations[0].event_index, Some(2));
+        assert!(report.violations[0]
+            .detail
+            .contains("without a TierPromote"));
+    }
+
+    #[test]
+    fn visit_of_pruned_point_is_flagged() {
+        let (space, sat) = synthetic();
+        let events = vec![
+            TraceEvent::TierPromote {
+                unroll: UnrollVector(vec![4, 1]),
+                forced: false,
+            },
+            TraceEvent::TierPrune {
+                unroll: UnrollVector(vec![4, 2]),
+                slices_lo: 14000,
+                cycles_lo: 512,
+            },
+            visit(&[4, 1], 2.0, true),
+            visit(&[4, 2], 1.5, true),
+            terminate(&[4, 1]),
+        ];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::TierPromotion);
+        assert!(report.violations[0].detail.contains("tier-0-pruned"));
+    }
+
+    #[test]
+    fn tier_free_traces_are_exempt_from_promotion_checks() {
+        // Same trace as `clean_trace_passes`: no tier events, so plain
+        // full-fidelity visits need no promotion records.
+        let (space, sat) = synthetic();
+        let events = vec![visit(&[4, 1], 2.0, true), terminate(&[4, 1])];
+        let report = audit_search_trace(&events, &space, &sat);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -182,6 +182,15 @@ pub struct EvalStats {
     pub eval_wall: Duration,
     /// Worker threads the engine was configured with.
     pub workers: usize,
+    /// Tier-0 analytic bands computed (multi-fidelity runs only; zero on
+    /// [`crate::Fidelity::Full`] runs). Tier-0 work bypasses the memo
+    /// cache, so it is counted here and *not* in `evaluated`.
+    pub tier0_evaluated: u64,
+    /// Tier-0 points promoted to a full tier-1 evaluation (forced
+    /// promotions included).
+    pub tier0_promoted: u64,
+    /// Tier-0 points pruned without a tier-1 evaluation.
+    pub tier0_pruned: u64,
 }
 
 impl EvalStats {
@@ -212,6 +221,9 @@ impl PartialEq for EvalStats {
         self.evaluated == other.evaluated
             && self.cache_hits == other.cache_hits
             && self.workers == other.workers
+            && self.tier0_evaluated == other.tier0_evaluated
+            && self.tier0_promoted == other.tier0_promoted
+            && self.tier0_pruned == other.tier0_pruned
     }
 }
 
@@ -316,6 +328,9 @@ impl EvalEngine {
             wall,
             eval_wall: Duration::from_nanos(now.eval_nanos - before.eval_nanos),
             workers: self.threads,
+            // Tier-0 work never flows through the engine's counters;
+            // multi-fidelity callers fill these in themselves.
+            ..EvalStats::default()
         }
     }
 
@@ -557,6 +572,7 @@ mod tests {
             wall: Duration::from_millis(1),
             eval_wall: Duration::from_millis(1),
             workers: 2,
+            ..EvalStats::default()
         };
         assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(EvalStats::default().cache_hit_rate(), 0.0);

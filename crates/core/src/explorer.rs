@@ -10,11 +10,76 @@ use crate::search::{
 use crate::space::DesignSpace;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use defacto_ir::Kernel;
-use defacto_synth::{estimate_opts, Estimate, FpgaDevice, MemoryModel, SynthesisOptions};
+use defacto_synth::{
+    estimate_opts, AnalyticBand, AnalyticModel, Estimate, FpgaDevice, MemoryModel, SynthesisOptions,
+};
 use defacto_xform::{transform, PreparedKernel, TransformOptions, TransformedDesign, UnrollVector};
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Evaluation fidelity policy (see DESIGN.md §10).
+///
+/// Tier 0 is the closed-form analytic band from
+/// [`defacto_synth::analytic`]: no body copying, no DFG, no scheduling.
+/// Tier 1 is the full transform + behavioral-estimate pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Every point pays the full tier-1 pipeline (the default).
+    #[default]
+    Full,
+    /// Sweeps rank the whole space at tier 0 first and promote only the
+    /// points the analytic band cannot rule out; searches replay the
+    /// Figure-2 algorithm at tier 1 unchanged while recording tier-0
+    /// verdicts. Selected designs are identical to [`Fidelity::Full`]
+    /// (the band provably brackets the full estimate).
+    Multi,
+    /// Everything stays at tier 0: estimates are synthetic band
+    /// midpoints. Fast and approximate — selections may differ from
+    /// [`Fidelity::Full`].
+    Analytic,
+}
+
+impl Fidelity {
+    /// Stable lower-case label, for JSON output and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Full => "full",
+            Fidelity::Multi => "multi",
+            Fidelity::Analytic => "analytic",
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(Fidelity::Full),
+            "multi" => Ok(Fidelity::Multi),
+            "analytic" => Ok(Fidelity::Analytic),
+            other => Err(format!(
+                "unknown fidelity `{other}` (expected full|multi|analytic)"
+            )),
+        }
+    }
+}
+
+/// Tier-0 accounting of one multi-fidelity run.
+#[derive(Debug, Clone, Copy, Default)]
+struct TierCounts {
+    evaluated: u64,
+    promoted: u64,
+    pruned: u64,
+}
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +114,13 @@ pub struct Explorer<'k> {
     /// Point-invariant pipeline artifacts, prepared lazily on the first
     /// evaluation and shared (clones included) across workers.
     prepared: OnceLock<Option<Arc<PreparedKernel>>>,
+    /// Evaluation fidelity policy.
+    fidelity: Fidelity,
+    /// The tier-0 analytic model, built lazily from the prepared kernel
+    /// and invalidated whenever the evaluation context changes. `None`
+    /// inside means the model declined the configuration (designer
+    /// resource constraints) — fidelity falls back to tier 1.
+    analytic: OnceLock<Option<Arc<AnalyticModel>>>,
 }
 
 impl<'k> Explorer<'k> {
@@ -71,9 +143,18 @@ impl<'k> Explorer<'k> {
             sink: Arc::new(NullSink),
             context_hash: 0,
             prepared: OnceLock::new(),
+            fidelity: Fidelity::Full,
+            analytic: OnceLock::new(),
         };
-        ex.context_hash = ex.compute_context_hash();
+        ex.refresh_context();
         ex
+    }
+
+    /// Recompute the context hash and drop the cached tier-0 model; call
+    /// after any builder change that affects estimates.
+    fn refresh_context(&mut self) {
+        self.context_hash = self.compute_context_hash();
+        self.analytic = OnceLock::new();
     }
 
     /// Record every search decision into `sink` (see [`crate::trace`]).
@@ -108,14 +189,14 @@ impl<'k> Explorer<'k> {
     pub fn memory(mut self, mem: MemoryModel) -> Self {
         self.opts.num_memories = mem.num_memories;
         self.mem = mem;
-        self.context_hash = self.compute_context_hash();
+        self.refresh_context();
         self
     }
 
     /// Target a different device.
     pub fn device(mut self, device: FpgaDevice) -> Self {
         self.device = device;
-        self.context_hash = self.compute_context_hash();
+        self.refresh_context();
         self
     }
 
@@ -134,7 +215,7 @@ impl<'k> Explorer<'k> {
     /// malformed IR fails the evaluation instead of skewing estimates.
     pub fn verify_each_pass(mut self, on: bool) -> Self {
         self.opts.verify_each_pass = on;
-        self.context_hash = self.compute_context_hash();
+        self.refresh_context();
         self
     }
 
@@ -145,7 +226,7 @@ impl<'k> Explorer<'k> {
             num_memories: self.mem.num_memories,
             ..opts
         };
-        self.context_hash = self.compute_context_hash();
+        self.refresh_context();
         self
     }
 
@@ -153,14 +234,14 @@ impl<'k> Explorer<'k> {
     /// (paper §2.3) and bit-width narrowing (paper §2.4).
     pub fn synthesis(mut self, synthesis: SynthesisOptions) -> Self {
         self.synthesis = synthesis;
-        self.context_hash = self.compute_context_hash();
+        self.refresh_context();
         self
     }
 
     /// Enable/disable bit-width narrowing from value-range analysis.
     pub fn bitwidth_narrowing(mut self, on: bool) -> Self {
         self.synthesis.bitwidth_narrowing = on;
-        self.context_hash = self.compute_context_hash();
+        self.refresh_context();
         self
     }
 
@@ -175,6 +256,38 @@ impl<'k> Explorer<'k> {
     pub fn explore_levels(mut self, levels: &[bool]) -> Self {
         self.explore_override = Some(levels.to_vec());
         self
+    }
+
+    /// Select the evaluation fidelity (see [`Fidelity`]). The tier-0
+    /// model is built lazily on first use; configurations it declines
+    /// (designer resource constraints) silently fall back to
+    /// [`Fidelity::Full`] behavior.
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The fidelity policy in effect.
+    pub fn fidelity_ref(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// The tier-0 analytic model for the current context, if the kernel
+    /// prepares and the model admits the configuration.
+    fn analytic_model(&self) -> Option<&Arc<AnalyticModel>> {
+        self.analytic
+            .get_or_init(|| {
+                let prepared = self.prepared()?.clone();
+                AnalyticModel::new(
+                    prepared,
+                    self.mem.clone(),
+                    self.device.clone(),
+                    self.opts.clone(),
+                    self.synthesis.clone(),
+                )
+                .map(Arc::new)
+            })
+            .as_ref()
     }
 
     /// The transformation options in effect.
@@ -244,10 +357,25 @@ impl<'k> Explorer<'k> {
     /// estimate, memoized in the engine's cache (estimation is
     /// deterministic, so a hit is indistinguishable from re-evaluating).
     ///
+    /// Under [`Fidelity::Analytic`] the estimate is the synthetic tier-0
+    /// band midpoint instead (recognizable by
+    /// `estimate.provenance.segments == 0`); tier-0 results never enter
+    /// the engine's memo cache, so mixed-fidelity explorers sharing an
+    /// engine cannot cross-contaminate.
+    ///
     /// # Errors
     ///
     /// Propagates transformation failures.
     pub fn evaluate(&self, unroll: &UnrollVector) -> Result<EvaluatedDesign> {
+        if self.fidelity == Fidelity::Analytic {
+            if let Some(model) = self.analytic_model() {
+                let band = model.evaluate(unroll)?;
+                return Ok(EvaluatedDesign {
+                    unroll: unroll.clone(),
+                    estimate: model.synthetic_estimate(&band),
+                });
+            }
+        }
         let estimate = self.engine.evaluate_cached(&self.cache_key(unroll), || {
             let design = self.design(unroll)?;
             Ok(estimate_opts(
@@ -303,6 +431,16 @@ impl<'k> Explorer<'k> {
     /// single-threaded run. `result.stats` reports the engine-wide
     /// counters for this call, speculative evaluations included.
     ///
+    /// Fidelity: under [`Fidelity::Multi`] the visited sequence,
+    /// selection and termination stay bit-identical to
+    /// [`Fidelity::Full`] — the search replays at tier 1 — but each
+    /// first visit is preceded by a [`TraceEvent::TierPromote`]
+    /// recording the tier-0 verdict (`forced` when the analytic band
+    /// would not have kept the point on its own), and the per-tier
+    /// stats are filled in. Under [`Fidelity::Analytic`] the search
+    /// itself runs on synthetic tier-0 estimates — fast, approximate,
+    /// and possibly selecting a different design.
+    ///
     /// # Errors
     ///
     /// Propagates analysis or evaluation failures.
@@ -310,6 +448,12 @@ impl<'k> Explorer<'k> {
         let started = Instant::now();
         let before = self.engine.counters();
         let (sat, space) = self.analyze()?;
+        if self.fidelity == Fidelity::Analytic {
+            if let Some(model) = self.analytic_model() {
+                let model = model.clone();
+                return self.explore_analytic(started, &sat, &space, &model);
+            }
+        }
         if self.engine.threads() > 1 || self.sink.enabled() {
             let frontier = doubling_frontier(&space, &sat);
             // The frontier is a pure function of the space, so the event
@@ -330,14 +474,98 @@ impl<'k> Explorer<'k> {
                 }
             }
         }
+        let tier0 = match self.fidelity {
+            Fidelity::Multi => self.analytic_model().cloned(),
+            _ => None,
+        };
+        let mut counts = TierCounts::default();
+        let mut promoted: HashSet<UnrollVector> = HashSet::new();
         let mut result = run_search_instrumented(
             &space,
             &sat,
             &self.config,
-            |u| self.evaluate_flagged(u),
+            |u| {
+                if let Some(model) = &tier0 {
+                    if promoted.insert(u.clone()) {
+                        // The Figure-2 replay must stay bit-identical to
+                        // the full-fidelity run, so every point it visits
+                        // is promoted to tier 1; the band records whether
+                        // tier 0 would have kept it on its own merits.
+                        let forced = match model.evaluate(u) {
+                            Ok(band) => {
+                                counts.evaluated += 1;
+                                !band.fits_possible
+                            }
+                            Err(_) => true,
+                        };
+                        counts.promoted += 1;
+                        if self.sink.enabled() {
+                            self.sink.record(&TraceEvent::TierPromote {
+                                unroll: u.clone(),
+                                forced,
+                            });
+                        }
+                    }
+                }
+                self.evaluate_flagged(u)
+            },
             self.sink.as_ref(),
         )?;
         result.stats = self.engine.stats_since(before, started.elapsed());
+        result.stats.tier0_evaluated = counts.evaluated;
+        result.stats.tier0_promoted = counts.promoted;
+        Ok(result)
+    }
+
+    /// The tier-0-only search: the Figure-2 algorithm over synthetic
+    /// band-midpoint estimates, with a local memo standing in for the
+    /// engine's cache (tier-0 results stay out of the shared cache).
+    fn explore_analytic(
+        &self,
+        started: Instant,
+        sat: &SaturationInfo,
+        space: &DesignSpace,
+        model: &Arc<AnalyticModel>,
+    ) -> Result<SearchResult> {
+        if self.sink.enabled() {
+            self.sink.record(&TraceEvent::Frontier {
+                points: doubling_frontier(space, sat),
+            });
+        }
+        let mut memo: HashMap<UnrollVector, Estimate> = HashMap::new();
+        let mut result = run_search_instrumented(
+            space,
+            sat,
+            &self.config,
+            |u| {
+                if let Some(e) = memo.get(u) {
+                    return Ok(VisitOutcome {
+                        estimate: e.clone(),
+                        cache_hit: true,
+                    });
+                }
+                let band = model.evaluate(u)?;
+                let e = model.synthetic_estimate(&band);
+                memo.insert(u.clone(), e.clone());
+                Ok(VisitOutcome {
+                    estimate: e,
+                    cache_hit: false,
+                })
+            },
+            self.sink.as_ref(),
+        )?;
+        // The search-level counters measured tier-0 work; reattribute.
+        let tier0_evaluated = result.stats.evaluated;
+        result.stats = EvalStats {
+            evaluated: 0,
+            cache_hits: 0,
+            wall: started.elapsed(),
+            eval_wall: Duration::ZERO,
+            workers: self.engine.threads(),
+            tier0_evaluated,
+            tier0_promoted: 0,
+            tier0_pruned: 0,
+        };
         Ok(result)
     }
 
@@ -373,6 +601,15 @@ impl<'k> Explorer<'k> {
     /// [`Explorer::sweep`], also reporting the evaluation counters for
     /// this call.
     ///
+    /// Fidelity: under [`Fidelity::Multi`] the whole space is ranked at
+    /// tier 0 first and only the points the analytic band cannot rule
+    /// out are promoted to tier 1 (see [`Explorer::multi_sweep`]); the
+    /// pruned points appear in the output with synthetic tier-0
+    /// estimates (`provenance.segments == 0`), placed so
+    /// [`crate::exhaustive::best_performance`] selects the same design
+    /// as a full sweep, bit-identically. Under [`Fidelity::Analytic`]
+    /// every estimate is a synthetic tier-0 band midpoint.
+    ///
     /// # Errors
     ///
     /// Propagates evaluation failures.
@@ -380,9 +617,171 @@ impl<'k> Explorer<'k> {
         let started = Instant::now();
         let before = self.engine.counters();
         let (_, space) = self.analyze()?;
-        let sweep = crate::exhaustive::parallel_sweep(&space, &self.engine, |u| self.evaluate(u))?;
-        let stats = self.engine.stats_since(before, started.elapsed());
+        let model = match self.fidelity {
+            Fidelity::Full => None,
+            Fidelity::Multi | Fidelity::Analytic => self.analytic_model().cloned(),
+        };
+        let (sweep, counts) = match (self.fidelity, model) {
+            (Fidelity::Analytic, Some(model)) => self.analytic_sweep(&space, &model)?,
+            (Fidelity::Multi, Some(model)) => self.multi_sweep(&space, &model)?,
+            // Full fidelity, or the model declined the configuration.
+            _ => (
+                crate::exhaustive::parallel_sweep(&space, &self.engine, |u| self.evaluate(u))?,
+                TierCounts::default(),
+            ),
+        };
+        let mut stats = self.engine.stats_since(before, started.elapsed());
+        stats.tier0_evaluated = counts.evaluated;
+        stats.tier0_promoted = counts.promoted;
+        stats.tier0_pruned = counts.pruned;
         Ok((sweep, stats))
+    }
+
+    /// Tier-0-only sweep: a synthetic band-midpoint estimate per point,
+    /// fanned out across the engine's workers but bypassing its memo
+    /// cache and counters.
+    fn analytic_sweep(
+        &self,
+        space: &DesignSpace,
+        model: &Arc<AnalyticModel>,
+    ) -> Result<(Vec<EvaluatedDesign>, TierCounts)> {
+        let points: Vec<UnrollVector> = space.iter().collect();
+        let results = self.engine.parallel_map(&points, |u| {
+            let band = model.evaluate(u)?;
+            Ok(EvaluatedDesign {
+                unroll: u.clone(),
+                estimate: model.synthetic_estimate(&band),
+            })
+        });
+        let mut sweep = Vec::with_capacity(points.len());
+        for r in results {
+            sweep.push(r?);
+        }
+        let counts = TierCounts {
+            evaluated: sweep.len() as u64,
+            promoted: 0,
+            pruned: 0,
+        };
+        Ok((sweep, counts))
+    }
+
+    /// The multi-fidelity sweep. Tier-0 bands are computed for the whole
+    /// space in one parallel pass, then a point is pruned iff the band
+    /// *proves* it cannot be selected by
+    /// [`crate::exhaustive::best_performance`]:
+    ///
+    /// - `slices_lo > capacity`: the point certainly does not fit, so
+    ///   its synthetic stand-in (`fits == false`) is filtered exactly
+    ///   like its true estimate would be; or
+    /// - `cycles_lo > T`, where `T` is the exact tier-1 cycle count of a
+    ///   *probe*: a point whose band says `fits_certain`, evaluated in
+    ///   full before the pass. The full-sweep winner is at least as fast
+    ///   as any fitting point, so `winner.cycles ≤ T`, while the pruned
+    ///   point's synthetic cycles (≥ its `cycles_lo`) are *strictly*
+    ///   greater — never selected, never even tied. Probing with an
+    ///   exact count instead of a band upper bound is what makes the
+    ///   threshold bite; two probes are taken (the certainly-fitting
+    ///   bands with the smallest `cycles_lo` and smallest `cycles_hi`)
+    ///   and the faster one wins.
+    ///
+    /// Everything else is promoted to a full tier-1 evaluation (points
+    /// whose band errored are force-promoted), so the selected design is
+    /// bit-identical to a [`Fidelity::Full`] sweep. Probes satisfy the
+    /// keep rule by construction (`slices_lo ≤ cap`, `cycles_lo ≤ T`),
+    /// so they are among the promoted points and their early evaluation
+    /// is just a warm cache entry. [`TraceEvent`]s are emitted serially
+    /// in space iteration order for the auditor.
+    fn multi_sweep(
+        &self,
+        space: &DesignSpace,
+        model: &Arc<AnalyticModel>,
+    ) -> Result<(Vec<EvaluatedDesign>, TierCounts)> {
+        let points: Vec<UnrollVector> = space.iter().collect();
+        let bands: Vec<Option<AnalyticBand>> = self
+            .engine
+            .parallel_map(&points, |u| Ok(model.evaluate(u).ok()))
+            .into_iter()
+            .map(|r| r.unwrap_or(None))
+            .collect();
+        let mut counts = TierCounts {
+            evaluated: bands.iter().flatten().count() as u64,
+            ..TierCounts::default()
+        };
+        let certain = || {
+            points
+                .iter()
+                .zip(&bands)
+                .filter_map(|(u, b)| b.as_ref().filter(|b| b.fits_certain).map(|b| (u, b)))
+        };
+        let probes: Vec<&UnrollVector> = [
+            certain().min_by_key(|(_, b)| b.cycles_lo).map(|(u, _)| u),
+            certain().min_by_key(|(_, b)| b.cycles_hi).map(|(u, _)| u),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let mut threshold = u64::MAX;
+        for probe in probes {
+            let d = self.evaluate(probe)?;
+            if d.estimate.fits {
+                threshold = threshold.min(d.estimate.cycles);
+            }
+        }
+        let cap = self.device.capacity_slices;
+        let keep_flags: Vec<(bool, bool)> = bands
+            .iter()
+            .map(|band| match band {
+                // Band evaluation failed: promote unconditionally so the
+                // tier-1 pass reproduces whatever the full sweep does.
+                None => (true, true),
+                Some(b) => (!(b.slices_lo > cap || b.cycles_lo > threshold), false),
+            })
+            .collect();
+        if self.sink.enabled() {
+            for ((u, band), &(keep, forced)) in points.iter().zip(&bands).zip(&keep_flags) {
+                if keep {
+                    self.sink.record(&TraceEvent::TierPromote {
+                        unroll: u.clone(),
+                        forced,
+                    });
+                } else {
+                    let b = band.as_ref().expect("pruned points have bands");
+                    self.sink.record(&TraceEvent::TierPrune {
+                        unroll: u.clone(),
+                        slices_lo: b.slices_lo,
+                        cycles_lo: b.cycles_lo,
+                    });
+                }
+            }
+        }
+        let kept: Vec<UnrollVector> = points
+            .iter()
+            .zip(&keep_flags)
+            .filter(|(_, &(keep, _))| keep)
+            .map(|(u, _)| u.clone())
+            .collect();
+        counts.promoted = kept.len() as u64;
+        counts.pruned = (points.len() - kept.len()) as u64;
+        let mut full = Vec::with_capacity(kept.len());
+        for r in self.engine.parallel_map(&kept, |u| self.evaluate(u)) {
+            full.push(r?);
+        }
+        // Reassemble in space iteration order: promoted points carry
+        // tier-1 estimates, pruned points their tier-0 stand-ins.
+        let mut full_iter = full.into_iter();
+        let mut sweep = Vec::with_capacity(points.len());
+        for ((u, band), (keep, _)) in points.into_iter().zip(bands).zip(keep_flags) {
+            if keep {
+                sweep.push(full_iter.next().expect("one tier-1 result per kept point"));
+            } else {
+                let band = band.expect("pruned points have bands");
+                sweep.push(EvaluatedDesign {
+                    unroll: u,
+                    estimate: model.synthetic_estimate(&band),
+                });
+            }
+        }
+        Ok((sweep, counts))
     }
 }
 
@@ -487,5 +886,106 @@ mod tests {
         let r = ex.explore().unwrap();
         assert!(r.selected.estimate.fits);
         assert!(r.selected.estimate.slices <= tiny.capacity_slices);
+    }
+
+    #[test]
+    fn fidelity_labels_round_trip() {
+        for f in [Fidelity::Full, Fidelity::Multi, Fidelity::Analytic] {
+            assert_eq!(f.label().parse::<Fidelity>().unwrap(), f);
+        }
+        assert!("sideways".parse::<Fidelity>().is_err());
+    }
+
+    #[test]
+    fn multi_sweep_selects_the_full_sweep_design() {
+        let k = parse_kernel(FIR).unwrap();
+        let full_ex = Explorer::new(&k).threads(1);
+        let multi_ex = Explorer::new(&k).threads(1).fidelity(Fidelity::Multi);
+        let (full, full_stats) = full_ex.sweep_with_stats().unwrap();
+        let (multi, multi_stats) = multi_ex.sweep_with_stats().unwrap();
+        assert_eq!(full.len(), multi.len());
+        let fw = crate::exhaustive::best_performance(&full).unwrap();
+        let mw = crate::exhaustive::best_performance(&multi).unwrap();
+        assert_eq!(fw.unroll, mw.unroll);
+        // The winner was promoted, so its estimate is the tier-1 one —
+        // bit-identical to the full sweep's.
+        assert_eq!(fw.estimate, mw.estimate);
+        assert_eq!(full_stats.tier0_evaluated, 0);
+        assert_eq!(multi_stats.tier0_evaluated, 42);
+        assert_eq!(
+            multi_stats.tier0_promoted + multi_stats.tier0_pruned,
+            multi_stats.tier0_evaluated
+        );
+        assert!(
+            multi_stats.tier0_pruned > 0,
+            "expected the band to prune part of the FIR space"
+        );
+        // Only promoted points paid tier 1: each missed the memo cache
+        // exactly once (probes re-resolve as cache hits).
+        assert_eq!(multi_stats.evaluated, multi_stats.tier0_promoted);
+        assert!(multi_stats.cache_hits <= 2, "{}", multi_stats.cache_hits);
+    }
+
+    #[test]
+    fn analytic_sweep_is_all_tier0() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k).threads(1).fidelity(Fidelity::Analytic);
+        let (sweep, stats) = ex.sweep_with_stats().unwrap();
+        assert_eq!(sweep.len(), 42);
+        // Synthetic estimates are recognizable by an empty schedule
+        // provenance, and tier-0 work never touches the engine.
+        assert!(sweep.iter().all(|d| d.estimate.provenance.segments == 0));
+        assert_eq!(stats.evaluated, 0);
+        assert_eq!(stats.tier0_evaluated, 42);
+        assert_eq!(ex.engine_ref().cache().len(), 0);
+    }
+
+    #[test]
+    fn multi_explore_matches_full_explore() {
+        let k = parse_kernel(FIR).unwrap();
+        let full = Explorer::new(&k).explore().unwrap();
+        let ex = Explorer::new(&k).fidelity(Fidelity::Multi);
+        let multi = ex.explore().unwrap();
+        assert_eq!(full.selected.unroll, multi.selected.unroll);
+        assert_eq!(full.selected.estimate, multi.selected.estimate);
+        assert_eq!(full.visited, multi.visited);
+        // Every distinct visited point was promoted (and band-priced).
+        let distinct: std::collections::HashSet<_> =
+            multi.visited.iter().map(|v| &v.unroll).collect();
+        assert_eq!(multi.stats.tier0_promoted, distinct.len() as u64);
+        assert_eq!(multi.stats.tier0_evaluated, multi.stats.tier0_promoted);
+        assert_eq!(multi.stats.tier0_pruned, 0);
+    }
+
+    #[test]
+    fn analytic_explore_runs_on_synthetic_estimates() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k).fidelity(Fidelity::Analytic);
+        let r = ex.explore().unwrap();
+        assert_eq!(r.selected.estimate.provenance.segments, 0);
+        assert!(r.stats.tier0_evaluated > 0);
+        assert_eq!(r.stats.evaluated, 0);
+        // Tier-0 search results stay out of the shared memo cache.
+        assert_eq!(ex.engine_ref().cache().len(), 0);
+    }
+
+    /// A second sweep through the same explorer answers entirely from the
+    /// memo cache: `evaluated == 0`, `cache_hits == points`, hit rate 1.
+    /// (An exhaustive *cold* sweep legitimately reports a 0 hit rate —
+    /// every point is distinct — which is what `bench_sweep`'s warm pass
+    /// measures.)
+    #[test]
+    fn warm_resweep_hits_cache_for_every_point() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k).threads(1);
+        let (cold, cold_stats) = ex.sweep_with_stats().unwrap();
+        assert_eq!(cold_stats.evaluated, 42);
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.cache_hit_rate(), 0.0);
+        let (warm, warm_stats) = ex.sweep_with_stats().unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(warm_stats.evaluated, 0);
+        assert_eq!(warm_stats.cache_hits, 42);
+        assert_eq!(warm_stats.cache_hit_rate(), 1.0);
     }
 }

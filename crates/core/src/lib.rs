@@ -57,7 +57,7 @@ pub use engine::{
 };
 pub use error::{DseError, Result};
 pub use exhaustive::{exhaustive_sweep, parallel_sweep};
-pub use explorer::{EvaluatedDesign, Explorer};
+pub use explorer::{EvaluatedDesign, Explorer, Fidelity};
 pub use multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage, StagePlacement};
 pub use saturation::{saturation_analysis, SaturationInfo};
 pub use search::{
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::audit::{audit_search_trace, AuditReport};
     pub use crate::engine::{EvalEngine, EvalStats};
     pub use crate::exhaustive::{exhaustive_sweep, parallel_sweep};
-    pub use crate::explorer::{EvaluatedDesign, Explorer};
+    pub use crate::explorer::{EvaluatedDesign, Explorer, Fidelity};
     pub use crate::multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage};
     pub use crate::saturation::{saturation_analysis, SaturationInfo};
     pub use crate::search::{SearchResult, Termination};

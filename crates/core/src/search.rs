@@ -375,6 +375,7 @@ where
         wall: started.elapsed(),
         eval_wall: Default::default(),
         workers: 1,
+        ..EvalStats::default()
     };
     Ok(SearchResult {
         selected: EvaluatedDesign {

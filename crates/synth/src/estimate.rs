@@ -26,11 +26,11 @@ use defacto_xform::TransformedDesign;
 use std::collections::HashMap;
 
 /// One FSM cycle per loop iteration (index update + branch).
-const LOOP_ITER_OVERHEAD: u64 = 1;
+pub(crate) const LOOP_ITER_OVERHEAD: u64 = 1;
 /// One FSM cycle to enter a loop (index reset).
-const LOOP_SETUP_OVERHEAD: u64 = 1;
+pub(crate) const LOOP_SETUP_OVERHEAD: u64 = 1;
 /// Slices for one loop's 16-bit counter + bound comparator.
-const LOOP_CONTROL_SLICES: u32 = 12;
+pub(crate) const LOOP_CONTROL_SLICES: u32 = 12;
 
 /// How an estimate was produced — which estimator features shaped it and
 /// how much scheduling work it took. Carried on every [`Estimate`] so

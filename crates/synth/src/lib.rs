@@ -28,6 +28,7 @@
 //! - [`par`] — a deterministic logic-synthesis/place-and-route simulator
 //!   used to reproduce the paper's §6.4 estimate-accuracy study.
 
+pub mod analytic;
 pub mod constraints;
 pub mod device;
 pub mod dfg;
@@ -39,6 +40,7 @@ pub mod report;
 pub mod schedule;
 pub mod vhdl;
 
+pub use analytic::{AnalyticBand, AnalyticModel};
 pub use constraints::ResourceConstraints;
 pub use device::FpgaDevice;
 pub use dfg::{

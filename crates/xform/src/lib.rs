@@ -28,6 +28,7 @@
 //! this by executing original and transformed kernels on identical inputs
 //! through the `defacto-ir` reference interpreter.
 
+pub mod census;
 pub mod error;
 pub mod interchange;
 pub mod layout;
@@ -40,6 +41,7 @@ pub mod simplify;
 pub mod tiling;
 pub mod unroll;
 
+pub use census::{AccumulatorCensus, PointCensus, RegisterClass, Traffic, TrafficKind};
 pub use error::{JamViolation, Result, TileError, VectorError, XformError};
 pub use interchange::{interchange, interchange_is_legal};
 pub use layout::{assign_memories, MemoryBinding};

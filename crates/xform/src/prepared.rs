@@ -151,33 +151,52 @@ impl PreparedKernel {
         )
     }
 
-    /// Evaluate one design point. Produces the same
-    /// [`TransformedDesign`] (or the same error) as
-    /// [`crate::transform`] on the prepared kernel.
+    /// The normalized kernel every design point starts from.
+    pub fn normalized(&self) -> &Kernel {
+        &self.normalized
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Empty-bodied templates of the normalized nest's loops, outermost
+    /// first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Induction variables, outermost first.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The normalized innermost body (pre-unroll).
+    pub fn base_body(&self) -> &[Stmt] {
+        &self.base_body
+    }
+
+    /// Uniformly generated sets of the base body.
+    pub fn base_sets(&self) -> &[UniformSet] {
+        &self.base_sets
+    }
+
+    pub(crate) fn base_table_len(&self) -> usize {
+        self.base_table.len()
+    }
+
+    pub(crate) fn cond_flag(&self, first_member: AccessId) -> bool {
+        self.cond_flags[&first_member]
+    }
+
+    /// Validate an unroll vector exactly the way [`Self::transform`]
+    /// does, including jam legality — same errors, same order.
     ///
     /// # Errors
     ///
-    /// Same contract as [`crate::transform`].
-    pub fn transform(
-        &self,
-        unroll: &UnrollVector,
-        opts: &TransformOptions,
-    ) -> Result<TransformedDesign> {
-        let checkpoint = |stage: &'static str, k: &Kernel| -> Result<()> {
-            if !opts.verify_each_pass {
-                return Ok(());
-            }
-            let diagnostics = defacto_ir::verify(k);
-            if diagnostics.is_empty() {
-                Ok(())
-            } else {
-                Err(XformError::Verify { stage, diagnostics })
-            }
-        };
-        checkpoint("loop normalization", &self.normalized)?;
-
-        // Factor validation, in the scratch pipeline's order.
-        let factors = unroll.factors();
+    /// The same per-point errors as [`crate::transform`].
+    pub fn validate_factors(&self, factors: &[i64]) -> Result<()> {
         if factors.len() != self.loops.len() {
             return Err(XformError::BadUnrollVector(VectorError::WrongLength {
                 got: factors.len(),
@@ -206,6 +225,37 @@ impl PreparedKernel {
             }
         }
         unroll_is_legal(&self.deps, factors).map_err(XformError::IllegalJam)?;
+        Ok(())
+    }
+
+    /// Evaluate one design point. Produces the same
+    /// [`TransformedDesign`] (or the same error) as
+    /// [`crate::transform`] on the prepared kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::transform`].
+    pub fn transform(
+        &self,
+        unroll: &UnrollVector,
+        opts: &TransformOptions,
+    ) -> Result<TransformedDesign> {
+        let checkpoint = |stage: &'static str, k: &Kernel| -> Result<()> {
+            if !opts.verify_each_pass {
+                return Ok(());
+            }
+            let diagnostics = defacto_ir::verify(k);
+            if diagnostics.is_empty() {
+                Ok(())
+            } else {
+                Err(XformError::Verify { stage, diagnostics })
+            }
+        };
+        checkpoint("loop normalization", &self.normalized)?;
+
+        // Factor validation, in the scratch pipeline's order.
+        let factors = unroll.factors();
+        self.validate_factors(factors)?;
 
         // Fetch (building on miss) the cached offset copies of this
         // point's tuples.
