@@ -17,6 +17,7 @@ pub fn all() -> Vec<Box<dyn LintRule>> {
         Box::new(UnusedDecl),
         Box::new(JamBlocked),
         Box::new(WriteWriteConflict),
+        Box::new(DegenerateLoop),
     ]
 }
 
@@ -367,6 +368,63 @@ impl LintRule for WriteWriteConflict {
                 .with_help("write each array element through a single reference shape")
             })
             .collect()
+    }
+}
+
+/// `DF010`: a loop whose bounds give a zero trip count (reversed or
+/// empty range). The interpreter runs such a loop zero times and the
+/// estimator prices it as free, so the two *agree* — but the design
+/// space built over its trip count collapses to nothing and every
+/// downstream estimate silently excludes the loop's body. Validation
+/// already rejects non-positive steps; this rule closes the
+/// reversed-bound half of the family.
+pub struct DegenerateLoop;
+
+impl LintRule for DegenerateLoop {
+    fn code(&self) -> &'static str {
+        codes::DEGENERATE_LOOP
+    }
+
+    fn name(&self) -> &'static str {
+        "degenerate-loop"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut stack: Vec<&Stmt> = ctx.kernel.body().iter().collect();
+        while let Some(s) = stack.pop() {
+            match s {
+                Stmt::For(l) => {
+                    if l.trip_count() == 0 {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::DEGENERATE_LOOP,
+                                format!(
+                                    "loop `{}` over {}..{} step {} never executes",
+                                    l.var, l.lower, l.upper, l.step
+                                ),
+                            )
+                            .with_span_opt(ctx.spans.and_then(|sp| sp.loop_header(&l.var)))
+                            .with_help(
+                                "make the upper bound exceed the lower bound, or delete the loop",
+                            ),
+                        );
+                    }
+                    stack.extend(l.body.iter());
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    stack.extend(then_body.iter());
+                    stack.extend(else_body.iter());
+                }
+                Stmt::Assign { .. } | Stmt::Rotate(_) => {}
+            }
+        }
+        diags.sort_by_key(|d| d.primary.map(|s| s.start));
+        diags
     }
 }
 

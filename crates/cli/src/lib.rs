@@ -8,6 +8,7 @@
 //! defacto analyze <file> [options]   saturation & dependence analysis
 //! defacto vhdl    <file> [options]   emit behavioral VHDL
 //! defacto schedule <file> [options]  Gantt chart of the steady-state body
+//! defacto fuzz [options]             differential fuzz campaign (no file)
 //!
 //! options:
 //!   --memory pipelined|non-pipelined   memory model   (default pipelined)
@@ -20,6 +21,11 @@
 //!   --verify                           re-verify IR invariants after every pass
 //!   --fidelity full|multi|analytic     evaluation fidelity (default full)
 //!   --json                             machine-readable output
+//!
+//! fuzz options:
+//!   --seed N                           campaign seed     (default 7)
+//!   --count M                          kernels to generate (default 300)
+//!   --smoke                            faster per-case oracle budget for CI
 //! ```
 //!
 //! `lint` exits non-zero when it reports anything; `explore` runs the
@@ -56,6 +62,12 @@ pub struct Cli {
     pub fidelity: Fidelity,
     /// Emit JSON instead of tables.
     pub json: bool,
+    /// Campaign seed (`fuzz` only).
+    pub seed: u64,
+    /// Kernels to generate (`fuzz` only).
+    pub count: usize,
+    /// Reduced per-case oracle budget for CI smoke runs (`fuzz` only).
+    pub smoke: bool,
 }
 
 /// The tool's subcommands.
@@ -76,6 +88,8 @@ pub enum Command {
     Vhdl,
     /// ASCII Gantt chart of the steady-state innermost body's schedule.
     Schedule,
+    /// Differential fuzz campaign over generated kernels (takes no file).
+    Fuzz,
 }
 
 /// Errors surfaced to the user with exit code 2.
@@ -119,7 +133,8 @@ impl std::error::Error for LintFailure {}
 pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule> \
 <file.kernel> [--memory pipelined|non-pipelined] [--memories N] \
 [--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] \
-[--verify] [--fidelity full|multi|analytic] [--json]";
+[--verify] [--fidelity full|multi|analytic] [--json]\n\
+       defacto fuzz [--seed N] [--count M] [--smoke] [--json]";
 
 /// Parse command-line arguments (without the program name).
 ///
@@ -137,13 +152,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         Some("analyze") => Command::Analyze,
         Some("vhdl") => Command::Vhdl,
         Some("schedule") => Command::Schedule,
+        Some("fuzz") => Command::Fuzz,
         Some(other) => return Err(UsageError(format!("unknown command `{other}`\n{USAGE}"))),
         None => return Err(UsageError(USAGE.to_string())),
     };
-    let file = it
-        .next()
-        .ok_or_else(|| UsageError(format!("missing kernel file\n{USAGE}")))?
-        .clone();
+    // `fuzz` generates its own kernels; every other command reads one.
+    let file = if command == Command::Fuzz {
+        String::new()
+    } else {
+        it.next()
+            .ok_or_else(|| UsageError(format!("missing kernel file\n{USAGE}")))?
+            .clone()
+    };
 
     let mut memories = 4usize;
     let mut pipelined = true;
@@ -154,6 +174,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut verify = false;
     let mut fidelity = Fidelity::Full;
     let mut json = false;
+    let mut seed = 7u64;
+    let mut count = 300usize;
+    let mut smoke = false;
 
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -221,6 +244,20 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                 fidelity = v.parse::<Fidelity>().map_err(UsageError)?;
             }
             "--json" => json = true,
+            "--seed" if command == Command::Fuzz => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| UsageError("--seed expects an unsigned integer".into()))?;
+            }
+            "--count" if command == Command::Fuzz => {
+                count = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| UsageError("--count expects a positive integer".into()))?;
+            }
+            "--smoke" if command == Command::Fuzz => smoke = true,
             other => return Err(UsageError(format!("unknown flag `{other}`\n{USAGE}"))),
         }
     }
@@ -241,6 +278,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         verify,
         fidelity,
         json,
+        seed,
+        count,
+        smoke,
     })
 }
 
@@ -254,6 +294,9 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
     if cli.command == Command::Lint {
         return run_lint(cli, source);
     }
+    if cli.command == Command::Fuzz {
+        return run_fuzz(cli);
+    }
     let kernel = parse_kernel(source)?;
     let mut explorer = Explorer::new(&kernel)
         .memory(cli.memory.clone())
@@ -266,7 +309,7 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
     let mut out = String::new();
 
     match cli.command {
-        Command::Lint => unreachable!("handled above"),
+        Command::Lint | Command::Fuzz => unreachable!("handled above"),
         Command::Explore => {
             // Gate the search on the linter: a kernel with lint errors
             // would fail (or mislead) mid-search anyway; report the
@@ -537,6 +580,60 @@ fn run_lint(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error
     }))
 }
 
+/// The `fuzz` subcommand: a seeded differential campaign. Any oracle
+/// violation is a non-zero exit carrying the minimized reproducers, so CI
+/// can gate on a clean run.
+fn run_fuzz(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
+    let config = defacto_fuzz::CampaignConfig {
+        seed: cli.seed,
+        count: cli.count,
+        // Smoke runs trade per-point coverage for wall clock: the CI
+        // budget still crosses every oracle dimension on every case.
+        max_points: if cli.smoke { 2 } else { 3 },
+        ..defacto_fuzz::CampaignConfig::default()
+    };
+    let report = defacto_fuzz::run_campaign(&config);
+    let rejected = serde_json::Value::Object(
+        report
+            .rejected
+            .iter()
+            .map(|(stage, n)| (stage.clone(), serde_json::json!(*n)))
+            .collect(),
+    );
+    let rendered = if cli.json {
+        serde_json::to_string_pretty(&serde_json::json!({
+            "seed": cli.seed,
+            "generated": report.generated,
+            "runs": report.runs,
+            "passed": report.passed,
+            "checks": report.checks,
+            "rejected": rejected,
+            "violations": report
+                .bugs
+                .iter()
+                .map(|b| serde_json::json!({
+                    "index": b.index,
+                    "profile": b.profile,
+                    "oracle": b.oracle.label(),
+                    "stage": b.stage,
+                    "detail": b.detail,
+                    "minimized": b.minimized,
+                }))
+                .collect::<Vec<_>>(),
+        }))?
+    } else {
+        report.render()
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(Box::new(UsageError(format!(
+            "fuzz campaign found {} oracle violation(s):\n{rendered}",
+            report.bugs.len()
+        ))))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +872,42 @@ mod tests {
                for i in 0..8 { B[i] = A[i]; } }";
         let err = run(&cli, src).unwrap_err().to_string();
         assert!(err.contains("DF005"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_parses_without_a_file_and_with_its_flags() {
+        let cli = parse_args(&argv("fuzz --seed 11 --count 5 --smoke --json")).unwrap();
+        assert_eq!(cli.command, Command::Fuzz);
+        assert!(cli.file.is_empty());
+        assert_eq!(cli.seed, 11);
+        assert_eq!(cli.count, 5);
+        assert!(cli.smoke && cli.json);
+        // Defaults.
+        let cli = parse_args(&argv("fuzz")).unwrap();
+        assert_eq!((cli.seed, cli.count, cli.smoke), (7, 300, false));
+        // Fuzz-only flags stay fuzz-only.
+        assert!(parse_args(&argv("explore f --seed 3")).is_err());
+        assert!(parse_args(&argv("fuzz --count 0")).is_err());
+        assert!(parse_args(&argv("fuzz --seed banana")).is_err());
+    }
+
+    #[test]
+    fn fuzz_smoke_campaign_runs_clean() {
+        let cli = parse_args(&argv("fuzz --seed 5 --count 4 --smoke --json")).unwrap();
+        let out = run(&cli, "").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["generated"].as_u64(), Some(4));
+        assert_eq!(v["runs"].as_u64(), Some(8));
+        assert!(
+            matches!(&v["violations"], serde_json::Value::Array(a) if a.is_empty()),
+            "{out}"
+        );
+        let human = run(
+            &parse_args(&argv("fuzz --seed 5 --count 4 --smoke")).unwrap(),
+            "",
+        )
+        .unwrap();
+        assert!(human.contains("violations: none"), "{human}");
     }
 
     #[test]

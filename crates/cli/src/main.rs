@@ -12,11 +12,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = match std::fs::read_to_string(&cli.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read `{}`: {e}", cli.file);
-            return ExitCode::from(1);
+    // `fuzz` generates its own kernels and has no file argument.
+    let source = if cli.file.is_empty() {
+        String::new()
+    } else {
+        match std::fs::read_to_string(&cli.file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{}`: {e}", cli.file);
+                return ExitCode::from(1);
+            }
         }
     };
     match defacto_cli::run(&cli, &source) {

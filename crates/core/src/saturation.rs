@@ -201,7 +201,7 @@ pub fn saturation_analysis(
     let psat = lcm(g, num_memories);
 
     // Exploration flags and the design space.
-    let explore: Vec<bool> = match explore_override {
+    let mut explore: Vec<bool> = match explore_override {
         Some(flags) => flags.to_vec(),
         None => {
             // Explore memory-varying loops; if none (degenerate), explore
@@ -213,6 +213,16 @@ pub fn saturation_analysis(
             }
         }
     };
+    // A body carrying scalar state across iterations (rotate register
+    // chains, scalars read before written) only admits innermost unroll
+    // factors: jamming any outer level would interleave iterations and
+    // reorder the chain. Pin those levels so the space holds only legal
+    // points and the search never trips the jam legality check mid-sweep.
+    if depth >= 2 && !defacto_xform::carried_scalars(nest.innermost_body(), &var_refs).is_empty() {
+        for flag in explore.iter_mut().take(depth - 1) {
+            *flag = false;
+        }
+    }
     let space = DesignSpace::new(&trips, &explore);
 
     // Preference order.
@@ -352,6 +362,24 @@ mod tests {
         .unwrap();
         let (info, _) = saturation_analysis(&k, &TransformOptions::default(), None).unwrap();
         assert_eq!(info.preference[0], 0);
+    }
+
+    #[test]
+    fn carried_scalar_pins_outer_levels() {
+        // A rotate chain only admits innermost unroll factors; the space
+        // must exclude outer-level factors so the search never trips the
+        // jam legality check mid-sweep.
+        let src = "kernel rc { in A: i32[4][8]; out B: i32[4][8]; var r0: i32; var r1: i32;
+           for i in 0..4 { for j in 0..8 {
+             r0 = A[i][j]; rotate(r0, r1); B[i][j] = r0; } } }";
+        let k = parse_kernel(src).unwrap();
+        let (info, space) = saturation_analysis(&k, &TransformOptions::default(), None).unwrap();
+        assert!(!info.unrollable[0]);
+        assert_eq!(space.size(), 4); // divisors(8), outer pinned to 1
+                                     // The pin also overrides an explicit explore request.
+        let (_, space) =
+            saturation_analysis(&k, &TransformOptions::default(), Some(&[true, true])).unwrap();
+        assert_eq!(space.size(), 4);
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! The four-way differential oracle.
+//!
+//! One *case* is a generated kernel source run against one device/memory
+//! profile. The oracle classifies it as:
+//!
+//! - **Rejected** — the toolchain refused it with a *typed* diagnostic
+//!   (parse error, lint error, capacity infeasibility, non-perfect nest,
+//!   typed transform failure). Rejection is a correct outcome for the
+//!   grammar's degenerate injections; the campaign counts stages.
+//! - **Passed** — every oracle dimension held.
+//! - **Violation** — a real bug: a semantics divergence between the
+//!   interpreter on the original kernel and on the fully transformed
+//!   design, a per-pass IR-verifier failure, a full/multi fidelity
+//!   disagreement or analytic band that excludes the exact estimate, a
+//!   dirty or nondeterministic search trace — or a panic anywhere, which
+//!   is *always* a violation (crashes are never an acceptable answer to
+//!   malformed input).
+
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use defacto::exhaustive::best_performance;
+use defacto::{audit_search_trace, to_jsonl, DseError, Explorer, Fidelity, MemorySink};
+use defacto_ir::{parse_kernel, run_with_inputs, ArrayKind, Kernel};
+use defacto_synth::{estimate_opts, AnalyticModel, FpgaDevice, MemoryModel, SynthesisOptions};
+use defacto_xform::{PreparedKernel, UnrollVector, XformError};
+
+use crate::rng::SplitMix64;
+
+/// Which oracle dimension a violation falls under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// Interpreter disagreement between original and transformed kernels.
+    Semantics,
+    /// The IR verifier flagged a pipeline stage's output.
+    Verify,
+    /// Full vs. multi fidelity disagreement, or a tier-0 band that fails
+    /// to contain the exact tier-1 estimate.
+    Fidelity,
+    /// A search trace failed its audit or differed across worker counts.
+    Audit,
+    /// A panic escaped a compiler pass — the catch-all robustness oracle.
+    Crash,
+}
+
+impl Oracle {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Oracle::Semantics => "semantics",
+            Oracle::Verify => "verify",
+            Oracle::Fidelity => "fidelity",
+            Oracle::Audit => "audit",
+            Oracle::Crash => "crash",
+        }
+    }
+}
+
+/// One confirmed oracle violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The oracle dimension that tripped.
+    pub oracle: Oracle,
+    /// Where in the pipeline it tripped (e.g. `design@[2,1]`, `audit@8`).
+    pub stage: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Outcome of one kernel × profile case.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// The toolchain refused the input with a typed diagnostic.
+    Rejected {
+        /// Which gate refused it: `parse`, `lint`, `interp`, `capacity`,
+        /// `structure` or `transform`.
+        stage: &'static str,
+        /// The diagnostic text.
+        detail: String,
+    },
+    /// All oracle dimensions held; `checks` individual assertions ran.
+    Passed {
+        /// Number of oracle assertions that held.
+        checks: u64,
+    },
+    /// A bug.
+    Violation(Violation),
+}
+
+/// A device/memory pairing the campaign sweeps.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Report label, e.g. `wildstar-pipelined/xcv1000`.
+    pub name: &'static str,
+    /// External memory model.
+    pub memory: MemoryModel,
+    /// Target FPGA.
+    pub device: FpgaDevice,
+}
+
+impl Profile {
+    /// The two profiles every campaign runs: the paper's pipelined
+    /// WildStar/XCV1000 platform and a non-pipelined XCV300 to stress
+    /// capacity- and memory-bound paths.
+    pub fn standard() -> Vec<Profile> {
+        vec![
+            Profile {
+                name: "wildstar-pipelined/xcv1000",
+                memory: MemoryModel::wildstar_pipelined(),
+                device: FpgaDevice::virtex1000(),
+            },
+            Profile {
+                name: "wildstar-nonpipelined/xcv300",
+                memory: MemoryModel::wildstar_non_pipelined(),
+                device: FpgaDevice::virtex300(),
+            },
+        ]
+    }
+}
+
+/// Knobs for one oracle run.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// How many design points get the per-point oracles (semantics,
+    /// verify, band containment).
+    pub max_points: usize,
+    /// Worker counts for the trace-audit oracle.
+    pub workers: Vec<usize>,
+    /// Seed for input data and point sampling.
+    pub input_seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            max_points: 3,
+            workers: vec![1, 8],
+            input_seed: 0xDEFAC7,
+        }
+    }
+}
+
+/// Run all four oracles on one kernel source under one profile.
+pub fn check_case(source: &str, profile: &Profile, cfg: &OracleConfig) -> CaseOutcome {
+    match check_case_inner(source, profile, cfg) {
+        Ok(outcome) => outcome,
+        Err(v) => CaseOutcome::Violation(v),
+    }
+}
+
+/// `Err` carries crash violations from the panic guard; typed failures
+/// become `Ok(Rejected)` or `Ok(Violation)` depending on the oracle.
+fn check_case_inner(
+    source: &str,
+    profile: &Profile,
+    cfg: &OracleConfig,
+) -> Result<CaseOutcome, Violation> {
+    let mut checks: u64 = 0;
+
+    // Gate 0: parse. A typed error is a rejection; a panic is a bug.
+    let kernel = match guarded("parse", || parse_kernel(source))? {
+        Ok(k) => k,
+        Err(e) => {
+            return Ok(CaseOutcome::Rejected {
+                stage: "parse",
+                detail: e.to_string(),
+            })
+        }
+    };
+
+    // Robustness probe: whatever the linter thinks, the interpreter must
+    // not panic on a kernel the parser accepted. Runs before the lint
+    // gate so degenerate-but-parseable kernels exercise it too.
+    let inputs = input_arrays(&kernel, cfg.input_seed);
+    let input_refs: Vec<(&str, Vec<i64>)> = inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    let baseline = guarded("interp-original", || run_with_inputs(&kernel, &input_refs))?;
+    checks += 1;
+
+    // Gate 1: lint (front-end legality, DF001–DF010).
+    let lint = guarded("lint", || defacto::lint_source(source))?;
+    if lint.has_errors() {
+        let codes: Vec<&str> = lint
+            .diagnostics
+            .iter()
+            .filter(|d| d.is_error())
+            .map(|d| d.code)
+            .collect();
+        return Ok(CaseOutcome::Rejected {
+            stage: "lint",
+            detail: codes.join(","),
+        });
+    }
+    let (base_ws, _) = match baseline {
+        Ok(r) => r,
+        Err(e) => {
+            // Lint-clean yet not executable (e.g. a data-dependent
+            // out-of-bounds access DF005's constant analysis cannot see).
+            return Ok(CaseOutcome::Rejected {
+                stage: "interp",
+                detail: e.to_string(),
+            });
+        }
+    };
+
+    // Gate 2: capacity on this profile (DF009), then structure.
+    let explorer = Explorer::new(&kernel)
+        .memory(profile.memory.clone())
+        .device(profile.device.clone())
+        .verify_each_pass(true);
+    let capacity = guarded("capacity", || explorer.capacity_diagnostics())?;
+    if capacity.iter().any(|d| d.is_error()) {
+        return Ok(CaseOutcome::Rejected {
+            stage: "capacity",
+            detail: capacity
+                .iter()
+                .filter(|d| d.is_error())
+                .map(|d| d.code)
+                .collect::<Vec<_>>()
+                .join(","),
+        });
+    }
+    let (sat, space) = match guarded("analyze", || explorer.analyze())? {
+        Ok(v) => v,
+        Err(e) => {
+            return Ok(CaseOutcome::Rejected {
+                stage: "structure",
+                detail: e.to_string(),
+            })
+        }
+    };
+
+    // Sample the per-point oracle set.
+    let all: Vec<UnrollVector> = space.iter().take(4096).collect();
+    if all.is_empty() {
+        return Ok(CaseOutcome::Rejected {
+            stage: "structure",
+            detail: "empty design space".to_string(),
+        });
+    }
+    let mut rng = SplitMix64::new(cfg.input_seed ^ 0xC0FF_EE00_5EED);
+    let mut picked: BTreeSet<usize> = BTreeSet::new();
+    picked.insert(0); // always the baseline point
+    while picked.len() < cfg.max_points.min(all.len()) {
+        picked.insert(rng.below(all.len() as u64) as usize);
+    }
+    let points: Vec<&UnrollVector> = picked.iter().map(|&i| &all[i]).collect();
+
+    // Oracles 1 + 2 per sampled point: transform with per-pass
+    // verification on, then differential interpretation.
+    for &u in &points {
+        let stage = format!("design@{:?}", u.factors());
+        let design = match guarded(&stage, || explorer.design(u))? {
+            Ok(d) => d,
+            Err(DseError::Xform(XformError::Verify { stage, diagnostics })) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Verify,
+                    stage: format!("pass `{stage}` at {:?}", u.factors()),
+                    detail: diagnostics
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                }))
+            }
+            Err(e) => {
+                return Ok(CaseOutcome::Rejected {
+                    stage: "transform",
+                    detail: e.to_string(),
+                })
+            }
+        };
+        checks += 1; // every pipeline pass verified clean
+
+        let t_run = guarded(&format!("interp-transformed@{:?}", u.factors()), || {
+            run_with_inputs(&design.kernel, &input_refs)
+        })?;
+        let (t_ws, _) = match t_run {
+            Ok(r) => r,
+            Err(e) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Semantics,
+                    stage: format!("transformed-exec@{:?}", u.factors()),
+                    detail: format!("original runs but transformed design fails: {e}"),
+                }))
+            }
+        };
+        for a in kernel.arrays() {
+            if a.kind == ArrayKind::In {
+                continue;
+            }
+            let before = base_ws.array(&a.name);
+            let after = t_ws.array(&a.name);
+            if before != after {
+                let at = first_mismatch(before, after);
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Semantics,
+                    stage: format!("outputs@{:?}", u.factors()),
+                    detail: format!("array `{}` diverges at flat index {at}", a.name),
+                }));
+            }
+        }
+        checks += 1;
+    }
+
+    // Oracle 3a: full and multi fidelity must select bit-identical bests.
+    let full = match guarded("sweep-full", || explorer.sweep_with_stats())? {
+        Ok((sweep, _)) => sweep,
+        Err(e) => {
+            return Ok(CaseOutcome::Rejected {
+                stage: "transform",
+                detail: format!("full sweep: {e}"),
+            })
+        }
+    };
+    let multi_explorer = explorer.clone().fidelity(Fidelity::Multi);
+    let multi = match guarded("sweep-multi", || multi_explorer.sweep_with_stats())? {
+        Ok((sweep, _)) => sweep,
+        Err(e) => {
+            return Ok(CaseOutcome::Rejected {
+                stage: "transform",
+                detail: format!("multi sweep: {e}"),
+            })
+        }
+    };
+    match (best_performance(&full), best_performance(&multi)) {
+        (Some(f), Some(m)) if f.unroll == m.unroll && f.estimate == m.estimate => checks += 1,
+        (None, None) => {}
+        (f, m) => {
+            return Ok(CaseOutcome::Violation(Violation {
+                oracle: Oracle::Fidelity,
+                stage: "full-vs-multi".to_string(),
+                detail: format!(
+                    "full selects {:?}, multi selects {:?}",
+                    f.map(|d| d.unroll.factors().to_vec()),
+                    m.map(|d| d.unroll.factors().to_vec()),
+                ),
+            }))
+        }
+    }
+
+    // Oracle 3b: the tier-0 analytic band must contain the exact tier-1
+    // estimate at every sampled point.
+    let mut topts = explorer.transform_options().clone();
+    topts.verify_each_pass = false;
+    let sopts = SynthesisOptions::default();
+    let prepared = match guarded("prepare", || PreparedKernel::prepare(&kernel))? {
+        Ok(p) => Arc::new(p),
+        Err(e) => {
+            return Ok(CaseOutcome::Rejected {
+                stage: "transform",
+                detail: format!("prepare: {e}"),
+            })
+        }
+    };
+    let model = guarded("analytic-model", || {
+        AnalyticModel::new(
+            prepared.clone(),
+            profile.memory.clone(),
+            profile.device.clone(),
+            topts.clone(),
+            sopts.clone(),
+        )
+    })?;
+    if let Some(model) = model {
+        for &u in &points {
+            let band = match guarded(&format!("band@{:?}", u.factors()), || model.evaluate(u))? {
+                Ok(b) => b,
+                Err(e) => {
+                    return Ok(CaseOutcome::Rejected {
+                        stage: "transform",
+                        detail: format!("band: {e}"),
+                    })
+                }
+            };
+            let design = match guarded(&format!("tier1@{:?}", u.factors()), || {
+                prepared.transform(u, &topts)
+            })? {
+                Ok(d) => d,
+                Err(e) => {
+                    return Ok(CaseOutcome::Rejected {
+                        stage: "transform",
+                        detail: format!("tier1: {e}"),
+                    })
+                }
+            };
+            let estimate = guarded(&format!("estimate@{:?}", u.factors()), || {
+                estimate_opts(&design, &profile.memory, &profile.device, &sopts)
+            })?;
+            if !band.contains(&estimate) {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Fidelity,
+                    stage: format!("band@{:?}", u.factors()),
+                    detail: band_miss_detail(&band, &estimate),
+                }));
+            }
+            checks += 1;
+        }
+    }
+
+    // Oracle 4: search traces audit clean at every worker count and are
+    // byte-identical across them (the engine's determinism contract).
+    let mut traces: Vec<(usize, String)> = Vec::new();
+    let mut selected: Vec<(usize, UnrollVector)> = Vec::new();
+    for &w in &cfg.workers {
+        let sink = Arc::new(MemorySink::new());
+        let traced = explorer.clone().threads(w).trace(sink.clone());
+        let result = match guarded(&format!("explore@{w}"), || traced.explore())? {
+            Ok(r) => r,
+            Err(e) => {
+                return Ok(CaseOutcome::Rejected {
+                    stage: "transform",
+                    detail: format!("explore@{w}: {e}"),
+                })
+            }
+        };
+        let events = sink.events();
+        let report = guarded(&format!("audit@{w}"), || {
+            audit_search_trace(&events, &space, &sat)
+        })?;
+        if !report.is_clean() {
+            return Ok(CaseOutcome::Violation(Violation {
+                oracle: Oracle::Audit,
+                stage: format!("audit@{w}"),
+                detail: report
+                    .violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            }));
+        }
+        checks += 1;
+        traces.push((w, to_jsonl(&events)));
+        selected.push((w, result.selected.unroll));
+    }
+    if let Some(pair) = traces.windows(2).find(|p| p[0].1 != p[1].1) {
+        return Ok(CaseOutcome::Violation(Violation {
+            oracle: Oracle::Audit,
+            stage: format!("trace-determinism@{}v{}", pair[0].0, pair[1].0),
+            detail: "search traces differ across worker counts".to_string(),
+        }));
+    }
+    if let Some(pair) = selected.windows(2).find(|p| p[0].1 != p[1].1) {
+        return Ok(CaseOutcome::Violation(Violation {
+            oracle: Oracle::Audit,
+            stage: format!("selection-determinism@{}v{}", pair[0].0, pair[1].0),
+            detail: format!(
+                "workers={} selects {:?}, workers={} selects {:?}",
+                pair[0].0,
+                pair[0].1.factors(),
+                pair[1].0,
+                pair[1].1.factors(),
+            ),
+        }));
+    }
+    checks += 1;
+
+    Ok(CaseOutcome::Passed { checks })
+}
+
+/// Name every band component the exact estimate escapes — only the
+/// misses, so the report points straight at the broken bound.
+fn band_miss_detail(band: &defacto_synth::AnalyticBand, e: &defacto_synth::Estimate) -> String {
+    let mut misses = Vec::new();
+    let mut check_u64 = |name: &str, v: u64, lo: u64, hi: u64| {
+        if v < lo || v > hi {
+            misses.push(format!("{name} {v}∉[{lo},{hi}]"));
+        }
+    };
+    check_u64("cycles", e.cycles, band.cycles_lo, band.cycles_hi);
+    check_u64(
+        "slices",
+        e.slices as u64,
+        band.slices_lo as u64,
+        band.slices_hi as u64,
+    );
+    check_u64(
+        "mem_busy",
+        e.memory_busy_cycles,
+        band.mem_busy_lo,
+        band.mem_busy_hi,
+    );
+    check_u64(
+        "comp_busy",
+        e.compute_busy_cycles,
+        band.comp_busy_lo,
+        band.comp_busy_hi,
+    );
+    check_u64("bits", e.bits_from_memory, band.bits_lo, band.bits_hi);
+    if e.registers != band.registers {
+        misses.push(format!("registers {} != {}", e.registers, band.registers));
+    }
+    if e.balance < band.balance_lo || e.balance > band.balance_hi {
+        misses.push(format!(
+            "balance {}∉[{},{}]",
+            e.balance, band.balance_lo, band.balance_hi
+        ));
+    }
+    if band.fits_certain && !e.fits {
+        misses.push("fits_certain but estimate does not fit".into());
+    }
+    if !band.fits_possible && e.fits {
+        misses.push("fits impossible but estimate fits".into());
+    }
+    if e.clock_ns != band.clock_ns {
+        misses.push(format!("clock {} != {}", e.clock_ns, band.clock_ns));
+    }
+    format!("band excludes exact estimate: {}", misses.join(", "))
+}
+
+/// Run `f` under a panic guard; a panic becomes a [`Oracle::Crash`]
+/// violation carrying the panic message.
+fn guarded<T>(stage: &str, f: impl FnOnce() -> T) -> Result<T, Violation> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| Violation {
+        oracle: Oracle::Crash,
+        stage: stage.to_string(),
+        detail: panic_text(payload),
+    })
+}
+
+fn panic_text(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Deterministic input data for every readable array, respecting declared
+/// `range` annotations (a broken range promise would be the *kernel's*
+/// bug, not the compiler's).
+fn input_arrays(kernel: &Kernel, seed: u64) -> Vec<(String, Vec<i64>)> {
+    let mut rng = SplitMix64::new(seed ^ 0x1234_5678_9ABC_DEF0);
+    let mut out = Vec::new();
+    for a in kernel.arrays() {
+        if a.kind == ArrayKind::Out {
+            continue;
+        }
+        let len: usize = a.dims.iter().product();
+        let (lo, hi) = match a.range {
+            Some(r) => r,
+            None if a.ty.is_signed() => (-32, 31),
+            None => (0, 63),
+        };
+        let data: Vec<i64> = (0..len).map(|_| a.ty.wrap(rng.range_i64(lo, hi))).collect();
+        out.push((a.name.clone(), data));
+    }
+    out
+}
+
+fn first_mismatch(a: Option<&[i64]>, b: Option<&[i64]>) -> usize {
+    match (a, b) {
+        (Some(a), Some(b)) => a
+            .iter()
+            .zip(b.iter())
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| a.len().min(b.len())),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIR: &str = "kernel fir {
+       in  S: i32[12];
+       in  C: i32[4];
+       inout D: i32[8];
+       for j in 0..8 {
+         for i in 0..4 {
+           D[j] = D[j] + S[i + j] * C[i];
+         }
+       }
+     }";
+
+    #[test]
+    fn a_known_good_kernel_passes_every_oracle() {
+        let cfg = OracleConfig::default();
+        for profile in Profile::standard() {
+            match check_case(FIR, &profile, &cfg) {
+                CaseOutcome::Passed { checks } => assert!(checks >= 8, "too few checks: {checks}"),
+                other => panic!("fir should pass on {}: {other:?}", profile.name),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected_with_typed_stages() {
+        let cfg = OracleConfig::default();
+        let profile = &Profile::standard()[0];
+        for (src, want) in [
+            ("kernel k {", "parse"),
+            (
+                "kernel k { in A: i32[4]; out B: i32[4]; for i in 4..0 { B[i] = A[i]; } }",
+                "lint",
+            ),
+            (
+                "kernel k { in A: i32[4]; out B: i32[4]; B[0] = A[0]; }",
+                "structure",
+            ),
+        ] {
+            match check_case(src, profile, &cfg) {
+                CaseOutcome::Rejected { stage, .. } => {
+                    assert_eq!(stage, want, "wrong rejection stage for {src:?}")
+                }
+                other => panic!("{src:?} should be rejected at `{want}`: {other:?}"),
+            }
+        }
+    }
+}

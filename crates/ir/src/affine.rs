@@ -141,13 +141,27 @@ impl AffineExpr {
     /// Panics if `lookup` returns `None` for a variable that appears in the
     /// expression; the interpreter guarantees all loop variables are bound.
     pub fn eval(&self, lookup: impl Fn(&str) -> Option<i64>) -> i64 {
+        match self.try_eval(lookup) {
+            Ok(v) => v,
+            Err(v) => panic!("affine eval: unbound loop variable `{v}`"),
+        }
+    }
+
+    /// Evaluate with a lookup for variable values, returning the name of
+    /// the first unbound variable instead of panicking. Terms saturate at
+    /// the `i64` range, so a pathological subscript degrades into an
+    /// out-of-range index (caught downstream) rather than overflowing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first variable `lookup` cannot resolve.
+    pub fn try_eval(&self, lookup: impl Fn(&str) -> Option<i64>) -> Result<i64, &str> {
         let mut acc = self.constant;
         for (v, c) in &self.coeffs {
-            let val =
-                lookup(v).unwrap_or_else(|| panic!("affine eval: unbound loop variable `{v}`"));
-            acc += c * val;
+            let val = lookup(v).ok_or(v.as_str())?;
+            acc = acc.saturating_add(c.saturating_mul(val));
         }
-        acc
+        Ok(acc)
     }
 
     /// Substitute `var := replacement` (an arbitrary affine expression) and

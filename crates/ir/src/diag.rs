@@ -36,6 +36,10 @@ pub mod codes {
     pub const WRITE_WRITE_CONFLICT: &str = "DF008";
     /// Every member of the saturation set exceeds the device capacity.
     pub const CAPACITY_INFEASIBLE: &str = "DF009";
+    /// A loop can never execute: reversed bounds or an empty range give a
+    /// zero trip count, so the estimator would price it as free while the
+    /// design space around it collapses.
+    pub const DEGENERATE_LOOP: &str = "DF010";
     /// Verifier: use of an undeclared or never-written name.
     pub const V_UNDECLARED: &str = "DF101";
     /// Verifier: subscript arity differs from the declared dimensions.

@@ -54,7 +54,10 @@ impl Workspace {
             .types
             .get(name)
             .ok_or_else(|| IrError::Undeclared(name.to_string()))?;
-        let slot = self.arrays.get_mut(name).expect("types/arrays in sync");
+        let slot = self
+            .arrays
+            .get_mut(name)
+            .ok_or_else(|| IrError::Undeclared(name.to_string()))?;
         if slot.len() != data.len() {
             return Err(IrError::Invalid(format!(
                 "array `{name}` holds {} elements but {} were supplied",
@@ -139,6 +142,12 @@ struct Env {
     loop_vars: HashMap<String, i64>,
 }
 
+/// Length of `name` in `arrays`, zero when absent — only used to fill in
+/// error payloads, never on the happy path.
+fn decl_len(arrays: &BTreeMap<String, Vec<i64>>, name: &str) -> usize {
+    arrays.get(name).map_or(0, Vec::len)
+}
+
 impl<'k> Interpreter<'k> {
     /// Create an interpreter for `kernel`.
     pub fn new(kernel: &'k Kernel) -> Self {
@@ -213,8 +222,17 @@ impl<'k> Interpreter<'k> {
                             .entry(a.array.clone())
                             .and_modify(|c| *c += 1)
                             .or_insert(1);
-                        let arr = ws.arrays.get_mut(&a.array).expect("checked in resolve");
-                        arr[idx as usize] = ty.wrap(v);
+                        let len = decl_len(&ws.arrays, &a.array);
+                        let slot = ws
+                            .arrays
+                            .get_mut(&a.array)
+                            .and_then(|arr| arr.get_mut(idx as usize))
+                            .ok_or_else(|| IrError::OutOfBounds {
+                                array: a.array.clone(),
+                                index: idx,
+                                len,
+                            })?;
+                        *slot = ty.wrap(v);
                     }
                 }
             }
@@ -242,7 +260,12 @@ impl<'k> Interpreter<'k> {
                 while v < l.upper {
                     env.loop_vars.insert(l.var.clone(), v);
                     self.exec_stmts(&l.body, env, ws, stats)?;
-                    v += l.step;
+                    v = v.checked_add(l.step).ok_or_else(|| {
+                        IrError::MalformedLoop(format!(
+                            "loop `{}` overflows its induction variable",
+                            l.var
+                        ))
+                    })?;
                 }
                 env.loop_vars.remove(&l.var);
             }
@@ -270,8 +293,11 @@ impl<'k> Interpreter<'k> {
         let idx: Vec<i64> = a
             .indices
             .iter()
-            .map(|e| e.eval(|v| env.loop_vars.get(v).or_else(|| env.scalars.get(v)).copied()))
-            .collect();
+            .map(|e| {
+                e.try_eval(|v| env.loop_vars.get(v).or_else(|| env.scalars.get(v)).copied())
+                    .map_err(|v| IrError::Undeclared(v.to_string()))
+            })
+            .collect::<Result<_>>()?;
         let flat = decl.flatten(&idx).ok_or_else(|| IrError::OutOfBounds {
             array: a.array.clone(),
             index: *idx.first().unwrap_or(&0),
@@ -296,7 +322,15 @@ impl<'k> Interpreter<'k> {
                     .entry(a.array.clone())
                     .and_modify(|c| *c += 1)
                     .or_insert(1);
-                ws.arrays[&a.array][idx as usize]
+                ws.arrays
+                    .get(&a.array)
+                    .and_then(|arr| arr.get(idx as usize))
+                    .copied()
+                    .ok_or_else(|| IrError::OutOfBounds {
+                        array: a.array.clone(),
+                        index: idx,
+                        len: decl_len(&ws.arrays, &a.array),
+                    })?
             }
             Expr::Unary(op, inner) => {
                 let v = self.eval(inner, env, ws, stats)?;

@@ -8,6 +8,10 @@ use crate::types::ScalarType;
 use std::collections::HashSet;
 use std::fmt;
 
+/// Largest flattened element count a single array declaration may have
+/// (16 Mi elements, 128 MiB of interpreter storage).
+pub const MAX_ARRAY_ELEMS: usize = 1 << 24;
+
 /// A complete kernel: named declarations and a statement body, typically a
 /// single perfect loop nest in source form.
 ///
@@ -172,6 +176,18 @@ impl Kernel {
         for a in &self.arrays {
             if !names.insert(a.name.as_str()) {
                 return Err(IrError::Redeclared(a.name.clone()));
+            }
+            // Interpreting a kernel allocates every array up front; cap
+            // the element count so a declaration like `A: i8[1 << 40]`
+            // is a structured error instead of an allocation abort.
+            match a.dims.iter().try_fold(1usize, |n, &d| n.checked_mul(d)) {
+                Some(n) if n <= MAX_ARRAY_ELEMS => {}
+                _ => {
+                    return Err(IrError::Invalid(format!(
+                        "array `{}` exceeds {MAX_ARRAY_ELEMS} elements",
+                        a.name
+                    )))
+                }
             }
         }
         for s in &self.scalars {

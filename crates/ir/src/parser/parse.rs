@@ -17,10 +17,17 @@ const UNSUPPORTED_CONTROL_FLOW: &[&str] = &[
     "while", "do", "break", "continue", "switch", "goto", "return",
 ];
 
+/// Maximum statement/expression nesting the parser accepts. Recursive
+/// descent means nesting costs native stack; a pathological input
+/// (`((((…))))`, `-----x`, or a thousand nested `for`s) must come back as
+/// a parse diagnostic, not a stack overflow.
+const MAX_NESTING: usize = 64;
+
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     spans: SpanMap,
+    depth: usize,
 }
 
 impl Parser {
@@ -29,7 +36,23 @@ impl Parser {
             tokens,
             pos: 0,
             spans: SpanMap::default(),
+            depth: 0,
         }
+    }
+
+    /// Enter one nesting level (statement or expression recursion),
+    /// rejecting inputs deeper than [`MAX_NESTING`].
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            Err(self.error(format!("nesting deeper than {MAX_NESTING} levels")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     /// The span side-table accumulated while parsing.
@@ -174,8 +197,8 @@ impl Parser {
         while *self.peek() == TokenKind::LBracket {
             self.bump();
             let d = self.expect_int("array extent")?;
-            if d < 0 {
-                return Err(self.error("array extent must be non-negative"));
+            if d <= 0 {
+                return Err(self.error("array extent must be positive"));
             }
             dims.push(d as usize);
             self.expect(TokenKind::RBracket, "`]`")?;
@@ -214,6 +237,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt> {
+        self.enter()?;
+        let stmt = self.parse_stmt_inner();
+        self.leave();
+        stmt
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt> {
         match self.peek().clone() {
             TokenKind::Ident(kw) if kw == "for" => self.parse_for(),
             TokenKind::Ident(kw) if kw == "if" => self.parse_if(),
@@ -242,7 +272,9 @@ impl Parser {
 
     fn parse_for(&mut self) -> Result<Stmt> {
         let for_span = self.span_here();
-        assert!(self.eat_keyword("for"));
+        if !self.eat_keyword("for") {
+            return Err(self.error("expected `for`"));
+        }
         let var = self.expect_ident("loop variable")?;
         if !self.eat_keyword("in") {
             return Err(self.error("expected `in`"));
@@ -272,7 +304,9 @@ impl Parser {
     }
 
     fn parse_if(&mut self) -> Result<Stmt> {
-        assert!(self.eat_keyword("if"));
+        if !self.eat_keyword("if") {
+            return Err(self.error("expected `if`"));
+        }
         self.expect(TokenKind::LParen, "`(`")?;
         let cond = self.parse_expr()?;
         self.expect(TokenKind::RParen, "`)`")?;
@@ -298,7 +332,9 @@ impl Parser {
     }
 
     fn parse_rotate(&mut self) -> Result<Stmt> {
-        assert!(self.eat_keyword("rotate"));
+        if !self.eat_keyword("rotate") {
+            return Err(self.error("expected `rotate`"));
+        }
         self.expect(TokenKind::LParen, "`(`")?;
         let mut regs = vec![self.expect_ident("register name")?];
         while *self.peek() == TokenKind::Comma {
@@ -346,6 +382,13 @@ impl Parser {
 
     /// Expression parsing: ternary over precedence-climbing binary ops.
     fn parse_expr(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let expr = self.parse_expr_inner();
+        self.leave();
+        expr
+    }
+
+    fn parse_expr_inner(&mut self) -> Result<Expr> {
         let cond = self.parse_binary(0)?;
         if *self.peek() == TokenKind::Question {
             self.bump();
@@ -391,17 +434,22 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr> {
-        match self.peek().clone() {
+        self.enter()?;
+        let expr = match self.peek().clone() {
             TokenKind::Minus => {
                 self.bump();
-                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+                self.parse_unary()
+                    .map(|e| Expr::Unary(UnOp::Neg, Box::new(e)))
             }
             TokenKind::Tilde => {
                 self.bump();
-                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+                self.parse_unary()
+                    .map(|e| Expr::Unary(UnOp::Not, Box::new(e)))
             }
             _ => self.parse_primary(),
-        }
+        };
+        self.leave();
+        expr
     }
 
     fn parse_primary(&mut self) -> Result<Expr> {

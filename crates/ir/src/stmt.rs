@@ -83,7 +83,14 @@ impl Loop {
 
     /// The iteration values of the induction variable, in order.
     pub fn iter_values(&self) -> impl Iterator<Item = i64> + '_ {
-        (self.lower..self.upper).step_by(self.step.max(1) as usize)
+        // A non-positive step is malformed (the interpreter rejects it);
+        // yield nothing rather than pretend it strides by one.
+        let upper = if self.step > 0 {
+            self.upper
+        } else {
+            self.lower
+        };
+        (self.lower..upper).step_by(self.step.max(1) as usize)
     }
 }
 

@@ -40,7 +40,7 @@ use crate::estimate::{
 };
 use crate::memory::MemoryModel;
 use crate::oplib::{
-    op_spec, register_slices, HwOp, FSM_BASE_SLICES, FSM_SLICES_PER_STATE, MEMORY_INTERFACE_SLICES,
+    fsm_state_slices_ceil, op_spec, register_slices, HwOp, FSM_BASE_SLICES, MEMORY_INTERFACE_SLICES,
 };
 use defacto_ir::{BinOp, Expr, Kernel, LValue, Stmt};
 use defacto_xform::{PointCensus, PreparedKernel, TrafficKind, TransformOptions, UnrollVector};
@@ -166,6 +166,11 @@ pub struct AnalyticModel {
     base_lat_sum: u64,
     /// Declared widths of the source kernel's scalars.
     original_scalars: Vec<u32>,
+    /// Per loop level: non-subscript reads of the level's variable in one
+    /// base-body copy. The jam rewrites each such read in an offset copy
+    /// to `var + offset` — a real `AddSub` node the base classes never
+    /// see, priced separately per point.
+    loop_var_reads: Vec<u32>,
 }
 
 impl AnalyticModel {
@@ -195,6 +200,11 @@ impl AnalyticModel {
             .iter()
             .map(|s| s.ty.bits())
             .collect();
+        let loop_var_reads: Vec<u32> = prepared
+            .var_names()
+            .iter()
+            .map(|v| count_scalar_reads(prepared.base_body(), v))
+            .collect();
         let mut classes: Vec<(HwOp, u32, u32)> = base
             .classes
             .iter()
@@ -210,6 +220,7 @@ impl AnalyticModel {
             classes,
             base_lat_sum: base.lat_sum,
             original_scalars,
+            loop_var_reads,
         })
     }
 
@@ -291,7 +302,12 @@ impl AnalyticModel {
                 }
             }
             let packed = self.sopts.pack_small_types && t.elem_bits < word_bits;
-            if t.is_write || !packed {
+            if t.conditional {
+                // Conditional classes execute under a user `if`; peeling's
+                // trip-1 substitution plus constant folding may remove the
+                // branch (and its accesses) from the materialized design
+                // entirely, so the lower bound takes no credit for them.
+            } else if t.is_write || !packed {
                 occ_lo = occ_lo.saturating_add(events.saturating_mul(occ));
                 bits_lo = bits_lo.saturating_add(events.saturating_mul(t.elem_bits as u64));
             } else {
@@ -341,7 +357,23 @@ impl AnalyticModel {
         } else {
             c.guard_eqs_per_body.max(0) as u64
         };
-        let body_op_lat = product.saturating_mul(self.base_lat_sum) + guard_lat;
+        // Jam-introduced index arithmetic: each non-subscript read of the
+        // level-l loop variable becomes `var + offset` in every body copy
+        // with a nonzero level-l offset — `product - product/U_l` copies.
+        // (Subscript reads fold into the affine constant term instead.)
+        let mut jam_adds: u64 = 0;
+        for (l, &reads) in self.loop_var_reads.iter().enumerate() {
+            let u = c.factors.get(l).copied().unwrap_or(1).max(1) as u64;
+            if u > 1 {
+                jam_adds =
+                    jam_adds.saturating_add((reads as u64).saturating_mul(product - product / u));
+            }
+        }
+        let jam_add_lat = jam_adds.saturating_mul(op_spec(HwOp::AddSub, 33).latency as u64);
+        let body_op_lat = product
+            .saturating_mul(self.base_lat_sum)
+            .saturating_add(guard_lat)
+            .saturating_add(jam_add_lat);
         let comp_hi = bodies.saturating_mul(body_op_lat);
         let steady_bodies: u64 = c
             .trips
@@ -384,6 +416,11 @@ impl AnalyticModel {
                 .saturating_mul(instances);
             slices_hi = slices_hi.saturating_add(uses.saturating_mul(unit_area_hi(op, w)));
         }
+        slices_hi = slices_hi.saturating_add(
+            jam_adds
+                .saturating_mul(instances)
+                .saturating_mul(unit_area_hi(HwOp::AddSub, 33)),
+        );
         if !peel_on {
             // Predicated fill guards: comparator + conjunctions + one mux
             // per filled register (the scalar merge of the `if`).
@@ -444,7 +481,7 @@ impl AnalyticModel {
             .saturating_add(regs_hi)
             .saturating_add(fixed)
             .saturating_add(loops_hi.saturating_mul(LOOP_CONTROL_SLICES as u64))
-            .saturating_add((fsm_hi as f64 * FSM_SLICES_PER_STATE) as u64);
+            .saturating_add(fsm_state_slices_ceil(fsm_hi));
         let slices_lo = slices_lo_u64.min(u32::MAX as u64) as u32;
         let slices_hi = slices_hi_u64.min(u32::MAX as u64) as u32;
 
@@ -560,6 +597,37 @@ fn elem_bits(k: &Kernel, array: &str) -> u32 {
     k.array(array).map(|a| a.ty.bits()).unwrap_or(32)
 }
 
+/// Non-subscript reads of `name` in one base-body copy. Subscript
+/// variables live in `AffineExpr` indices, which an `Expr` walk never
+/// reaches — exactly the reads the jam folds away affinely.
+fn count_scalar_reads(body: &[Stmt], name: &str) -> u32 {
+    fn in_expr(e: &Expr, name: &str) -> u32 {
+        match e {
+            Expr::Scalar(n) => u32::from(n == name),
+            Expr::Int(_) | Expr::Load(_) => 0,
+            Expr::Unary(_, a) => in_expr(a, name),
+            Expr::Binary(_, a, b) => in_expr(a, name) + in_expr(b, name),
+            Expr::Select(c, t, f) => in_expr(c, name) + in_expr(t, name) + in_expr(f, name),
+        }
+    }
+    body.iter()
+        .map(|s| match s {
+            Stmt::Assign { rhs, .. } => in_expr(rhs, name),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                in_expr(cond, name)
+                    + count_scalar_reads(then_body, name)
+                    + count_scalar_reads(else_body, name)
+            }
+            Stmt::For(l) => count_scalar_reads(&l.body, name),
+            Stmt::Rotate(_) => 0,
+        })
+        .sum()
+}
+
 /// Walk one expression, recording every operator it will instantiate at
 /// an upper-bound width. Returns `(node_width_hi, interval_bits_hi)`:
 /// the first bounds the DFG node width under both width rules, the
@@ -573,11 +641,17 @@ fn walk_expr(e: &Expr, k: &Kernel, out: &mut BaseOps) -> (u32, u32) {
             (pb.max(32), pb)
         }
         Expr::Scalar(n) => {
-            let w = scalar_decl_bits(k, n);
-            // Undeclared names (loop variables) default to the range
-            // analysis' 32-bit fallback interval.
-            let ib = if k.scalar(n).is_some() { w } else { 32 };
-            (w, ib)
+            if k.scalar(n).is_some() {
+                let w = scalar_decl_bits(k, n);
+                (w, w)
+            } else {
+                // Undeclared names are loop variables: the range analysis
+                // falls back to a 32-bit interval, and the jam rewrites
+                // each non-subscript read to `var + offset`, whose add
+                // can grow the interval to 33 bits — bound the operand a
+                // copy's parent operator sees, not just the bare counter.
+                (32, 33)
+            }
         }
         Expr::Load(a) => {
             let w = elem_bits(k, &a.array);
@@ -809,6 +883,43 @@ mod tests {
                     check_point(&m, vec![f; depth]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn band_brackets_loop_var_guard_under_unroll() {
+        // Fuzzer reproducer (tests/fuzz_corpus/pass_jam_index_guard):
+        // a non-subscript loop-variable read gains a `var + offset` add
+        // in every jammed copy — the band's upper side must price it.
+        let m = model(
+            "kernel g { out B: u8[4]; for k in 0..4 { if (k < 2) { B[k] = 1; } } }",
+            TransformOptions::default(),
+            SynthesisOptions::default(),
+            MemoryModel::wildstar_pipelined(),
+        );
+        for f in [1i64, 2, 4] {
+            check_point(&m, vec![f]);
+        }
+    }
+
+    #[test]
+    fn band_brackets_foldable_conditional_store() {
+        // Fuzzer reproducer (tests/fuzz_corpus/pass_folded_else_store):
+        // peeling substitutes the trip-1 `j` into the body, the user `if`
+        // folds to a constant, and the else-branch store vanishes from
+        // the materialized design — the band's lower side must not rely
+        // on conditional traffic.
+        let m = model(
+            "kernel c { inout D: u32[2]; in S: u16[2]; out E: i32[1][1];
+               for i in 0..2 { for j in 0..1 {
+                 D[i] = S[i + j];
+                 if (j < 1) { } else { E[i][j] = 1; } } } }",
+            TransformOptions::default(),
+            SynthesisOptions::default(),
+            MemoryModel::wildstar_pipelined(),
+        );
+        for factors in [vec![1, 1], vec![2, 1]] {
+            check_point(&m, factors);
         }
     }
 

@@ -17,7 +17,7 @@ use crate::constraints::ResourceConstraints;
 use crate::device::FpgaDevice;
 use crate::memory::MemoryModel;
 use crate::oplib::{
-    op_spec, register_slices, HwOp, FSM_BASE_SLICES, FSM_SLICES_PER_STATE, MEMORY_INTERFACE_SLICES,
+    fsm_state_slices, op_spec, register_slices, HwOp, FSM_BASE_SLICES, MEMORY_INTERFACE_SLICES,
 };
 use crate::schedule::{schedule_dfg_prioritized, ListPriority, OpUsage};
 use defacto_analysis::{infer_ranges, RangeInfo};
@@ -204,15 +204,18 @@ pub fn estimate_opts(
         (c, m) => c as f64 / m as f64,
     };
 
-    // Area.
-    let mut slices: u32 = 0;
+    // Area. Accumulated in u64 with saturating arithmetic: a heavily
+    // unrolled kernel can push any single term past u32 range, and the
+    // clamp back to the `Estimate::slices` width must happen exactly
+    // once, visibly, at the end.
+    let mut area: u64 = 0;
     for ((op, bits), usage) in &agg.op_usage {
         let spec = op_spec(*op, *bits);
-        slices += spec.area_slices * usage.max_concurrent;
+        area = area.saturating_add(spec.area_slices as u64 * usage.max_concurrent as u64);
         // Sharing multiplexers: each use beyond the allocated instances
         // steers operands through a mux tree.
         let shared = usage.total_uses.saturating_sub(usage.max_concurrent);
-        slices += shared * (bits / 4 + 1);
+        area = area.saturating_add(shared as u64 * (bits / 4 + 1) as u64);
     }
     let mut registers = 0usize;
     for s in design.kernel.scalars() {
@@ -221,11 +224,14 @@ pub fn estimate_opts(
             Some(info) => info.var(&s.name).bits().min(s.ty.bits()),
             None => s.ty.bits(),
         };
-        slices += register_slices(bits);
+        area = area.saturating_add(register_slices(bits) as u64);
     }
-    slices += mem.num_memories as u32 * MEMORY_INTERFACE_SLICES;
-    slices += agg.loops * LOOP_CONTROL_SLICES;
-    slices += FSM_BASE_SLICES + (agg.fsm_states as f64 * FSM_SLICES_PER_STATE) as u32;
+    area = area.saturating_add(mem.num_memories as u64 * MEMORY_INTERFACE_SLICES as u64);
+    area = area.saturating_add(agg.loops as u64 * LOOP_CONTROL_SLICES as u64);
+    area = area
+        .saturating_add(FSM_BASE_SLICES as u64)
+        .saturating_add(fsm_state_slices(agg.fsm_states));
+    let slices = area.min(u32::MAX as u64) as u32;
 
     Estimate {
         cycles: agg.cycles,
@@ -293,7 +299,11 @@ fn walk(stmts: &[Stmt], ctx: &WalkCtx<'_>) -> Aggregate {
             Stmt::For(l) => {
                 flush(&mut segment, &mut agg);
                 let inner = walk(&l.body, ctx);
-                let trips = l.trip_count().max(0) as u64;
+                // `trip_count` is non-negative by definition (degenerate
+                // loops report zero and are rejected up front by lint
+                // DF010), so this conversion is lossless — the old
+                // `.max(0) as u64` sign-clamp hid that contract.
+                let trips = u64::try_from(l.trip_count()).unwrap_or(0);
                 agg.cycles += LOOP_SETUP_OVERHEAD + trips * (inner.cycles + LOOP_ITER_OVERHEAD);
                 agg.mem_busy += trips * inner.mem_busy;
                 agg.comp_busy += trips * inner.comp_busy;

@@ -141,9 +141,50 @@ pub const FSM_BASE_SLICES: u32 = 80;
 /// Incremental control cost per FSM state (one-hot bit plus decode).
 pub const FSM_SLICES_PER_STATE: f64 = 0.75;
 
+/// Controller area in slices for `states` sequencer states:
+/// `states × 0.75` ([`FSM_SLICES_PER_STATE`]) in exact integer
+/// arithmetic, rounded to nearest and saturating — the f64 round-trip it
+/// replaces truncated the fraction and clipped silently at `u32::MAX`.
+pub fn fsm_state_slices(states: u64) -> u64 {
+    states.saturating_mul(3).saturating_add(2) / 4
+}
+
+/// Round-up variant of [`fsm_state_slices`], for tier-0 area *upper*
+/// bounds: for any `hi >= states`, `fsm_state_slices_ceil(hi)` dominates
+/// `fsm_state_slices(states)`, keeping band containment sound.
+pub fn fsm_state_slices_ceil(states: u64) -> u64 {
+    states.saturating_mul(3).saturating_add(3) / 4
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fsm_state_slices_rounds_to_nearest_and_saturates() {
+        // Boundary values of the 0.75-per-state controller cost. The old
+        // f64 round-trip truncated: 2 states cost 1.5 slices and came
+        // back as 1; nearest-rounding gives 2.
+        assert_eq!(fsm_state_slices(0), 0);
+        assert_eq!(fsm_state_slices(1), 1); // 0.75 -> 1
+        assert_eq!(fsm_state_slices(2), 2); // 1.50 -> 2
+        assert_eq!(fsm_state_slices(3), 2); // 2.25 -> 2
+        assert_eq!(fsm_state_slices(4), 3); // 3.00 -> 3
+                                            // Saturates instead of wrapping at the top of the range.
+        assert_eq!(fsm_state_slices(u64::MAX), u64::MAX / 4);
+    }
+
+    #[test]
+    fn fsm_ceil_dominates_nearest_for_any_state_count() {
+        for s in 0..1000u64 {
+            for hi in s..s + 8 {
+                assert!(fsm_state_slices_ceil(hi) >= fsm_state_slices(s), "{s} {hi}");
+            }
+        }
+        assert_eq!(fsm_state_slices_ceil(1), 1);
+        assert_eq!(fsm_state_slices_ceil(2), 2);
+        assert_eq!(fsm_state_slices_ceil(3), 3); // 2.25 rounds *up* to 3
+    }
 
     #[test]
     fn adders_are_linear_multipliers_quadratic() {

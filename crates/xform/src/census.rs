@@ -60,6 +60,12 @@ pub struct Traffic {
     /// Row-major flattened constant offsets touched per execution.
     /// Duplicates are real duplicate accesses.
     pub flat_offsets: Vec<i64>,
+    /// Does the class execute under a user `if`? Peeling substitutes
+    /// trip-1 loop variables into the body and constant folding may then
+    /// remove the guarded access from the materialized design entirely,
+    /// so the analytic *lower* bound must not rely on conditional
+    /// traffic (the upper bound still counts it).
+    pub conditional: bool,
 }
 
 impl Traffic {
@@ -345,6 +351,7 @@ impl PreparedKernel {
                             elem_bits: bits,
                             kind: TrafficKind::Top,
                             flat_offsets: offs.iter().map(|o| flat(array, o)).collect(),
+                            conditional: false,
                         });
                         replaced_loads.insert(read, offs.into_iter().collect());
                     }
@@ -367,6 +374,7 @@ impl PreparedKernel {
                             elem_bits: bits,
                             kind: TrafficKind::AtLevel(*deepest_varying),
                             flat_offsets: offs.iter().map(|o| flat(array, o)).collect(),
+                            conditional: false,
                         });
                         replaced_loads.insert(read, offs.into_iter().collect());
                     }
@@ -526,6 +534,7 @@ impl PreparedKernel {
                                 elem_bits: bits,
                                 kind: TrafficKind::Guarded(guard_levels.clone()),
                                 flat_offsets: vec![flat(array, lane_off)],
+                                conditional: false,
                             });
                             if length >= 2 {
                                 c.rotates_per_body += 1;
@@ -583,6 +592,7 @@ impl PreparedKernel {
                                     flat_offsets: (0..carried_regs)
                                         .map(|p| flat(array, &patched(lo + p as i64)))
                                         .collect(),
+                                    conditional: false,
                                 });
                                 c.guard_eqs_per_body += 1;
                                 c.peelable[deepest_varying] = true;
@@ -596,6 +606,7 @@ impl PreparedKernel {
                                     flat_offsets: (carried_regs..span)
                                         .map(|p| flat(array, &patched(lo + p as i64)))
                                         .collect(),
+                                    conditional: false,
                                 });
                             }
                             if carried_regs > 0 && span >= 2 {
@@ -634,6 +645,7 @@ impl PreparedKernel {
                 elem_bits: elem_bits(&set.array),
                 kind: TrafficKind::Body,
                 flat_offsets: set.offsets.iter().map(|o| flat(&set.array, o)).collect(),
+                conditional: self.cond_flag(set.members[0]),
             });
         }
 
@@ -641,13 +653,15 @@ impl PreparedKernel {
         // by the jam tuples, and split in-place loads (stored arrays and
         // sole-load statements, which `hoist_remaining_loads` skips) from
         // hoisted ones (one temp register per distinct address).
-        let mut occurrences: Vec<(&ArrayAccess, bool)> = Vec::new();
-        collect_load_occurrences(self.base_body(), &mut occurrences);
-        let mut in_place: HashMap<&str, Vec<i64>> = HashMap::new();
+        let mut occurrences: Vec<(&ArrayAccess, bool, bool)> = Vec::new();
+        collect_load_occurrences(self.base_body(), false, &mut occurrences);
+        // In-place loads split by user-`if` context: conditional loads may
+        // be folded away with their branch, so they form separate classes.
+        let mut in_place: HashMap<(&str, bool), Vec<i64>> = HashMap::new();
         // Distinct hoisted addresses in deterministic (first-seen) order.
         let mut hoisted_seen: HashSet<(String, Vec<Vec<i64>>, Vec<i64>)> = HashSet::new();
         let mut hoisted: HashMap<&str, Vec<i64>> = HashMap::new();
-        for (access, sole) in &occurrences {
+        for (access, sole, cond) in &occurrences {
             let array = access.array.as_str();
             let sig = access.coeff_signature(&var_refs);
             let base_off: Vec<i64> = access.indices.iter().map(|e| e.constant_term()).collect();
@@ -665,35 +679,48 @@ impl PreparedKernel {
                     continue;
                 }
                 if !opts.scalar_replacement || *sole || stored_arrays.contains(array) {
-                    in_place.entry(array).or_default().push(flat(array, &jo));
+                    in_place
+                        .entry((array, *cond))
+                        .or_default()
+                        .push(flat(array, &jo));
                 } else if hoisted_seen.insert((array.to_string(), sig.clone(), jo.clone())) {
                     hoisted.entry(array).or_default().push(flat(array, &jo));
                 }
             }
         }
-        let mut raw_arrays: Vec<&str> = in_place.keys().chain(hoisted.keys()).copied().collect();
+        let mut raw_arrays: Vec<&str> = in_place
+            .keys()
+            .map(|&(a, _)| a)
+            .chain(hoisted.keys().copied())
+            .collect();
         raw_arrays.sort_unstable();
         raw_arrays.dedup();
         for array in raw_arrays {
             let bits = elem_bits(array);
-            if let Some(offs) = in_place.remove(array) {
-                c.traffic.push(Traffic {
-                    array: array.to_string(),
-                    is_write: false,
-                    elem_bits: bits,
-                    kind: TrafficKind::Body,
-                    flat_offsets: offs,
-                });
+            for cond in [false, true] {
+                if let Some(offs) = in_place.remove(&(array, cond)) {
+                    c.traffic.push(Traffic {
+                        array: array.to_string(),
+                        is_write: false,
+                        elem_bits: bits,
+                        kind: TrafficKind::Body,
+                        flat_offsets: offs,
+                        conditional: cond,
+                    });
+                }
             }
             if let Some(offs) = hoisted.remove(array) {
                 c.temp_registers += offs.len();
                 add_regs(&mut reg_classes, bits, true, offs.len());
+                // Hoisting fills the temps in an unconditional prefix, so
+                // these loads survive any branch folding.
                 c.traffic.push(Traffic {
                     array: array.to_string(),
                     is_write: false,
                     elem_bits: bits,
                     kind: TrafficKind::Body,
                     flat_offsets: offs,
+                    conditional: false,
                 });
             }
         }
@@ -767,6 +794,7 @@ impl PreparedKernel {
                 elem_bits: bits,
                 kind: TrafficKind::AtLevel(deepest_varying),
                 flat_offsets: read_offsets.iter().map(|o| flat(array, o)).collect(),
+                conditional: false,
             });
         }
         c.traffic.push(Traffic {
@@ -775,6 +803,7 @@ impl PreparedKernel {
             elem_bits: bits,
             kind: TrafficKind::AtLevel(deepest_varying),
             flat_offsets: write_offsets.iter().map(|o| flat(array, o)).collect(),
+            conditional: false,
         });
         if let Some(r) = read {
             replaced_loads.insert(r, read_offsets.into_iter().collect());
@@ -805,19 +834,25 @@ impl PreparedKernel {
     }
 }
 
-/// Collect every load occurrence of a body with its context: `true` when
-/// the occurrence is the entire right-hand side of an assignment (the
-/// hoisting pass skips such statements — they are already single loads
-/// into registers).
-fn collect_load_occurrences<'a>(body: &'a [Stmt], out: &mut Vec<(&'a ArrayAccess, bool)>) {
+/// Collect every load occurrence of a body with its context. The first
+/// flag is `true` when the occurrence is the entire right-hand side of an
+/// assignment (the hoisting pass skips such statements — they are already
+/// single loads into registers); the second is `true` when the occurrence
+/// sits inside an `if` branch (a condition's own loads execute whenever
+/// the statement does, so they inherit the *enclosing* context).
+fn collect_load_occurrences<'a>(
+    body: &'a [Stmt],
+    conditional: bool,
+    out: &mut Vec<(&'a ArrayAccess, bool, bool)>,
+) {
     for s in body {
         match s {
             Stmt::Assign { rhs, .. } => {
                 if let Expr::Load(a) = rhs {
-                    out.push((a, true));
+                    out.push((a, true, conditional));
                 } else {
                     for a in rhs.loads() {
-                        out.push((a, false));
+                        out.push((a, false, conditional));
                     }
                 }
             }
@@ -827,10 +862,10 @@ fn collect_load_occurrences<'a>(body: &'a [Stmt], out: &mut Vec<(&'a ArrayAccess
                 else_body,
             } => {
                 for a in cond.loads() {
-                    out.push((a, false));
+                    out.push((a, false, conditional));
                 }
-                collect_load_occurrences(then_body, out);
-                collect_load_occurrences(else_body, out);
+                collect_load_occurrences(then_body, true, out);
+                collect_load_occurrences(else_body, true, out);
             }
             _ => {}
         }

@@ -92,15 +92,27 @@ pub enum JamViolation {
         /// The levels (original order) at which it carries.
         levels: Vec<usize>,
     },
+    /// Unroll-and-jam: the body carries scalar state across iterations
+    /// (a rotate register chain, or a scalar read before it is written),
+    /// and a non-innermost unroll factor would interleave iterations and
+    /// reorder that chain.
+    CarriedScalar {
+        /// A scalar carrying the cross-iteration state.
+        scalar: String,
+        /// The non-innermost level whose factor exceeds 1.
+        level: usize,
+    },
 }
 
 impl JamViolation {
-    /// The array whose dependence blocks the transformation.
+    /// The array (or carried scalar) whose dependence blocks the
+    /// transformation.
     pub fn array(&self) -> &str {
         match self {
             JamViolation::NegativeDeeper { array, .. }
             | JamViolation::UnknownDeeper { array, .. }
             | JamViolation::Reordered { array, .. } => array,
+            JamViolation::CarriedScalar { scalar, .. } => scalar,
         }
     }
 }
@@ -130,6 +142,11 @@ impl fmt::Display for JamViolation {
                 f,
                 "dependence on `{array}` carries at levels {levels:?}, \
                  which the permutation reorders"
+            ),
+            JamViolation::CarriedScalar { scalar, level } => write!(
+                f,
+                "scalar `{scalar}` carries state across iterations; \
+                 unrolling non-innermost level {level} would reorder it"
             ),
         }
     }

@@ -52,4 +52,4 @@ pub use prepared::PreparedKernel;
 pub use scalar::{scalar_replace, ScalarReplacementInfo};
 pub use simplify::simplify_kernel;
 pub use tiling::strip_mine;
-pub use unroll::{unroll_and_jam, unroll_is_legal};
+pub use unroll::{carried_scalars, unroll_and_jam, unroll_is_legal};

@@ -36,7 +36,7 @@
 //! same binding, same errors. `tests/incremental_equivalence.rs`
 //! enforces this across the paper kernels' full design spaces.
 
-use crate::error::{Result, VectorError, XformError};
+use crate::error::{JamViolation, Result, VectorError, XformError};
 use crate::layout::assign_memories;
 use crate::normalize::normalize_loops;
 use crate::peel::peel_first_iterations_lite;
@@ -77,6 +77,9 @@ pub struct PreparedKernel {
     cond_flags: HashMap<AccessId, bool>,
     /// Dependences with the nest's bounds, input of jam legality.
     deps: DependenceGraph,
+    /// Scalars carrying state across body iterations (rotate chains,
+    /// reads before writes) — input of the carried-scalar jam legality.
+    carried: Vec<String>,
     /// Offset copies of `base_body`, keyed by full offset tuple. Copies
     /// are made directly from the base body (never from another copy:
     /// offsetting an already-offset copy would nest scalar-read rewrites
@@ -127,6 +130,7 @@ impl PreparedKernel {
                 (s.members[0], any)
             })
             .collect();
+        let carried = crate::unroll::carried_scalars(&base_body, &var_refs);
         Ok(PreparedKernel {
             normalized,
             loops,
@@ -136,6 +140,7 @@ impl PreparedKernel {
             base_sets,
             cond_flags,
             deps,
+            carried,
             copies: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -225,7 +230,24 @@ impl PreparedKernel {
             }
         }
         unroll_is_legal(&self.deps, factors).map_err(XformError::IllegalJam)?;
+        // Carried-scalar jam legality, mirroring `unroll_and_jam`.
+        if let Some(level) = factors[..factors.len() - 1].iter().position(|&u| u > 1) {
+            if let Some(scalar) = self.carried.first() {
+                return Err(XformError::IllegalJam(JamViolation::CarriedScalar {
+                    scalar: scalar.clone(),
+                    level,
+                }));
+            }
+        }
         Ok(())
+    }
+
+    /// Scalars carrying state across iterations of the base body (rotate
+    /// register chains, scalars read before written). Non-empty means only
+    /// innermost unroll factors are legal — see
+    /// [`crate::unroll::carried_scalars`].
+    pub fn carried_scalars(&self) -> &[String] {
+        &self.carried
     }
 
     /// Evaluate one design point. Produces the same

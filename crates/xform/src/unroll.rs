@@ -7,10 +7,12 @@
 //! unrolled loop's step becomes its unroll factor and the innermost body
 //! is replicated once per combination of unroll offsets.
 
+use std::collections::BTreeSet;
+
 use crate::error::{JamViolation, Result, VectorError, XformError};
 use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DependenceGraph, DistElem};
 use defacto_ir::visit::offset_var_stmts;
-use defacto_ir::{Kernel, Loop, Stmt};
+use defacto_ir::{Kernel, LValue, Loop, Stmt};
 
 /// Check whether unroll-and-jam with the given factors is legal.
 ///
@@ -66,6 +68,87 @@ pub fn unroll_is_legal(
     Ok(())
 }
 
+/// Scalars whose value is carried from one iteration of the innermost
+/// body to the next: names read (or rotated) before any unconditional
+/// write in straight-line body order. Loop variables in `loop_vars` are
+/// iteration-local and never count.
+///
+/// A `rotate` reads every register of its chain (each receives a
+/// neighbour's *old* value), so registers not yet written in the body are
+/// live-in — exactly the register-chain state that makes the body's
+/// iterations order-sensitive. Jamming any non-innermost loop interleaves
+/// iterations of different outer indices and reorders that chain, so
+/// [`unroll_and_jam`] rejects outer factors when this set is non-empty;
+/// innermost-only unrolling replicates copies in original iteration order
+/// and stays legal. Writes under an `if` are treated as not happening
+/// (conservative: a scalar only leaves the live-in candidate set on a
+/// write that certainly executes).
+pub fn carried_scalars(body: &[Stmt], loop_vars: &[&str]) -> Vec<String> {
+    let mut written: BTreeSet<&str> = BTreeSet::new();
+    let mut carried: BTreeSet<String> = BTreeSet::new();
+    scan_carried(body, loop_vars, false, &mut written, &mut carried);
+    carried.into_iter().collect()
+}
+
+fn scan_carried<'a>(
+    body: &'a [Stmt],
+    loop_vars: &[&str],
+    conditional: bool,
+    written: &mut BTreeSet<&'a str>,
+    carried: &mut BTreeSet<String>,
+) {
+    let read = |name: &str, written: &BTreeSet<&str>, carried: &mut BTreeSet<String>| {
+        if !loop_vars.contains(&name) && !written.contains(name) {
+            carried.insert(name.to_string());
+        }
+    };
+    for s in body {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                for n in rhs.scalar_reads() {
+                    read(n, written, carried);
+                }
+                match lhs {
+                    LValue::Scalar(n) => {
+                        if !conditional {
+                            written.insert(n.as_str());
+                        }
+                    }
+                    LValue::Array(a) => {
+                        for idx in &a.indices {
+                            for n in idx.vars() {
+                                read(n, written, carried);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                for n in cond.scalar_reads() {
+                    read(n, written, carried);
+                }
+                scan_carried(then_body, loop_vars, true, written, carried);
+                scan_carried(else_body, loop_vars, true, written, carried);
+            }
+            Stmt::For(l) => scan_carried(&l.body, loop_vars, true, written, carried),
+            Stmt::Rotate(regs) => {
+                for r in regs {
+                    read(r, written, carried);
+                }
+                if !conditional {
+                    for r in regs {
+                        written.insert(r.as_str());
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Apply unroll-and-jam to a normalized perfect nest.
 ///
 /// `factors[l]` is the unroll factor of loop `l` (outermost first); a
@@ -118,6 +201,21 @@ pub fn unroll_and_jam(kernel: &Kernel, factors: &[i64]) -> Result<Kernel> {
         .collect();
     let deps = analyze_dependences_with_bounds(&table, &vars, &bounds);
     unroll_is_legal(&deps, factors).map_err(XformError::IllegalJam)?;
+
+    // Loop-carried scalar state (rotate register chains, scalars read
+    // before written) is invisible to the array dependence graph but
+    // just as order-sensitive: jamming a non-innermost loop interleaves
+    // iterations of different outer indices and reorders the chain.
+    // Innermost-only unrolling keeps copies in original iteration order.
+    if let Some(level) = factors[..factors.len() - 1].iter().position(|&u| u > 1) {
+        let carried = carried_scalars(nest.innermost_body(), &vars);
+        if let Some(scalar) = carried.into_iter().next() {
+            return Err(XformError::IllegalJam(JamViolation::CarriedScalar {
+                scalar,
+                level,
+            }));
+        }
+    }
 
     // Build the jammed body: one copy of the innermost body per
     // combination of offsets, lexicographic order (outer offset varies
@@ -278,6 +376,56 @@ mod tests {
         // The FIR accumulator (distance (0, Any)) does not block jamming.
         let k = parse_kernel(FIR).unwrap();
         assert!(unroll_and_jam(&k, &[8, 4]).is_ok());
+    }
+
+    #[test]
+    fn rotate_chain_blocks_non_innermost_jam() {
+        // `rotate` carries register state across iterations: jamming an
+        // outer level interleaves the inner loop's iterations and
+        // reorders the chain (found by the differential fuzzer; see
+        // tests/fuzz_corpus/pass_rotate_carried_innermost.kernel).
+        let k = parse_kernel(
+            "kernel rc { in A: i32[4][8]; out B: i32[4][8]; var r0: i32; var r1: i32;
+               for i in 0..4 { for j in 0..8 {
+                 r0 = A[i][j]; rotate(r0, r1); B[i][j] = r0; } } }",
+        )
+        .unwrap();
+        let err = unroll_and_jam(&k, &[2, 1]).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                XformError::IllegalJam(JamViolation::CarriedScalar { .. })
+            ),
+            "{err:?}"
+        );
+        // Innermost unroll preserves iteration order: the chain survives.
+        let u = unroll_and_jam(&k, &[1, 2]).unwrap();
+        let a: Vec<i64> = (0..32).map(|x| x * 3 % 17).collect();
+        let (w0, _) = run_with_inputs(&k, &[("A", a.clone())]).unwrap();
+        let (w1, _) = run_with_inputs(&u, &[("A", a)]).unwrap();
+        assert_eq!(w0.array("B"), w1.array("B"));
+    }
+
+    #[test]
+    fn carried_scalars_distinguishes_read_before_write() {
+        let k = parse_kernel(
+            "kernel rw { in A: i32[8]; out B: i32[8]; var acc: i32;
+               for i in 0..8 { B[i] = acc; acc = A[i]; } }",
+        )
+        .unwrap();
+        let nest = k.perfect_nest().unwrap();
+        assert_eq!(
+            carried_scalars(nest.innermost_body(), &["i"]),
+            vec!["acc".to_string()]
+        );
+        // A scalar written before it is read carries nothing.
+        let k2 = parse_kernel(
+            "kernel wr { in A: i32[8]; out B: i32[8]; var t: i32;
+               for i in 0..8 { t = A[i]; B[i] = t; } }",
+        )
+        .unwrap();
+        let nest2 = k2.perfect_nest().unwrap();
+        assert!(carried_scalars(nest2.innermost_body(), &["i"]).is_empty());
     }
 
     #[test]

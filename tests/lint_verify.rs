@@ -37,6 +37,7 @@ fn bad_corpus_kernels_report_their_pinned_codes() {
         ("df006_unused_decl.kernel", "DF006"),
         ("df007_jam_blocked.kernel", "DF007"),
         ("df008_write_conflict.kernel", "DF008"),
+        ("df010_degenerate_loop.kernel", "DF010"),
     ];
     for (file, code) in pinned {
         let report = lint_source(&read_corpus(file));
@@ -75,6 +76,7 @@ fn corpus_has_no_stray_kernels() {
             "df007_jam_blocked.kernel",
             "df008_write_conflict.kernel",
             "df009_capacity.kernel",
+            "df010_degenerate_loop.kernel",
         ]
     );
 }
