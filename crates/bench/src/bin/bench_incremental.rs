@@ -1,0 +1,298 @@
+//! Wall-clock benchmark of incremental re-exploration against a warm
+//! persistent cache — the edit-to-answer latency a `defacto watch`
+//! session delivers.
+//!
+//! Per paper kernel:
+//!
+//! 1. a fresh [`IncrementalSession`] explores the kernel cold against an
+//!    empty cache directory (the baseline every editor session pays
+//!    once);
+//! 2. a sequence of *localized, semantics-preserving edits* is replayed
+//!    through the warm session — an alpha-rename of every variable and
+//!    a declaration reorder, the edits content addressing must see
+//!    straight through;
+//! 3. each edited revision is also explored cold (a fresh explorer, no
+//!    cache) — the edit-to-answer time of a from-scratch toolchain.
+//!
+//! The headline is the geometric-mean speedup of warm incremental
+//! re-exploration over the cold re-run, across kernels, edits and
+//! worker counts. Selections must be bit-identical warm vs. cold at
+//! every worker count — the cache may never change an answer, only its
+//! latency.
+//!
+//! Output: a table on stdout and a JSON report (schema
+//! `defacto-bench-incremental/v1`) written to `--out` (default
+//! `BENCH_incremental.json`).
+//!
+//! Flags:
+//!
+//! - `--smoke` — first edit only, for CI;
+//! - `--check` — exit 2 unless every warm selection and estimate is
+//!   bit-identical to its cold counterpart at every worker count, and
+//!   the geomean speedup clears 5x;
+//! - `--workers LIST` — comma-separated worker counts (default `1,8`);
+//! - `--out PATH` — where to write the JSON report.
+
+use defacto::cache::PersistentCache;
+use defacto::prelude::*;
+use defacto_ir::{canonicalize, Kernel};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SCHEMA: &str = "defacto-bench-incremental/v1";
+
+#[derive(Serialize)]
+struct EditRow {
+    edit: String,
+    workers: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    evaluated: u64,
+    persist_hits: u64,
+    persist_misses: u64,
+    preloaded: u64,
+    changed_subtrees: Vec<String>,
+    selected_unroll: Vec<i64>,
+    selected_cycles: u64,
+    selected_slices: u32,
+    identical_to_cold: bool,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    name: String,
+    space: u64,
+    first_explore_ms: f64,
+    edits: Vec<EditRow>,
+}
+
+#[derive(Serialize)]
+struct IncrementalReport {
+    schema: String,
+    mode: String,
+    workers: Vec<usize>,
+    kernels: Vec<KernelReport>,
+    geomean_speedup: f64,
+    all_identical: bool,
+}
+
+struct Args {
+    smoke: bool,
+    check: bool,
+    workers: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        check: false,
+        workers: vec![1, 8],
+        out: "BENCH_incremental.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--check" => args.check = true,
+            "--workers" => {
+                let v = it.next().expect("--workers needs a value");
+                args.workers = v
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--workers needs integers"))
+                    .collect();
+                assert!(
+                    !args.workers.is_empty() && args.workers.iter().all(|&w| w >= 1),
+                    "--workers needs positive integers"
+                );
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!(
+                    "usage: bench_incremental [--smoke] [--check] [--workers LIST] [--out PATH]"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    args
+}
+
+/// The localized edit sequence: each produces a structurally identical
+/// kernel under different surface syntax.
+fn edits(kernel: &Kernel) -> Vec<(String, Kernel)> {
+    let renamed = canonicalize(kernel).kernel;
+    let mut arrays = kernel.arrays().to_vec();
+    arrays.reverse();
+    let reordered = Kernel::new(
+        kernel.name(),
+        arrays,
+        kernel.scalars().to_vec(),
+        kernel.body().to_vec(),
+    )
+    .expect("declaration reorder stays valid");
+    vec![
+        ("alpha-rename".to_string(), renamed),
+        ("reorder-decls".to_string(), reordered),
+    ]
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let scratch =
+        std::env::temp_dir().join(format!("defacto-bench-incremental-{}", std::process::id()));
+    let mut kernels: Vec<KernelReport> = Vec::new();
+    let mut mismatches = 0usize;
+
+    for bk in defacto_bench::kernels() {
+        let mut report = KernelReport {
+            name: bk.name.to_string(),
+            space: 0,
+            first_explore_ms: 0.0,
+            edits: Vec::new(),
+        };
+        for &w in &args.workers {
+            let dir = scratch.join(format!("{}-{w}", bk.name));
+            let store = Arc::new(PersistentCache::open(&dir).expect("open cache dir"));
+            let mut session = IncrementalSession::new(store).engine(Arc::new(EvalEngine::new(w)));
+
+            let t0 = Instant::now();
+            let first = session.explore(&bk.kernel).expect("first explore");
+            let first_wall = t0.elapsed();
+            if w == args.workers[0] {
+                report.space = first.result.space_size;
+                report.first_explore_ms = ms(first_wall);
+            }
+
+            let mut revisions = edits(&bk.kernel);
+            if args.smoke {
+                revisions.truncate(1);
+            }
+            for (label, edited) in revisions {
+                // Cold: a fresh toolchain run on the edited revision,
+                // no cache anywhere.
+                let t1 = Instant::now();
+                let cold = Explorer::new(&edited)
+                    .threads(w)
+                    .explore()
+                    .expect("cold explore");
+                let cold_wall = t1.elapsed();
+
+                // Warm: the same revision through the live session.
+                let t2 = Instant::now();
+                let warm = session.explore(&edited).expect("warm explore");
+                let warm_wall = t2.elapsed();
+
+                let identical = warm.result.selected.unroll == cold.selected.unroll
+                    && warm.result.selected.estimate == cold.selected.estimate;
+                if !identical {
+                    eprintln!(
+                        "{} [{label}] @{w}: warm selects {} ({} cycles) but cold selects {} ({} cycles)",
+                        bk.name,
+                        warm.result.selected.unroll,
+                        warm.result.selected.estimate.cycles,
+                        cold.selected.unroll,
+                        cold.selected.estimate.cycles,
+                    );
+                    mismatches += 1;
+                }
+                report.edits.push(EditRow {
+                    edit: label,
+                    workers: w,
+                    cold_ms: ms(cold_wall),
+                    warm_ms: ms(warm_wall),
+                    speedup: cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-12),
+                    evaluated: warm.result.stats.evaluated,
+                    persist_hits: warm.result.stats.persist_hits,
+                    persist_misses: warm.result.stats.persist_misses,
+                    preloaded: warm.preloaded,
+                    changed_subtrees: warm.changed.clone(),
+                    selected_unroll: warm.result.selected.unroll.factors().to_vec(),
+                    selected_cycles: warm.result.selected.estimate.cycles,
+                    selected_slices: warm.result.selected.estimate.slices,
+                    identical_to_cold: identical,
+                });
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        kernels.push(report);
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let headline: Vec<f64> = kernels
+        .iter()
+        .flat_map(|k| k.edits.iter())
+        .map(|e| e.speedup)
+        .collect();
+    let geomean = if headline.is_empty() {
+        0.0
+    } else {
+        (headline.iter().map(|s| s.max(1e-12).ln()).sum::<f64>() / headline.len() as f64).exp()
+    };
+    let report = IncrementalReport {
+        schema: SCHEMA.to_string(),
+        mode: if args.smoke { "smoke" } else { "full" }.to_string(),
+        workers: args.workers.clone(),
+        geomean_speedup: geomean,
+        all_identical: mismatches == 0,
+        kernels,
+    };
+
+    let table_rows: Vec<Vec<String>> = report
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            k.edits.iter().map(|e| {
+                vec![
+                    k.name.clone(),
+                    e.edit.clone(),
+                    e.workers.to_string(),
+                    defacto_bench::report::fnum(e.cold_ms, 1),
+                    defacto_bench::report::fnum(e.warm_ms, 2),
+                    defacto_bench::report::fnum(e.speedup, 1),
+                    e.evaluated.to_string(),
+                    format!("{}/{}", e.persist_hits, e.persist_hits + e.persist_misses),
+                    if e.identical_to_cold { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+        })
+        .collect();
+    println!(
+        "{}",
+        defacto_bench::report::render_table(
+            &["kernel", "edit", "w", "cold ms", "warm ms", "speedup", "eval", "persist", "same",],
+            &table_rows
+        )
+    );
+    println!(
+        "geomean edit-to-answer speedup: {}x across workers {:?} ({} mode)",
+        defacto_bench::report::fnum(report.geomean_speedup, 1),
+        report.workers,
+        report.mode
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, json + "\n").expect("write report");
+    println!("wrote {}", args.out);
+
+    if args.check {
+        if mismatches > 0 {
+            eprintln!("--check failed: {mismatches} warm selection(s) diverged from cold");
+            std::process::exit(2);
+        }
+        if report.geomean_speedup < 5.0 {
+            eprintln!(
+                "--check failed: geomean speedup {:.2}x is below the 5x bar",
+                report.geomean_speedup
+            );
+            std::process::exit(2);
+        }
+    }
+}

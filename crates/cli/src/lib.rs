@@ -8,6 +8,7 @@
 //! defacto analyze <file> [options]   saturation & dependence analysis
 //! defacto vhdl    <file> [options]   emit behavioral VHDL
 //! defacto schedule <file> [options]  Gantt chart of the steady-state body
+//! defacto watch   <file> [options]   re-explore on every file change
 //! defacto fuzz [options]             differential fuzz campaign (no file)
 //!
 //! options:
@@ -20,7 +21,13 @@
 //!   --trace FILE                       write the search trace as JSONL
 //!   --verify                           re-verify IR invariants after every pass
 //!   --fidelity full|multi|analytic     evaluation fidelity (default full)
+//!   --cache-dir DIR                    persistent content-addressed estimate
+//!                                      cache (default: DEFACTO_CACHE_DIR)
 //!   --json                             machine-readable output
+//!
+//! watch options:
+//!   --poll-ms N                        file poll interval (default 200)
+//!   --max-runs N                       exit after N explorations (default: forever)
 //!
 //! fuzz options:
 //!   --seed N                           campaign seed     (default 7)
@@ -28,15 +35,22 @@
 //!   --smoke                            faster per-case oracle budget for CI
 //! ```
 //!
+//! Environment: `DEFACTO_THREADS` and `DEFACTO_CACHE_DIR` act as defaults
+//! for `--threads` and `--cache-dir`. Malformed values (zero, garbage,
+//! blank) are *errors*, not silent fallbacks.
+//!
 //! `lint` exits non-zero when it reports anything; `explore` runs the
 //! linter first and refuses kernels with lint *errors*.
 //!
 //! The binary is a thin wrapper over [`run`], which is fully testable.
 
+use defacto::cache::PersistentCache;
+use defacto::engine::EvalEngine;
 use defacto::trace::JsonlSink;
 use defacto::{audit_search_trace, prelude::*, to_jsonl, Fidelity};
 use defacto_synth::{describe_schedule, emit_vhdl, main_body_schedule};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Parsed command line.
@@ -60,6 +74,19 @@ pub struct Cli {
     pub verify: bool,
     /// Evaluation fidelity (tier-0 analytic / multi-fidelity / full).
     pub fidelity: Fidelity,
+    /// Persistent estimate-cache directory (`None`: `DEFACTO_CACHE_DIR`
+    /// or no persistence).
+    pub cache_dir: Option<String>,
+    /// File poll interval in milliseconds (`watch` only).
+    pub poll_ms: u64,
+    /// Exit after this many explorations (`watch` only; `None`: forever).
+    pub max_runs: Option<u64>,
+    /// Snapshot of `DEFACTO_THREADS` taken at parse time (strictly
+    /// validated by [`effective_threads`]).
+    pub threads_env: Option<String>,
+    /// Snapshot of `DEFACTO_CACHE_DIR` taken at parse time (strictly
+    /// validated by [`effective_cache_dir`]).
+    pub cache_dir_env: Option<String>,
     /// Emit JSON instead of tables.
     pub json: bool,
     /// Campaign seed (`fuzz` only).
@@ -88,6 +115,9 @@ pub enum Command {
     Vhdl,
     /// ASCII Gantt chart of the steady-state innermost body's schedule.
     Schedule,
+    /// Re-explore the kernel on every file change, streaming per-edit
+    /// stats (requires a persistent cache directory).
+    Watch,
     /// Differential fuzz campaign over generated kernels (takes no file).
     Fuzz,
 }
@@ -130,10 +160,11 @@ impl std::fmt::Display for LintFailure {
 impl std::error::Error for LintFailure {}
 
 /// The usage string printed on bad invocations.
-pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule> \
+pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule|watch> \
 <file.kernel> [--memory pipelined|non-pipelined] [--memories N] \
 [--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] \
-[--verify] [--fidelity full|multi|analytic] [--json]\n\
+[--verify] [--fidelity full|multi|analytic] [--cache-dir DIR] [--json]\n\
+       defacto watch <file.kernel> [--cache-dir DIR] [--poll-ms N] [--max-runs N] [--json]\n\
        defacto fuzz [--seed N] [--count M] [--smoke] [--json]";
 
 /// Parse command-line arguments (without the program name).
@@ -152,6 +183,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         Some("analyze") => Command::Analyze,
         Some("vhdl") => Command::Vhdl,
         Some("schedule") => Command::Schedule,
+        Some("watch") => Command::Watch,
         Some("fuzz") => Command::Fuzz,
         Some(other) => return Err(UsageError(format!("unknown command `{other}`\n{USAGE}"))),
         None => return Err(UsageError(USAGE.to_string())),
@@ -173,6 +205,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut trace = None;
     let mut verify = false;
     let mut fidelity = Fidelity::Full;
+    let mut cache_dir = None;
+    let mut poll_ms = 200u64;
+    let mut max_runs = None;
     let mut json = false;
     let mut seed = 7u64;
     let mut count = 300usize;
@@ -243,6 +278,28 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     .ok_or_else(|| UsageError("--fidelity expects full|multi|analytic".into()))?;
                 fidelity = v.parse::<Fidelity>().map_err(UsageError)?;
             }
+            "--cache-dir" => {
+                let dir = it
+                    .next()
+                    .filter(|s| !s.trim().is_empty())
+                    .ok_or_else(|| UsageError("--cache-dir expects a directory path".into()))?;
+                cache_dir = Some(dir.clone());
+            }
+            "--poll-ms" if command == Command::Watch => {
+                poll_ms = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| UsageError("--poll-ms expects a positive integer".into()))?;
+            }
+            "--max-runs" if command == Command::Watch => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| UsageError("--max-runs expects a positive integer".into()))?;
+                max_runs = Some(v);
+            }
             "--json" => json = true,
             "--seed" if command == Command::Fuzz => {
                 seed = it
@@ -277,11 +334,76 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         trace,
         verify,
         fidelity,
+        cache_dir,
+        poll_ms,
+        max_runs,
+        threads_env: std::env::var("DEFACTO_THREADS").ok(),
+        cache_dir_env: std::env::var("DEFACTO_CACHE_DIR").ok(),
         json,
         seed,
         count,
         smoke,
     })
+}
+
+/// The worker-thread request in effect: the `--threads` flag, else a
+/// *strictly validated* `DEFACTO_THREADS` environment variable. Unlike
+/// the library's lenient resolution (which treats garbage as absent),
+/// the CLI rejects malformed values — a typo must not silently change
+/// the worker count.
+///
+/// # Errors
+///
+/// [`UsageError`] when `DEFACTO_THREADS` is set but not a positive
+/// integer.
+pub fn effective_threads(cli: &Cli) -> Result<Option<usize>, UsageError> {
+    if cli.threads.is_some() {
+        return Ok(cli.threads);
+    }
+    match &cli.threads_env {
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(UsageError(format!(
+                "DEFACTO_THREADS must be a positive integer, got `{raw}`"
+            ))),
+        },
+        None => Ok(None),
+    }
+}
+
+/// The persistent-cache directory in effect: the `--cache-dir` flag,
+/// else the `DEFACTO_CACHE_DIR` environment variable. Blank values are
+/// rejected, not treated as "no cache".
+///
+/// # Errors
+///
+/// [`UsageError`] when `DEFACTO_CACHE_DIR` is set but blank.
+pub fn effective_cache_dir(cli: &Cli) -> Result<Option<PathBuf>, UsageError> {
+    if let Some(dir) = &cli.cache_dir {
+        return Ok(Some(PathBuf::from(dir)));
+    }
+    match &cli.cache_dir_env {
+        Some(raw) if raw.trim().is_empty() => Err(UsageError(
+            "DEFACTO_CACHE_DIR must name a directory, got a blank value".into(),
+        )),
+        Some(raw) => Ok(Some(PathBuf::from(raw))),
+        None => Ok(None),
+    }
+}
+
+/// Open the persistent cache for `cli`, if one is configured.
+///
+/// # Errors
+///
+/// [`UsageError`] for malformed configuration, or the I/O error when the
+/// directory cannot be created.
+fn open_store(cli: &Cli) -> Result<Option<Arc<PersistentCache>>, Box<dyn std::error::Error>> {
+    match effective_cache_dir(cli)? {
+        None => Ok(None),
+        Some(dir) => Ok(Some(Arc::new(PersistentCache::open(&dir).map_err(
+            |e| UsageError(format!("cannot open cache dir `{}`: {e}", dir.display())),
+        )?))),
+    }
 }
 
 /// Run a parsed command against kernel source text, producing the output
@@ -297,19 +419,29 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
     if cli.command == Command::Fuzz {
         return run_fuzz(cli);
     }
+    if cli.command == Command::Watch {
+        let mut streamed = Vec::new();
+        run_watch(cli, &mut streamed)?;
+        return Ok(String::from_utf8_lossy(&streamed).into_owned());
+    }
+    let threads = effective_threads(cli)?;
+    let store = open_store(cli)?;
     let kernel = parse_kernel(source)?;
     let mut explorer = Explorer::new(&kernel)
         .memory(cli.memory.clone())
         .device(cli.device.clone())
         .verify_each_pass(cli.verify)
         .fidelity(cli.fidelity);
-    if let Some(n) = cli.threads {
+    if let Some(n) = threads {
         explorer = explorer.threads(n);
+    }
+    if let Some(store) = &store {
+        explorer = explorer.persistent(store.clone());
     }
     let mut out = String::new();
 
     match cli.command {
-        Command::Lint | Command::Fuzz => unreachable!("handled above"),
+        Command::Lint | Command::Fuzz | Command::Watch => unreachable!("handled above"),
         Command::Explore => {
             // Gate the search on the linter: a kernel with lint errors
             // would fail (or mislead) mid-search anyway; report the
@@ -346,6 +478,9 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     "stats": serde_json::json!({
                         "evaluated": r.stats.evaluated,
                         "cache_hits": r.stats.cache_hits,
+                        "persist_hits": r.stats.persist_hits,
+                        "persist_misses": r.stats.persist_misses,
+                        "persist_hit_rate": r.stats.persist_hit_rate(),
                         "tier0_evaluated": r.stats.tier0_evaluated,
                         "tier0_promoted": r.stats.tier0_promoted,
                         "tier0_pruned": r.stats.tier0_pruned,
@@ -388,6 +523,16 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                         r.stats.tier0_evaluated,
                         r.stats.tier0_promoted,
                         r.stats.tier0_pruned
+                    )?;
+                }
+                if let Some(store) = &store {
+                    writeln!(
+                        out,
+                        "persistent cache: {} hits, {} misses (rate {:.2}) at {}",
+                        r.stats.persist_hits,
+                        r.stats.persist_misses,
+                        r.stats.persist_hit_rate(),
+                        store.path().display()
                     )?;
                 }
                 if cli.verify {
@@ -520,7 +665,125 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
             out.push_str(&describe_schedule(&dfg, &sched));
         }
     }
+    if let Some(store) = &store {
+        store
+            .flush()
+            .map_err(|e| UsageError(format!("cannot write cache: {e}")))?;
+    }
     Ok(out)
+}
+
+/// The `watch` subcommand: poll `cli.file`, re-explore on every content
+/// change through an [`IncrementalSession`], and stream one line of
+/// per-edit stats to `out` as each exploration finishes. A revision that
+/// fails to parse (a save mid-edit) is reported and skipped — the
+/// session keeps its warm state. Exits after `--max-runs` explorations
+/// (runs forever without it).
+///
+/// # Errors
+///
+/// Propagates configuration and exploration failures; requires a cache
+/// directory (`--cache-dir` or `DEFACTO_CACHE_DIR`).
+pub fn run_watch(
+    cli: &Cli,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let threads = effective_threads(cli)?;
+    let store = open_store(cli)?.ok_or_else(|| {
+        UsageError("watch requires a cache directory (--cache-dir or DEFACTO_CACHE_DIR)".into())
+    })?;
+    let mut session = IncrementalSession::new(store)
+        .memory(cli.memory.clone())
+        .device(cli.device.clone())
+        .fidelity(cli.fidelity);
+    if let Some(n) = threads {
+        session = session.engine(Arc::new(EvalEngine::new(n)));
+    }
+    let mut last: Option<String> = None;
+    let mut runs = 0u64;
+    let mut revision = 0u64;
+    loop {
+        let text = match std::fs::read_to_string(&cli.file) {
+            Ok(t) => t,
+            Err(e) if last.is_some() => {
+                // Transient: editors replace files non-atomically.
+                writeln!(out, "watch: cannot read `{}`: {e}", cli.file)?;
+                out.flush()?;
+                std::thread::sleep(std::time::Duration::from_millis(cli.poll_ms));
+                continue;
+            }
+            Err(e) => {
+                return Err(Box::new(UsageError(format!(
+                    "cannot read `{}`: {e}",
+                    cli.file
+                ))))
+            }
+        };
+        if last.as_deref() != Some(text.as_str()) {
+            last = Some(text.clone());
+            revision += 1;
+            match parse_kernel(&text) {
+                Err(e) => {
+                    writeln!(out, "rev {revision}: parse error: {e}")?;
+                }
+                Ok(kernel) => {
+                    let o = session.explore(&kernel)?;
+                    runs += 1;
+                    let r = &o.result;
+                    if cli.json {
+                        writeln!(
+                            out,
+                            "{}",
+                            serde_json::to_string(&serde_json::json!({
+                                "revision": revision,
+                                "kernel": kernel.name(),
+                                "selected": r.selected.unroll.factors(),
+                                "cycles": r.selected.estimate.cycles,
+                                "slices": r.selected.estimate.slices,
+                                "termination": format!("{:?}", r.termination),
+                                "warm": o.warm,
+                                "reused_analyses": o.reused_analyses,
+                                "changed": o.changed,
+                                "preloaded": o.preloaded,
+                                "evaluated": r.stats.evaluated,
+                                "cache_hits": r.stats.cache_hits,
+                                "persist_hits": r.stats.persist_hits,
+                                "persist_misses": r.stats.persist_misses,
+                                "persist_hit_rate": r.stats.persist_hit_rate(),
+                                "wall_ms": o.wall.as_secs_f64() * 1e3,
+                            }))?
+                        )?;
+                    } else {
+                        writeln!(
+                            out,
+                            "rev {revision} ({}): selected {} -> {} cycles, {} slices; \
+                             evaluated {}, persist {}/{}, {:.1} ms{}",
+                            if o.warm { "warm" } else { "cold" },
+                            r.selected.unroll,
+                            r.selected.estimate.cycles,
+                            r.selected.estimate.slices,
+                            r.stats.evaluated,
+                            r.stats.persist_hits,
+                            r.stats.persist_hits + r.stats.persist_misses,
+                            o.wall.as_secs_f64() * 1e3,
+                            if o.changed.is_empty() {
+                                String::new()
+                            } else {
+                                format!("; changed: {}", o.changed.join(","))
+                            }
+                        )?;
+                    }
+                }
+            }
+            out.flush()?;
+        }
+        if let Some(max) = cli.max_runs {
+            if runs >= max {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(cli.poll_ms));
+    }
 }
 
 /// Front-end lint over the source text plus the platform capacity rule.
@@ -916,5 +1179,169 @@ mod tests {
         let out = run(&cli, FIR).unwrap();
         assert!(out.contains("verifier: clean"), "{out}");
         assert!(out.contains("selected unroll"), "{out}");
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("defacto-cli-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parses_watch_command_and_its_flags() {
+        let cli = parse_args(&argv(
+            "watch fir.kernel --cache-dir /tmp/c --poll-ms 50 --max-runs 3 --json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Watch);
+        assert_eq!(cli.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(cli.poll_ms, 50);
+        assert_eq!(cli.max_runs, Some(3));
+        // Watch-only flags stay watch-only; bad values are typed errors.
+        assert!(parse_args(&argv("explore f --poll-ms 10")).is_err());
+        assert!(parse_args(&argv("explore f --max-runs 1")).is_err());
+        assert!(parse_args(&argv("watch f --cache-dir /c --poll-ms 0")).is_err());
+        assert!(parse_args(&argv("watch f --cache-dir /c --max-runs 0")).is_err());
+        assert!(parse_args(&argv("watch f --cache-dir")).is_err());
+    }
+
+    #[test]
+    fn threads_env_rejects_garbage_with_typed_error() {
+        let cli = parse_args(&argv("explore fir.kernel")).unwrap();
+        for bad in ["0", "-3", "two", ""] {
+            let mut cli = cli.clone();
+            cli.threads_env = Some(bad.to_string());
+            let err = effective_threads(&cli).unwrap_err();
+            assert!(err.0.contains("DEFACTO_THREADS"), "{bad:?}: {err}");
+        }
+        // The flag always wins over the environment.
+        let mut flagged = cli.clone();
+        flagged.threads = Some(2);
+        flagged.threads_env = Some("garbage".to_string());
+        assert_eq!(effective_threads(&flagged).unwrap(), Some(2));
+        let mut ok = cli.clone();
+        ok.threads_env = Some("4".to_string());
+        assert_eq!(effective_threads(&ok).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn cache_dir_env_rejects_blank_with_typed_error() {
+        let cli = parse_args(&argv("explore fir.kernel")).unwrap();
+        for bad in ["", "   "] {
+            let mut cli = cli.clone();
+            cli.cache_dir_env = Some(bad.to_string());
+            let err = effective_cache_dir(&cli).unwrap_err();
+            assert!(err.0.contains("DEFACTO_CACHE_DIR"), "{bad:?}: {err}");
+        }
+        let mut flagged = cli.clone();
+        flagged.cache_dir = Some("/tmp/flag".to_string());
+        flagged.cache_dir_env = Some("/tmp/env".to_string());
+        assert_eq!(
+            effective_cache_dir(&flagged).unwrap(),
+            Some(PathBuf::from("/tmp/flag"))
+        );
+        let mut env_only = cli.clone();
+        env_only.cache_dir_env = Some("/tmp/env".to_string());
+        assert_eq!(
+            effective_cache_dir(&env_only).unwrap(),
+            Some(PathBuf::from("/tmp/env"))
+        );
+    }
+
+    #[test]
+    fn explore_cache_dir_round_trip_hits_on_second_run() {
+        let dir = tmpdir("explore-cache");
+        let args = format!("explore fir.kernel --json --cache-dir {}", dir.display());
+        let cli = parse_args(&argv(&args)).unwrap();
+        let cold = run(&cli, FIR).unwrap();
+        let warm = run(&cli, FIR).unwrap();
+        let c: serde_json::Value = serde_json::from_str(&cold).unwrap();
+        let w: serde_json::Value = serde_json::from_str(&warm).unwrap();
+        assert_eq!(c["selected"], w["selected"]);
+        assert_eq!(c["stats"]["persist_hits"].as_u64(), Some(0));
+        assert!(
+            w["stats"]["persist_hits"].as_u64().unwrap() > 0,
+            "warm run should hit the persistent cache: {warm}"
+        );
+        assert_eq!(w["stats"]["persist_misses"].as_u64(), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_single_shot_streams_a_result_line() {
+        let dir = tmpdir("watch-one");
+        let file = dir.join("fir.kernel");
+        std::fs::write(&file, FIR).unwrap();
+        let args = format!(
+            "watch {} --cache-dir {} --poll-ms 1 --max-runs 1 --json",
+            file.display(),
+            dir.display()
+        );
+        let cli = parse_args(&argv(&args)).unwrap();
+        let mut buf = Vec::new();
+        run_watch(&cli, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let line = text.lines().next().expect("one streamed line");
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["revision"].as_u64(), Some(1));
+        assert_eq!(v["kernel"], "fir");
+        assert_eq!(v["warm"], serde_json::Value::Bool(false));
+        assert!(v["cycles"].as_u64().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_requires_a_cache_dir() {
+        let dir = tmpdir("watch-nocache");
+        let file = dir.join("fir.kernel");
+        std::fs::write(&file, FIR).unwrap();
+        let cli = parse_args(&argv(&format!("watch {} --max-runs 1", file.display()))).unwrap();
+        let err = run_watch(&cli, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("cache"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_second_edit_is_warm_and_parse_errors_are_skipped() {
+        let dir = tmpdir("watch-edit");
+        let file = dir.join("fir.kernel");
+        std::fs::write(&file, FIR).unwrap();
+        let args = format!(
+            "watch {} --cache-dir {} --poll-ms 1 --max-runs 2 --json",
+            file.display(),
+            dir.display()
+        );
+        let cli = parse_args(&argv(&args)).unwrap();
+        // Edit the file from a helper thread: first a mid-save torn write
+        // (parse error, must be skipped), then an alpha-renamed kernel.
+        let edited = FIR
+            .replace(" i ", " q ")
+            .replace("C[i]", "C[q]")
+            .replace("S[i + j]", "S[q + j]");
+        let path = file.clone();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            std::fs::write(&path, "kernel fir {").unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            std::fs::write(&path, &edited).unwrap();
+        });
+        let mut buf = Vec::new();
+        run_watch(&cli, &mut buf).unwrap();
+        writer.join().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let jsons: Vec<serde_json::Value> = text
+            .lines()
+            .filter(|l| l.starts_with('{'))
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(jsons.len(), 2, "{text}");
+        assert!(text.contains("parse error"), "{text}");
+        assert_eq!(jsons[0]["warm"], serde_json::Value::Bool(false));
+        assert_eq!(jsons[1]["warm"], serde_json::Value::Bool(true));
+        // The alpha-rename is canonically identical: fully served from cache.
+        assert_eq!(jsons[1]["evaluated"].as_u64(), Some(0), "{text}");
+        assert_eq!(jsons[0]["selected"], jsons[1]["selected"]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,6 +12,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `watch` streams per-edit results; bypass the buffered `run` path
+    // so lines appear as each re-exploration completes.
+    if cli.command == defacto_cli::Command::Watch {
+        let mut stdout = std::io::stdout().lock();
+        return match defacto_cli::run_watch(&cli, &mut stdout) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     // `fuzz` generates its own kernels and has no file argument.
     let source = if cli.file.is_empty() {
         String::new()

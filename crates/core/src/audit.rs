@@ -161,7 +161,9 @@ impl std::fmt::Display for AuditReport {
 
 /// Replay `events` (one search's trace) against the invariants above.
 /// Pipeline-mapping events (`StagePlaced`/`StageRebalanced`) are ignored;
-/// they describe a different artifact.
+/// they describe a different artifact. Warm-start markers (`WarmStart`)
+/// are ignored too: the search events that follow them are complete and
+/// must justify the selection without reference to the previous run.
 pub fn audit_search_trace(
     events: &[TraceEvent],
     space: &DesignSpace,
@@ -408,6 +410,10 @@ pub fn audit_search_trace(
             TraceEvent::TierPrune { unroll, .. } => {
                 tier_state.insert(unroll.clone(), false);
             }
+            // Warm-start markers precede the search proper and carry no
+            // obligations: the events after them are a complete search
+            // that must (and does) justify its selection on its own.
+            TraceEvent::WarmStart { .. } => {}
             TraceEvent::StagePlaced { .. } | TraceEvent::StageRebalanced { .. } => {}
         }
     }

@@ -191,6 +191,14 @@ pub struct EvalStats {
     pub tier0_promoted: u64,
     /// Tier-0 points pruned without a tier-1 evaluation.
     pub tier0_pruned: u64,
+    /// Memo-cache misses answered by a persistent store instead of an
+    /// evaluation (see [`Self::persist_hit_rate`]). Persistent hits are
+    /// *not* counted in `evaluated` or `cache_hits` — they are a third
+    /// tier between the in-memory memo and a full evaluation.
+    pub persist_hits: u64,
+    /// Memo-cache misses the persistent store was consulted for and
+    /// could not answer (zero when no store is attached).
+    pub persist_misses: u64,
 }
 
 impl EvalStats {
@@ -201,6 +209,19 @@ impl EvalStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of persistent-store consultations that hit (0 when the
+    /// store was never consulted). This is the warm-start quality metric
+    /// the incremental bench and the cross-process determinism test
+    /// assert on.
+    pub fn persist_hit_rate(&self) -> f64 {
+        let total = self.persist_hits + self.persist_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.persist_hits as f64 / total as f64
         }
     }
 
@@ -224,6 +245,8 @@ impl PartialEq for EvalStats {
             && self.tier0_evaluated == other.tier0_evaluated
             && self.tier0_promoted == other.tier0_promoted
             && self.tier0_pruned == other.tier0_pruned
+            && self.persist_hits == other.persist_hits
+            && self.persist_misses == other.persist_misses
     }
 }
 
@@ -237,6 +260,10 @@ pub struct CounterSnapshot {
     pub cache_hits: u64,
     /// Nanoseconds spent inside evaluators since engine creation.
     pub eval_nanos: u64,
+    /// Persistent-store hits since engine creation.
+    pub persist_hits: u64,
+    /// Persistent-store misses since engine creation.
+    pub persist_misses: u64,
 }
 
 /// The evaluation engine: worker-count policy, memo cache, and counters.
@@ -250,6 +277,8 @@ pub struct EvalEngine {
     evaluated: AtomicU64,
     cache_hits: AtomicU64,
     eval_nanos: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_misses: AtomicU64,
 }
 
 impl Default for EvalEngine {
@@ -267,6 +296,8 @@ impl EvalEngine {
             evaluated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             eval_nanos: AtomicU64::new(0),
+            persist_hits: AtomicU64::new(0),
+            persist_misses: AtomicU64::new(0),
         }
     }
 
@@ -315,6 +346,8 @@ impl EvalEngine {
             evaluated: self.evaluated.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+            persist_hits: self.persist_hits.load(Ordering::Relaxed),
+            persist_misses: self.persist_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -328,6 +361,8 @@ impl EvalEngine {
             wall,
             eval_wall: Duration::from_nanos(now.eval_nanos - before.eval_nanos),
             workers: self.threads,
+            persist_hits: now.persist_hits - before.persist_hits,
+            persist_misses: now.persist_misses - before.persist_misses,
             // Tier-0 work never flows through the engine's counters;
             // multi-fidelity callers fill these in themselves.
             ..EvalStats::default()
@@ -363,6 +398,46 @@ impl EvalEngine {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((e, true));
         }
+        let started = Instant::now();
+        let e = eval()?;
+        self.eval_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(key.clone(), e.clone());
+        Ok((e, false))
+    }
+
+    /// Like [`Self::evaluate_cached_flagged`], with a persistent store
+    /// consulted between the memo cache and the evaluator: a memo miss
+    /// first calls `lookup` (e.g. a content-addressed on-disk cache),
+    /// and a hit there is promoted into the memo and counted as a
+    /// `persist_hit` — *not* as an evaluation or a memo hit, so the
+    /// returned flag and the `evaluated`/`cache_hits` counters stay
+    /// identical to a run whose memo was warmed any other way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eval` failures.
+    pub fn evaluate_cached_tiered<L, F>(
+        &self,
+        key: &CacheKey,
+        lookup: L,
+        eval: F,
+    ) -> Result<(Estimate, bool)>
+    where
+        L: FnOnce() -> Option<Estimate>,
+        F: FnOnce() -> Result<Estimate>,
+    {
+        if let Some(e) = self.cache.get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((e, true));
+        }
+        if let Some(e) = lookup() {
+            self.persist_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache.insert(key.clone(), e.clone());
+            return Ok((e, true));
+        }
+        self.persist_misses.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let e = eval()?;
         self.eval_nanos

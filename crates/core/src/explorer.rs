@@ -9,7 +9,8 @@ use crate::search::{
 };
 use crate::space::DesignSpace;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
-use defacto_ir::Kernel;
+use defacto_cache::{AnalysisSummary, ContextKey, PersistentCache, SelectionRecord};
+use defacto_ir::{ContentHash, Kernel};
 use defacto_synth::{
     estimate_opts, AnalyticBand, AnalyticModel, Estimate, FpgaDevice, MemoryModel, SynthesisOptions,
 };
@@ -111,6 +112,16 @@ pub struct Explorer<'k> {
     /// hashed once per configuration change instead of once per cache
     /// lookup.
     context_hash: u64,
+    /// Like `context_hash` but *excluding* the kernel — the persistent
+    /// store pairs it with the canonical kernel hash instead, so
+    /// alpha-renamed or decl-reordered kernels share on-disk entries.
+    persist_context: u64,
+    /// Canonical content hash of the kernel (see [`defacto_ir::canon`]),
+    /// computed on first persistent-store use.
+    canonical: OnceLock<ContentHash>,
+    /// Optional persistent content-addressed store consulted between the
+    /// engine's memo cache and a full evaluation.
+    store: Option<Arc<PersistentCache>>,
     /// Point-invariant pipeline artifacts, prepared lazily on the first
     /// evaluation and shared (clones included) across workers.
     prepared: OnceLock<Option<Arc<PreparedKernel>>>,
@@ -142,6 +153,9 @@ impl<'k> Explorer<'k> {
             engine: Arc::new(EvalEngine::default()),
             sink: Arc::new(NullSink),
             context_hash: 0,
+            persist_context: 0,
+            canonical: OnceLock::new(),
+            store: None,
             prepared: OnceLock::new(),
             fidelity: Fidelity::Full,
             analytic: OnceLock::new(),
@@ -154,6 +168,7 @@ impl<'k> Explorer<'k> {
     /// after any builder change that affects estimates.
     fn refresh_context(&mut self) {
         self.context_hash = self.compute_context_hash();
+        self.persist_context = self.compute_persist_context();
         self.analytic = OnceLock::new();
     }
 
@@ -318,6 +333,22 @@ impl<'k> Explorer<'k> {
             .as_ref()
     }
 
+    /// Seed the point-invariant pipeline artifacts — e.g. from
+    /// [`PreparedKernel::prepare_reusing`] during incremental
+    /// re-exploration. The caller must have prepared *this* kernel;
+    /// seeding a foreign preparation is unsound. No-op if an evaluation
+    /// already prepared lazily.
+    pub fn with_prepared(self, prepared: Arc<PreparedKernel>) -> Self {
+        let _ = self.prepared.set(Some(prepared));
+        self
+    }
+
+    /// The shared point-invariant artifacts, if any evaluation (or
+    /// [`Explorer::with_prepared`]) has produced them.
+    pub fn prepared_arc(&self) -> Option<Arc<PreparedKernel>> {
+        self.prepared.get().and_then(Clone::clone)
+    }
+
     /// Offset-copy cache statistics `(hits, misses)` of the prepared
     /// evaluation path, if any design has been evaluated yet.
     pub fn prepared_stats(&self) -> Option<(u64, u64)> {
@@ -344,6 +375,52 @@ impl<'k> Explorer<'k> {
         self.device.capacity_slices.hash(&mut h);
         self.device.clock_ns.hash(&mut h);
         h.finish()
+    }
+
+    /// The platform-and-options half of the persistent-store key. The
+    /// kernel is deliberately excluded — the store keys on the canonical
+    /// content hash instead, so structurally identical kernels (alpha
+    /// renames, reordered declarations, shifted-but-equivalent bounds)
+    /// share entries across processes.
+    fn compute_persist_context(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.opts.hash(&mut h);
+        self.synthesis.hash(&mut h);
+        self.mem.hash(&mut h);
+        self.device.capacity_slices.hash(&mut h);
+        self.device.clock_ns.hash(&mut h);
+        h.finish()
+    }
+
+    /// Attach a persistent content-addressed store (see
+    /// [`defacto_cache::PersistentCache`]): engine-memo misses consult it
+    /// before evaluating, evaluations are written back, and
+    /// [`Explorer::explore`] records its selection for warm starts.
+    /// Search traces and selections are unaffected — a store hit is
+    /// indistinguishable from a prefetch-warmed memo entry.
+    pub fn persistent(mut self, store: Arc<PersistentCache>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn persistent_ref(&self) -> Option<&Arc<PersistentCache>> {
+        self.store.as_ref()
+    }
+
+    /// Canonical content hash of the kernel (computed once).
+    pub fn canonical_hash(&self) -> ContentHash {
+        *self
+            .canonical
+            .get_or_init(|| defacto_ir::content_hash(self.kernel))
+    }
+
+    /// The persistent-store key of this explorer's configuration.
+    pub fn persist_key(&self) -> ContextKey {
+        ContextKey {
+            kernel: self.canonical_hash(),
+            context: self.persist_context,
+        }
     }
 
     fn cache_key(&self, unroll: &UnrollVector) -> CacheKey {
@@ -376,7 +453,19 @@ impl<'k> Explorer<'k> {
                 });
             }
         }
-        let estimate = self.engine.evaluate_cached(&self.cache_key(unroll), || {
+        let (estimate, _) = self.evaluate_inner(unroll)?;
+        Ok(EvaluatedDesign {
+            unroll: unroll.clone(),
+            estimate,
+        })
+    }
+
+    /// The tier-1 evaluation path: engine memo cache, then the
+    /// persistent store (when attached), then transform + estimate.
+    /// Fresh evaluations are written back to the store; the returned
+    /// flag is true when *any* cache layer answered.
+    fn evaluate_inner(&self, unroll: &UnrollVector) -> Result<(Estimate, bool)> {
+        let eval = || {
             let design = self.design(unroll)?;
             Ok(estimate_opts(
                 &design,
@@ -384,28 +473,31 @@ impl<'k> Explorer<'k> {
                 &self.device,
                 &self.synthesis,
             ))
-        })?;
-        Ok(EvaluatedDesign {
-            unroll: unroll.clone(),
-            estimate,
-        })
+        };
+        match &self.store {
+            None => self
+                .engine
+                .evaluate_cached_flagged(&self.cache_key(unroll), eval),
+            Some(store) => {
+                let key = self.persist_key();
+                let (estimate, hit) = self.engine.evaluate_cached_tiered(
+                    &self.cache_key(unroll),
+                    || store.lookup_estimate(key, unroll.factors()),
+                    eval,
+                )?;
+                if !hit {
+                    store.insert_estimate(key, unroll.factors(), &estimate);
+                }
+                Ok((estimate, hit))
+            }
+        }
     }
 
-    /// [`Explorer::evaluate`], also reporting whether the engine's memo
-    /// cache answered. This is the search's single cache layer and
-    /// hit/miss source of truth.
+    /// [`Explorer::evaluate`], also reporting whether a cache layer
+    /// answered. This is the search's single cache layer and hit/miss
+    /// source of truth.
     fn evaluate_flagged(&self, unroll: &UnrollVector) -> Result<VisitOutcome> {
-        let (estimate, cache_hit) =
-            self.engine
-                .evaluate_cached_flagged(&self.cache_key(unroll), || {
-                    let design = self.design(unroll)?;
-                    Ok(estimate_opts(
-                        &design,
-                        &self.mem,
-                        &self.device,
-                        &self.synthesis,
-                    ))
-                })?;
+        let (estimate, cache_hit) = self.evaluate_inner(unroll)?;
         Ok(VisitOutcome {
             estimate,
             cache_hit,
@@ -514,7 +606,43 @@ impl<'k> Explorer<'k> {
         result.stats = self.engine.stats_since(before, started.elapsed());
         result.stats.tier0_evaluated = counts.evaluated;
         result.stats.tier0_promoted = counts.promoted;
+        self.persist_result(&result);
         Ok(result)
+    }
+
+    /// Record the search outcome (and a summary of the point-invariant
+    /// analyses) into the persistent store, then flush it. Best-effort:
+    /// persistence failures never fail a search.
+    fn persist_result(&self, result: &SearchResult) {
+        let Some(store) = &self.store else { return };
+        let key = self.persist_key();
+        store.record_selection(
+            key,
+            &SelectionRecord {
+                unroll: result.selected.unroll.factors().to_vec(),
+                termination: crate::trace::termination_label(result.termination).to_string(),
+                visited: result.visited.len() as u64,
+                space: result.space_size,
+            },
+        );
+        if let Some(prepared) = self.prepared() {
+            let canonical = defacto_ir::canonicalize(self.kernel);
+            if let Some(innermost) = canonical.subtree("innermost") {
+                let sets = prepared.base_sets();
+                store.record_analysis(
+                    key.kernel,
+                    innermost,
+                    &AnalysisSummary {
+                        depth: prepared.depth(),
+                        accesses: sets.iter().map(|s| s.members.len()).sum(),
+                        read_sets: sets.iter().filter(|s| !s.is_write).count(),
+                        write_sets: sets.iter().filter(|s| s.is_write).count(),
+                        carried: prepared.carried_scalars().len(),
+                    },
+                );
+            }
+        }
+        let _ = store.flush();
     }
 
     /// The tier-0-only search: the Figure-2 algorithm over synthetic
@@ -565,6 +693,8 @@ impl<'k> Explorer<'k> {
             tier0_evaluated,
             tier0_promoted: 0,
             tier0_pruned: 0,
+            persist_hits: 0,
+            persist_misses: 0,
         };
         Ok(result)
     }

@@ -41,6 +41,7 @@ pub mod engine;
 pub mod error;
 pub mod exhaustive;
 pub mod explorer;
+pub mod incremental;
 pub mod lint;
 pub mod multi;
 pub mod saturation;
@@ -58,6 +59,7 @@ pub use engine::{
 pub use error::{DseError, Result};
 pub use exhaustive::{exhaustive_sweep, parallel_sweep};
 pub use explorer::{EvaluatedDesign, Explorer, Fidelity};
+pub use incremental::{IncrementalOutcome, IncrementalSession};
 pub use multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage, StagePlacement};
 pub use saturation::{saturation_analysis, SaturationInfo};
 pub use search::{
@@ -71,6 +73,7 @@ pub use trace::{to_jsonl, JsonlSink, MemorySink, NullSink, RingBufferSink, Trace
 // Re-export the component crates so downstream users need only one
 // dependency.
 pub use defacto_analysis as analysis;
+pub use defacto_cache as cache;
 pub use defacto_ir as ir;
 pub use defacto_synth as synth;
 pub use defacto_xform as xform;
@@ -81,6 +84,7 @@ pub mod prelude {
     pub use crate::engine::{EvalEngine, EvalStats};
     pub use crate::exhaustive::{exhaustive_sweep, parallel_sweep};
     pub use crate::explorer::{EvaluatedDesign, Explorer, Fidelity};
+    pub use crate::incremental::{IncrementalOutcome, IncrementalSession};
     pub use crate::multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage};
     pub use crate::saturation::{saturation_analysis, SaturationInfo};
     pub use crate::search::{SearchResult, Termination};

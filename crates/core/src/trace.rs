@@ -121,6 +121,26 @@ pub enum TraceEvent {
         /// Tier-0 lower bound on cycles.
         cycles_lo: u64,
     },
+    /// Incremental re-exploration: the search was warm-started from a
+    /// previous run's persistent state. Emitted by
+    /// [`crate::incremental::IncrementalSession`] *before* the search's
+    /// own events — plain [`crate::Explorer::explore`] runs never emit
+    /// it, so cold/warm traces of the same exploration stay
+    /// byte-identical. The auditor ignores it; its role is to let
+    /// auditors and tests verify that a warm-started search still
+    /// selected independently (the events after it are a complete,
+    /// self-justifying search).
+    WarmStart {
+        /// The previous run's selected design the warm start seeded
+        /// from.
+        previous: UnrollVector,
+        /// Estimates preloaded from the persistent store for this
+        /// context before the search ran.
+        preloaded: u64,
+        /// Canonical subtree paths whose hashes changed since the
+        /// previous run (empty when only the platform context changed).
+        changed: Vec<String>,
+    },
     /// Multi-FPGA mapping: one pipeline stage was placed.
     StagePlaced {
         /// Stage name.
@@ -240,6 +260,19 @@ impl TraceEvent {
                 json_factors(unroll),
                 unroll.product(),
             ),
+            TraceEvent::WarmStart {
+                previous,
+                preloaded,
+                changed,
+            } => {
+                let inner: Vec<String> = changed.iter().map(|p| format!("\"{p}\"")).collect();
+                format!(
+                    "{{\"event\":\"warm_start\",\"previous\":{},\"preloaded\":{preloaded},\
+                     \"changed\":[{}]}}",
+                    json_factors(previous),
+                    inner.join(","),
+                )
+            }
             TraceEvent::StagePlaced {
                 stage,
                 fpga,

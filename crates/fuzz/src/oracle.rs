@@ -1,4 +1,4 @@
-//! The four-way differential oracle.
+//! The five-way differential oracle.
 //!
 //! One *case* is a generated kernel source run against one device/memory
 //! profile. The oracle classifies it as:
@@ -12,7 +12,9 @@
 //!   interpreter on the original kernel and on the fully transformed
 //!   design, a per-pass IR-verifier failure, a full/multi fidelity
 //!   disagreement or analytic band that excludes the exact estimate, a
-//!   dirty or nondeterministic search trace — or a panic anywhere, which
+//!   dirty or nondeterministic search trace, a canonicalization break
+//!   (an alpha-renamed variant hashing differently, or a warm persistent
+//!   cache changing the selection) — or a panic anywhere, which
 //!   is *always* a violation (crashes are never an acceptable answer to
 //!   malformed input).
 
@@ -21,9 +23,10 @@ use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use defacto::cache::PersistentCache;
 use defacto::exhaustive::best_performance;
 use defacto::{audit_search_trace, to_jsonl, DseError, Explorer, Fidelity, MemorySink};
-use defacto_ir::{parse_kernel, run_with_inputs, ArrayKind, Kernel};
+use defacto_ir::{canonicalize, parse_kernel, run_with_inputs, ArrayKind, Kernel};
 use defacto_synth::{estimate_opts, AnalyticModel, FpgaDevice, MemoryModel, SynthesisOptions};
 use defacto_xform::{PreparedKernel, UnrollVector, XformError};
 
@@ -41,6 +44,10 @@ pub enum Oracle {
     Fidelity,
     /// A search trace failed its audit or differed across worker counts.
     Audit,
+    /// Canonicalization broke content addressing: an alpha-renamed,
+    /// declaration-reordered variant hashed differently, or a warm
+    /// persistent cache changed what the search selects.
+    Canon,
     /// A panic escaped a compiler pass — the catch-all robustness oracle.
     Crash,
 }
@@ -53,6 +60,7 @@ impl Oracle {
             Oracle::Verify => "verify",
             Oracle::Fidelity => "fidelity",
             Oracle::Audit => "audit",
+            Oracle::Canon => "canon",
             Oracle::Crash => "crash",
         }
     }
@@ -142,7 +150,7 @@ impl Default for OracleConfig {
     }
 }
 
-/// Run all four oracles on one kernel source under one profile.
+/// Run all five oracles on one kernel source under one profile.
 pub fn check_case(source: &str, profile: &Profile, cfg: &OracleConfig) -> CaseOutcome {
     match check_case_inner(source, profile, cfg) {
         Ok(outcome) => outcome,
@@ -460,6 +468,93 @@ fn check_case_inner(
     }
     checks += 1;
 
+    // Oracle 5: canonicalization. The canonical form is itself an
+    // alpha-renamed, declaration-sorted variant of the kernel: it must
+    // hash identically (content addressing is rename-invariant), and a
+    // persistent cache warmed by the original must hand the variant the
+    // same selection without re-evaluating a single design.
+    let canon = guarded("canonicalize", || canonicalize(&kernel))?;
+    let recanon = guarded("recanonicalize", || canonicalize(&canon.kernel))?;
+    if recanon.hash != canon.hash {
+        return Ok(CaseOutcome::Violation(Violation {
+            oracle: Oracle::Canon,
+            stage: "canonical-hash".to_string(),
+            detail: format!(
+                "alpha-renamed variant hashes {} but original hashes {}",
+                recanon.hash.to_hex(),
+                canon.hash.to_hex()
+            ),
+        }));
+    }
+    checks += 1;
+    let cache_dir = std::env::temp_dir().join(format!(
+        "defacto-fuzz-canon-{}-{}",
+        std::process::id(),
+        canon.hash.to_hex()
+    ));
+    let canon_result = (|| -> Result<Result<(), Violation>, Violation> {
+        let store = match guarded("cache-open", || PersistentCache::open(&cache_dir))? {
+            Ok(s) => Arc::new(s),
+            Err(_) => return Ok(Ok(())), // no scratch space: skip, not a bug
+        };
+        // A fresh explorer (fresh engine): estimates served from an
+        // already-warm in-memory memo would never reach the store.
+        let cold_explorer = Explorer::new(&kernel)
+            .memory(profile.memory.clone())
+            .device(profile.device.clone())
+            .verify_each_pass(true)
+            .persistent(store.clone());
+        let cold = match guarded("canon-cold", || cold_explorer.explore())? {
+            Ok(r) => r,
+            Err(_) => return Ok(Ok(())),
+        };
+        let variant = Explorer::new(&canon.kernel)
+            .memory(profile.memory.clone())
+            .device(profile.device.clone())
+            .verify_each_pass(true)
+            .persistent(store);
+        let warm = match guarded("canon-warm", || variant.explore())? {
+            Ok(r) => r,
+            Err(e) => {
+                return Ok(Err(Violation {
+                    oracle: Oracle::Canon,
+                    stage: "canon-warm".to_string(),
+                    detail: format!("original explores but canonical variant fails: {e}"),
+                }))
+            }
+        };
+        if warm.selected.unroll != cold.selected.unroll
+            || warm.selected.estimate != cold.selected.estimate
+        {
+            return Ok(Err(Violation {
+                oracle: Oracle::Canon,
+                stage: "canon-selection".to_string(),
+                detail: format!(
+                    "original selects {:?}, canonical variant selects {:?} from warm cache",
+                    cold.selected.unroll.factors(),
+                    warm.selected.unroll.factors(),
+                ),
+            }));
+        }
+        if warm.stats.evaluated != 0 {
+            return Ok(Err(Violation {
+                oracle: Oracle::Canon,
+                stage: "canon-reuse".to_string(),
+                detail: format!(
+                    "warm cache should serve every estimate, but {} were re-evaluated \
+                     ({} persist hits, {} misses)",
+                    warm.stats.evaluated, warm.stats.persist_hits, warm.stats.persist_misses,
+                ),
+            }));
+        }
+        Ok(Ok(()))
+    })();
+    std::fs::remove_dir_all(&cache_dir).ok();
+    match canon_result? {
+        Ok(()) => checks += 2,
+        Err(v) => return Ok(CaseOutcome::Violation(v)),
+    }
+
     Ok(CaseOutcome::Passed { checks })
 }
 
@@ -589,6 +684,32 @@ mod tests {
                 CaseOutcome::Passed { checks } => assert!(checks >= 8, "too few checks: {checks}"),
                 other => panic!("fir should pass on {}: {other:?}", profile.name),
             }
+        }
+    }
+
+    #[test]
+    fn renamed_reordered_variant_hashes_and_selects_identically() {
+        // A hand-scrambled FIR: declarations reordered, loop variables and
+        // arrays alpha-renamed. The canon oracle must see straight through.
+        let scrambled = "kernel fir {
+           inout dest: i32[8];
+           in  coef: i32[4];
+           in  sig: i32[12];
+           for outer in 0..8 {
+             for inner in 0..4 {
+               dest[outer] = dest[outer] + sig[inner + outer] * coef[inner];
+             }
+           }
+         }";
+        let a = canonicalize(&parse_kernel(FIR).unwrap());
+        let b = canonicalize(&parse_kernel(scrambled).unwrap());
+        assert_eq!(a.hash, b.hash, "rename/reorder must not change the hash");
+        // And both pass the full oracle stack, canon dimension included.
+        let cfg = OracleConfig::default();
+        let profile = &Profile::standard()[0];
+        match check_case(scrambled, profile, &cfg) {
+            CaseOutcome::Passed { checks } => assert!(checks >= 11, "too few checks: {checks}"),
+            other => panic!("scrambled fir should pass: {other:?}"),
         }
     }
 

@@ -45,6 +45,7 @@
 
 pub mod affine;
 pub mod builder;
+pub mod canon;
 pub mod decl;
 pub mod diag;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod visit;
 
 pub use affine::AffineExpr;
 pub use builder::{BodyBuilder, KernelBuilder};
+pub use canon::{canonicalize, content_hash, CanonicalKernel, ContentHash, SubtreeHash};
 pub use decl::{ArrayDecl, ArrayKind, ScalarDecl};
 pub use diag::{Diagnostic, Severity};
 pub use error::{IrError, Result};

@@ -9,15 +9,21 @@ pub fn kernel() -> Kernel {
     kernel_sized(64, 32)
 }
 
-/// FIR with `n_out` outputs and `n_taps` filter taps.
+/// Kernel-language source of the paper-sized FIR.
+pub fn source() -> String {
+    source_sized(64, 32)
+}
+
+/// Kernel-language source of FIR with `n_out` outputs and `n_taps`
+/// filter taps.
 ///
 /// # Panics
 ///
 /// Panics if either size is zero (the generated kernel would be
 /// degenerate).
-pub fn kernel_sized(n_out: usize, n_taps: usize) -> Kernel {
+pub fn source_sized(n_out: usize, n_taps: usize) -> String {
     assert!(n_out > 0 && n_taps > 0, "degenerate FIR size");
-    let src = format!(
+    format!(
         "kernel fir {{
            in S: i32[{}];
            in C: i32[{n_taps}];
@@ -29,8 +35,17 @@ pub fn kernel_sized(n_out: usize, n_taps: usize) -> Kernel {
            }}
          }}",
         n_out + n_taps,
-    );
-    parse_kernel(&src).expect("generated FIR parses")
+    )
+}
+
+/// FIR with `n_out` outputs and `n_taps` filter taps.
+///
+/// # Panics
+///
+/// Panics if either size is zero (the generated kernel would be
+/// degenerate).
+pub fn kernel_sized(n_out: usize, n_taps: usize) -> Kernel {
+    parse_kernel(&source_sized(n_out, n_taps)).expect("generated FIR parses")
 }
 
 /// Reference implementation over `i64` (wrapping to `i32` on store, as

@@ -7,15 +7,20 @@ pub fn kernel() -> Kernel {
     kernel_sized(34)
 }
 
-/// JAC over an `n×n` array (interior `(n-2)×(n-2)`).
+/// Kernel-language source of the paper-sized JAC.
+pub fn source() -> String {
+    source_sized(34)
+}
+
+/// Kernel-language source of JAC over an `n×n` array.
 ///
 /// # Panics
 ///
 /// Panics if `n < 3`.
-pub fn kernel_sized(n: usize) -> Kernel {
+pub fn source_sized(n: usize) -> String {
     assert!(n >= 3, "JAC needs at least a 3×3 array");
     let hi = n - 1;
-    let src = format!(
+    format!(
         "kernel jac {{
            in A: i16[{n}][{n}];
            out B: i16[{n}][{n}];
@@ -25,8 +30,16 @@ pub fn kernel_sized(n: usize) -> Kernel {
              }}
            }}
          }}"
-    );
-    parse_kernel(&src).expect("generated JAC parses")
+    )
+}
+
+/// JAC over an `n×n` array (interior `(n-2)×(n-2)`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn kernel_sized(n: usize) -> Kernel {
+    parse_kernel(&source_sized(n)).expect("generated JAC parses")
 }
 
 /// Reference implementation over a flattened `n×n` grid; the border of

@@ -40,6 +40,19 @@ pub fn paper_kernels() -> Vec<(&'static str, Kernel)> {
     ]
 }
 
+/// Kernel-language sources of the five paper kernels, in the same order
+/// and with the same names as [`paper_kernels`] — for tests and tools
+/// that drive the CLI with real kernel files.
+pub fn paper_kernel_sources() -> Vec<(&'static str, String)> {
+    vec![
+        ("FIR", fir::source()),
+        ("MM", matmul::source()),
+        ("PAT", pattern::source()),
+        ("JAC", jacobi::source()),
+        ("SOBEL", sobel::source()),
+    ]
+}
+
 /// The paper kernels plus image correlation and erosion/dilation — the
 /// full set of application classes named in the paper's introduction.
 pub fn extended_kernels() -> Vec<(&'static str, Kernel)> {

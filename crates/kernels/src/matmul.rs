@@ -8,14 +8,19 @@ pub fn kernel() -> Kernel {
     kernel_sized(32, 16, 4)
 }
 
-/// MM with `A ∈ m×k`, `B ∈ k×n`.
+/// Kernel-language source of the paper-sized MM.
+pub fn source() -> String {
+    source_sized(32, 16, 4)
+}
+
+/// Kernel-language source of MM with `A ∈ m×k`, `B ∈ k×n`.
 ///
 /// # Panics
 ///
 /// Panics if any dimension is zero.
-pub fn kernel_sized(m: usize, k: usize, n: usize) -> Kernel {
+pub fn source_sized(m: usize, k: usize, n: usize) -> String {
     assert!(m > 0 && k > 0 && n > 0, "degenerate MM size");
-    let src = format!(
+    format!(
         "kernel mm {{
            in A: i32[{m}][{k}];
            in B: i32[{k}][{n}];
@@ -28,8 +33,16 @@ pub fn kernel_sized(m: usize, k: usize, n: usize) -> Kernel {
              }}
            }}
          }}"
-    );
-    parse_kernel(&src).expect("generated MM parses")
+    )
+}
+
+/// MM with `A ∈ m×k`, `B ∈ k×n`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn kernel_sized(m: usize, k: usize, n: usize) -> Kernel {
+    parse_kernel(&source_sized(m, k, n)).expect("generated MM parses")
 }
 
 /// Reference implementation (row-major flattened inputs/outputs).

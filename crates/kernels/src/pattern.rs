@@ -9,15 +9,21 @@ pub fn kernel() -> Kernel {
     kernel_sized(64, 16)
 }
 
-/// PAT with a string of `n` characters and a pattern of `m`.
+/// Kernel-language source of the paper-sized PAT.
+pub fn source() -> String {
+    source_sized(64, 16)
+}
+
+/// Kernel-language source of PAT with a string of `n` characters and a
+/// pattern of `m`.
 ///
 /// # Panics
 ///
 /// Panics if `m == 0` or `m > n`.
-pub fn kernel_sized(n: usize, m: usize) -> Kernel {
+pub fn source_sized(n: usize, m: usize) -> String {
     assert!(m > 0 && m <= n, "degenerate PAT size");
     let positions = n - m;
-    let src = format!(
+    format!(
         "kernel pat {{
            in S: u8[{n}];
            in P: u8[{m}];
@@ -28,8 +34,16 @@ pub fn kernel_sized(n: usize, m: usize) -> Kernel {
              }}
            }}
          }}"
-    );
-    parse_kernel(&src).expect("generated PAT parses")
+    )
+}
+
+/// PAT with a string of `n` characters and a pattern of `m`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > n`.
+pub fn kernel_sized(n: usize, m: usize) -> Kernel {
+    parse_kernel(&source_sized(n, m)).expect("generated PAT parses")
 }
 
 /// Reference implementation: `M[j]` counts matching characters of the

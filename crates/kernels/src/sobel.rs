@@ -8,15 +8,20 @@ pub fn kernel() -> Kernel {
     kernel_sized(34)
 }
 
-/// SOBEL over an `n×n` image (interior `(n-2)×(n-2)`).
+/// Kernel-language source of the paper-sized SOBEL.
+pub fn source() -> String {
+    source_sized(34)
+}
+
+/// Kernel-language source of SOBEL over an `n×n` image.
 ///
 /// # Panics
 ///
 /// Panics if `n < 3`.
-pub fn kernel_sized(n: usize) -> Kernel {
+pub fn source_sized(n: usize) -> String {
     assert!(n >= 3, "SOBEL needs at least a 3×3 image");
     let hi = n - 1;
-    let src = format!(
+    format!(
         "kernel sobel {{
            in I: u8[{n}][{n}];
            out E: i16[{n}][{n}];
@@ -34,8 +39,16 @@ pub fn kernel_sized(n: usize) -> Kernel {
              }}
            }}
          }}"
-    );
-    parse_kernel(&src).expect("generated SOBEL parses")
+    )
+}
+
+/// SOBEL over an `n×n` image (interior `(n-2)×(n-2)`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn kernel_sized(n: usize) -> Kernel {
+    parse_kernel(&source_sized(n)).expect("generated SOBEL parses")
 }
 
 /// Reference implementation over a flattened `n×n` image.

@@ -20,6 +20,30 @@ use defacto_xform::layout::ArrayLayout;
 use defacto_xform::MemoryBinding;
 use std::collections::HashMap;
 
+/// Scalar names assigned (or rotated) in `stmts`, in program order with
+/// repeats — the rename-invariant iteration order for `if` merges.
+fn collect_scalar_defs<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign {
+                lhs: LValue::Scalar(n),
+                ..
+            } => out.push(n),
+            Stmt::Assign { .. } => {}
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_scalar_defs(then_body, out);
+                collect_scalar_defs(else_body, out);
+            }
+            Stmt::Rotate(regs) => out.extend(regs.iter()),
+            Stmt::For(l) => collect_scalar_defs(&l.body, out),
+        }
+    }
+}
+
 /// Index of a node in its [`Dfg`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
@@ -298,9 +322,19 @@ impl Builder<'_> {
                     self.stmt(st);
                 }
                 let else_defs = std::mem::replace(&mut self.defs, saved);
-                let mut touched: Vec<&String> = then_defs.keys().chain(else_defs.keys()).collect();
-                touched.sort();
-                touched.dedup();
+                // Merge in program order of first definition (then branch
+                // first), not name order: mux creation order — and with it
+                // node ids and register pressure — must be invariant under
+                // alpha-renaming so canonically identical kernels estimate
+                // identically. Names defined before the `if` and untouched
+                // by both branches merge to their own value, so walking
+                // only branch-assigned names is equivalent to walking
+                // every defined name.
+                let mut touched: Vec<&String> = Vec::new();
+                collect_scalar_defs(then_body, &mut touched);
+                collect_scalar_defs(else_body, &mut touched);
+                let mut seen = std::collections::HashSet::new();
+                touched.retain(|n| seen.insert(*n));
                 for name in touched {
                     let t = then_defs.get(name).copied();
                     let e = else_defs.get(name).copied();

@@ -147,6 +147,76 @@ impl PreparedKernel {
         })
     }
 
+    /// Like [`Self::prepare`], reusing the point-invariant analyses — and
+    /// the offset-copy cache — of a previously prepared kernel when the
+    /// normalized nest is unchanged where it matters:
+    ///
+    /// - same innermost body and induction variables: the access table,
+    ///   uniform sets, conditional flags, carried scalars and every
+    ///   cached offset copy carry over (copies offset the base body only,
+    ///   so they are bounds-independent);
+    /// - same loop bounds on top of that: the dependence graph carries
+    ///   over too, making the reuse total.
+    ///
+    /// Anything else falls back to a full [`Self::prepare`]. The result
+    /// is indistinguishable from `prepare` — reuse is an equality-gated
+    /// copy of artifacts that are pure functions of the compared inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::prepare`].
+    pub fn prepare_reusing(kernel: &Kernel, prev: &PreparedKernel) -> Result<PreparedKernel> {
+        let normalized = normalize_loops(kernel)?;
+        let (loops, var_names, base_body) = {
+            let nest = normalized
+                .perfect_nest()
+                .ok_or(XformError::NotPerfectNest)?;
+            let loops: Vec<Loop> = nest
+                .loops()
+                .iter()
+                .map(|l| Loop {
+                    var: l.var.clone(),
+                    lower: l.lower,
+                    upper: l.upper,
+                    step: l.step,
+                    body: Vec::new(),
+                })
+                .collect();
+            let var_names: Vec<String> = loops.iter().map(|l| l.var.clone()).collect();
+            (loops, var_names, nest.innermost_body().to_vec())
+        };
+        if base_body != prev.base_body || var_names != prev.var_names {
+            return Self::prepare(kernel);
+        }
+        let same_bounds = loops.len() == prev.loops.len()
+            && loops
+                .iter()
+                .zip(&prev.loops)
+                .all(|(a, b)| (a.lower, a.upper, a.step) == (b.lower, b.upper, b.step));
+        let deps = if same_bounds {
+            prev.deps.clone()
+        } else {
+            let var_refs: Vec<&str> = var_names.iter().map(String::as_str).collect();
+            let bounds: Vec<(i64, i64)> = loops.iter().map(|l| (l.lower, l.upper - 1)).collect();
+            analyze_dependences_with_bounds(&prev.base_table, &var_refs, &bounds)
+        };
+        let copies = prev.copies.lock().expect("copy cache poisoned").clone();
+        Ok(PreparedKernel {
+            normalized,
+            loops,
+            var_names,
+            base_body,
+            base_table: prev.base_table.clone(),
+            base_sets: prev.base_sets.clone(),
+            cond_flags: prev.cond_flags.clone(),
+            deps,
+            carried: prev.carried.clone(),
+            copies: Mutex::new(copies),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
     /// Offset-copy cache statistics: `(hits, misses)` over all
     /// [`PreparedKernel::transform`] calls so far.
     pub fn copy_cache_stats(&self) -> (u64, u64) {

@@ -1,0 +1,105 @@
+//! Canonicalization invariance over the paper suite.
+//!
+//! Content addressing treats alpha-renamed, declaration-reordered
+//! kernels as the *same* kernel, so everything downstream of the
+//! canonical hash must be invariant under those rewrites:
+//!
+//! - the canonical hash itself (and every per-subtree hash);
+//! - the full-space sweep — every design point's estimate, bit for bit
+//!   (this is what makes serving a renamed kernel from another kernel's
+//!   persistent cache entries *sound*, not just fast);
+//! - the selected design of a warm-cache search, which must also match
+//!   the cold selection exactly.
+
+use defacto::cache::PersistentCache;
+use defacto::prelude::*;
+use defacto_ir::{canonicalize, Kernel};
+use std::sync::Arc;
+
+/// Alpha-renamed + declaration-sorted, and declaration-reversed,
+/// variants of `k` — all structurally identical to it.
+fn variants(k: &Kernel) -> Vec<(&'static str, Kernel)> {
+    let renamed = canonicalize(k).kernel;
+    let mut arrays = k.arrays().to_vec();
+    arrays.reverse();
+    let reordered = Kernel::new(k.name(), arrays, k.scalars().to_vec(), k.body().to_vec())
+        .expect("reordered declarations stay valid");
+    vec![("alpha-renamed", renamed), ("decl-reordered", reordered)]
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("defacto-canon-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn canonical_hashes_are_rewrite_invariant() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let base = canonicalize(&kernel);
+        for (label, v) in variants(&kernel) {
+            let vc = canonicalize(&v);
+            assert_eq!(base.hash, vc.hash, "{name}: {label} changed the hash");
+            assert!(
+                base.changed_subtrees(&vc).is_empty(),
+                "{name}: {label} changed subtrees {:?}",
+                base.changed_subtrees(&vc)
+            );
+        }
+    }
+}
+
+#[test]
+fn full_sweep_estimates_are_rewrite_invariant() {
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let (base, _) = Explorer::new(&kernel)
+            .sweep_with_stats()
+            .expect("base sweep");
+        for (label, v) in variants(&kernel) {
+            let (swept, _) = Explorer::new(&v).sweep_with_stats().expect("variant sweep");
+            assert_eq!(base.len(), swept.len(), "{name}: {label} changed the space");
+            for (b, s) in base.iter().zip(swept.iter()) {
+                assert_eq!(b.unroll, s.unroll, "{name}: {label} reordered the space");
+                assert_eq!(
+                    b.estimate,
+                    s.estimate,
+                    "{name}: {label} changed the estimate at {:?}",
+                    b.unroll.factors()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_search_selects_identically_for_variants() {
+    let dir = scratch("warm-select");
+    for (name, kernel) in defacto_kernels::paper_kernels() {
+        let store = Arc::new(PersistentCache::open(&dir.join(name)).expect("open cache directory"));
+        let cold = Explorer::new(&kernel)
+            .persistent(store.clone())
+            .explore()
+            .expect("cold explore");
+        for (label, v) in variants(&kernel) {
+            let warm = Explorer::new(&v)
+                .persistent(store.clone())
+                .explore()
+                .expect("warm explore");
+            assert_eq!(
+                cold.selected.unroll, warm.selected.unroll,
+                "{name}: {label} changed the selection from a warm cache"
+            );
+            assert_eq!(
+                cold.selected.estimate, warm.selected.estimate,
+                "{name}: {label} changed the selected estimate"
+            );
+            assert_eq!(
+                warm.stats.evaluated, 0,
+                "{name}: {label} re-evaluated designs despite a warm cache \
+                 ({} persist hits, {} misses)",
+                warm.stats.persist_hits, warm.stats.persist_misses
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

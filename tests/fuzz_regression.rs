@@ -1,5 +1,5 @@
 //! Corpus replay: every reproducer in `tests/fuzz_corpus/` runs through
-//! all four oracle dimensions on both standard profiles.
+//! all five oracle dimensions on both standard profiles.
 //!
 //! File-name convention pins the expected classification:
 //!
