@@ -12,6 +12,10 @@
 //! - [`dependence`]: data-dependence analysis producing distance vectors
 //!   with invariant (`Any`) and inconsistent (`Unknown`) components, plus
 //!   GCD and Banerjee independence tests for non-uniform pairs;
+//! - [`legality`]: direction vectors and the whole-kernel
+//!   [`LegalitySummary`] — legal permutations, per-level tilability and
+//!   jam safety, carried scalars, packing/narrowing applicability — the
+//!   single source of truth the transforms delegate their checks to;
 //! - [`range`]: value-range (interval) analysis driving bit-width
 //!   narrowing (paper §2.4's "reduced data widths");
 //! - [`reuse`]: classification of each uniformly generated set's reuse
@@ -46,6 +50,7 @@
 pub mod access;
 pub mod dependence;
 pub mod jam;
+pub mod legality;
 pub mod linalg;
 pub mod lint;
 pub mod range;
@@ -58,6 +63,11 @@ pub use dependence::{
     CarriedAt, DepKind, Dependence, DependenceGraph, DistElem,
 };
 pub use jam::{jammed_access_table, jammed_uniform_sets};
+pub use legality::{
+    carried_scalar_violation, carried_scalars, direction_vector, permutation_violation,
+    tile_hoist_violation, unroll_violation, ArrayNarrowing, ArrayPacking, Direction,
+    DistanceVector, JamViolation, LegalitySummary,
+};
 pub use linalg::{solve_affine, Rational, VarSolution};
 pub use lint::{lint_kernel, lint_source, LintContext, LintReport, LintRule};
 pub use range::{infer_ranges, Interval, RangeInfo};

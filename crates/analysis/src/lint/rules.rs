@@ -1,8 +1,9 @@
-//! The kernel-level lint rules (`DF005`–`DF008`).
+//! The kernel-level lint rules (`DF005`–`DF008`, `DF010`–`DF012`).
 
 use super::{LintContext, LintRule};
 use crate::access::AccessTable;
 use crate::dependence::{analyze_dependences_with_bounds, DependenceGraph, DistElem};
+use crate::legality::LegalitySummary;
 use crate::range::Interval;
 use crate::uniform::uniform_sets;
 use defacto_ir::diag::{codes, Diagnostic};
@@ -18,6 +19,8 @@ pub fn all() -> Vec<Box<dyn LintRule>> {
         Box::new(JamBlocked),
         Box::new(WriteWriteConflict),
         Box::new(DegenerateLoop),
+        Box::new(InterchangePinned),
+        Box::new(PackingInert),
     ]
 }
 
@@ -428,6 +431,117 @@ impl LintRule for DegenerateLoop {
     }
 }
 
+/// `DF011`: the dependence structure of a multi-loop nest admits only
+/// the identity permutation, so asking the joint design space for an
+/// interchange axis enumerates nothing beyond the original order.
+pub struct InterchangePinned;
+
+impl LintRule for InterchangePinned {
+    fn code(&self) -> &'static str {
+        codes::INTERCHANGE_PINNED
+    }
+
+    fn name(&self) -> &'static str {
+        "interchange-pinned"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(summary) = LegalitySummary::analyze(ctx.kernel) else {
+            return Vec::new();
+        };
+        if summary.depth() < 2 || !summary.identity_only() {
+            return Vec::new();
+        }
+        let carrier = summary
+            .distance_vectors()
+            .iter()
+            .map(|d| d.array.as_str())
+            .next()
+            .unwrap_or("?");
+        let outer = ctx
+            .kernel
+            .perfect_nest()
+            .map(|n| n.loop_at(0).var.clone())
+            .unwrap_or_default();
+        vec![Diagnostic::warning(
+            codes::INTERCHANGE_PINNED,
+            format!(
+                "dependences on `{carrier}` pin the {}-deep nest to its original loop \
+                 order; only the identity permutation is legal",
+                summary.depth()
+            ),
+        )
+        .with_span_opt(ctx.spans.and_then(|s| s.loop_header(&outer)))
+        .with_help(
+            "drop the interchange axis for this kernel, or skew the recurrence to free \
+             a loop order",
+        )]
+    }
+}
+
+/// `DF012`: an array's elements are narrower than the memory word, so
+/// packing looks attractive, yet its last-dimension access stride (or
+/// the absence of any unit-direction walk) means no two accesses can
+/// ever share a word — packing is a provable no-op there.
+///
+/// The check uses the 32-bit memory word both shipped board models
+/// expose; a custom word width changes profitability, not the stride
+/// geometry this rule reports.
+pub struct PackingInert;
+
+/// The memory word width both shipped board models use.
+const LINT_WORD_BITS: u32 = 32;
+
+impl LintRule for PackingInert {
+    fn code(&self) -> &'static str {
+        codes::PACKING_INERT
+    }
+
+    fn name(&self) -> &'static str {
+        "packing-inert"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(summary) = LegalitySummary::analyze(ctx.kernel) else {
+            return Vec::new();
+        };
+        summary
+            .packing()
+            .iter()
+            .filter(|p| {
+                p.elem_bits > 0 && p.elem_bits < LINT_WORD_BITS && !p.effective(LINT_WORD_BITS)
+            })
+            .map(|p| {
+                let per_word = LINT_WORD_BITS / p.elem_bits;
+                let reason = match p.min_stride {
+                    Some(s) => format!(
+                        "its last dimension is walked at stride {s}, so consecutive \
+                         accesses land {s} elements apart and never share a \
+                         {per_word}-element word"
+                    ),
+                    None => "no access walks its last dimension, so packed neighbours \
+                             are never requested together"
+                        .to_string(),
+                };
+                let span = ctx.spans.and_then(|s| s.decl(&p.array));
+                Diagnostic::warning(
+                    codes::PACKING_INERT,
+                    format!(
+                        "packing `{}` ({}-bit elements in a {LINT_WORD_BITS}-bit word) \
+                         is a provable no-op: {reason}",
+                        p.array, p.elem_bits
+                    ),
+                )
+                .with_span_opt(span)
+                .with_help(
+                    "drop the packing axis for this array, or restructure the access to \
+                     walk the last dimension with unit stride",
+                )
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +662,92 @@ mod tests {
             .expect("DF008 reported");
         assert!(!d.is_error(), "DF008 is a warning");
         assert!(d.message.contains("`A`"));
+    }
+
+    #[test]
+    fn pinned_interchange_is_reported() {
+        // The (+1, -1) recurrence forbids swapping i and j.
+        let report = lint_source(
+            "kernel wf { inout A: i32[9][9];
+               for i in 0..8 { for j in 1..8 {
+                 A[i][j] = A[i + 1][j - 1] + 1; } } }",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::INTERCHANGE_PINNED)
+            .expect("DF011 reported");
+        assert!(!d.is_error(), "DF011 is a warning");
+        assert!(d.message.contains("identity permutation"), "{}", d.message);
+    }
+
+    #[test]
+    fn interchangeable_nest_is_not_pinned() {
+        let report = lint_source(
+            "kernel mm { in A: i32[8][8]; in B: i32[8][8]; inout C: i32[8][8];
+               for i in 0..8 { for j in 0..8 {
+                 C[i][j] = C[i][j] + A[i][j] * B[j][i]; } } }",
+        );
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::INTERCHANGE_PINNED),
+            "{:?}",
+            report.diagnostics
+        );
+        // A 1-deep nest has nothing to interchange; the rule stays silent.
+        let report = lint_source(
+            "kernel one { in A: i32[8]; out B: i32[8];
+               for i in 0..8 { B[i] = A[i]; } }",
+        );
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::INTERCHANGE_PINNED));
+    }
+
+    #[test]
+    fn strided_narrow_access_makes_packing_inert() {
+        // 8-bit elements, 4 per 32-bit word, but stride 4 means each
+        // access opens a fresh word.
+        let report = lint_source(
+            "kernel p { in A: u8[64]; out B: i32[16];
+               for i in 0..16 { B[i] = A[i * 4]; } }",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::PACKING_INERT)
+            .expect("DF012 reported");
+        assert!(!d.is_error(), "DF012 is a warning");
+        assert!(d.message.contains("`A`"), "{}", d.message);
+        assert!(d.message.contains("stride 4"), "{}", d.message);
+    }
+
+    #[test]
+    fn unit_stride_narrow_access_packs_fine() {
+        let report = lint_source(
+            "kernel p { in A: u8[16]; out B: i32[16];
+               for i in 0..16 { B[i] = A[i]; } }",
+        );
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::PACKING_INERT),
+            "{:?}",
+            report.diagnostics
+        );
+        // Full-width elements have nothing to pack; the rule stays silent.
+        let report = lint_source(
+            "kernel w { in A: i32[64]; out B: i32[16];
+               for i in 0..16 { B[i] = A[i * 4]; } }",
+        );
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::PACKING_INERT));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   --memories N                       external memories (default 4)
 //!   --device xcv300|xcv1000|xc2v6000   target device  (default xcv1000)
 //!   --unroll a,b,...                   fixed unroll vector (vhdl; default: explore)
+//!   --axes a,b,... | all               joint-space axes for sweep/analyze:
+//!                                      unroll|interchange|tile|narrow|pack
+//!                                      (default: classic unroll-only space)
 //!   --threads N                        evaluation worker threads
 //!                                      (default: DEFACTO_THREADS or all cores)
 //!   --trace FILE                       write the search trace as JSONL
@@ -47,7 +50,7 @@
 use defacto::cache::PersistentCache;
 use defacto::engine::EvalEngine;
 use defacto::trace::JsonlSink;
-use defacto::{audit_search_trace, prelude::*, to_jsonl, Fidelity};
+use defacto::{audit_search_trace, prelude::*, to_jsonl, Axis, Fidelity};
 use defacto_synth::{describe_schedule, emit_vhdl, main_body_schedule};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -66,6 +69,9 @@ pub struct Cli {
     pub device: FpgaDevice,
     /// Fixed unroll vector, when given.
     pub unroll: Option<UnrollVector>,
+    /// Joint-space axes (`sweep`/`analyze` only; `None`: the classic
+    /// unroll-only space).
+    pub axes: Option<Vec<Axis>>,
     /// Evaluation worker threads (`None`: `DEFACTO_THREADS` or all cores).
     pub threads: Option<usize>,
     /// Write the search trace to this JSONL file.
@@ -162,8 +168,8 @@ impl std::error::Error for LintFailure {}
 /// The usage string printed on bad invocations.
 pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule|watch> \
 <file.kernel> [--memory pipelined|non-pipelined] [--memories N] \
-[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--threads N] [--trace FILE] \
-[--verify] [--fidelity full|multi|analytic] [--cache-dir DIR] [--json]\n\
+[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--axes a,b,...|all] [--threads N] \
+[--trace FILE] [--verify] [--fidelity full|multi|analytic] [--cache-dir DIR] [--json]\n\
        defacto watch <file.kernel> [--cache-dir DIR] [--poll-ms N] [--max-runs N] [--json]\n\
        defacto fuzz [--seed N] [--count M] [--smoke] [--json]";
 
@@ -201,6 +207,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut pipelined = true;
     let mut device = FpgaDevice::virtex1000();
     let mut unroll = None;
+    let mut axes = None;
     let mut threads = None;
     let mut trace = None;
     let mut verify = false;
@@ -256,6 +263,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     return Err(UsageError(format!("bad unroll vector `{text}`")));
                 }
                 unroll = Some(UnrollVector(factors));
+            }
+            "--axes" if matches!(command, Command::Sweep | Command::Analyze) => {
+                let text = it.next().ok_or_else(|| {
+                    UsageError(
+                        "--axes expects a comma-separated list of \
+                         unroll|interchange|tile|narrow|pack, or `all`"
+                            .into(),
+                    )
+                })?;
+                axes = Some(parse_axes(text)?);
             }
             "--threads" => {
                 let v = it
@@ -330,6 +347,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         memory,
         device,
         unroll,
+        axes,
         threads,
         trace,
         verify,
@@ -344,6 +362,33 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         count,
         smoke,
     })
+}
+
+/// Parse a `--axes` value: a comma-separated subset of
+/// `unroll|interchange|tile|narrow|pack` (no duplicates), or the
+/// shorthand `all`. Strictly validated — garbage, an unknown axis, or
+/// an empty list is a typed [`UsageError`], never a panic or a silent
+/// default.
+fn parse_axes(text: &str) -> Result<Vec<Axis>, UsageError> {
+    if text.trim() == "all" {
+        return Ok(Axis::ALL.to_vec());
+    }
+    if text.trim().is_empty() {
+        return Err(UsageError(
+            "--axes expects a comma-separated list of \
+             unroll|interchange|tile|narrow|pack, or `all`"
+                .into(),
+        ));
+    }
+    let mut axes = Vec::new();
+    for part in text.split(',') {
+        let axis = part.trim().parse::<Axis>().map_err(UsageError)?;
+        if axes.contains(&axis) {
+            return Err(UsageError(format!("duplicate axis `{axis}` in --axes")));
+        }
+        axes.push(axis);
+    }
+    Ok(axes)
 }
 
 /// The worker-thread request in effect: the `--threads` flag, else a
@@ -437,6 +482,9 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
     }
     if let Some(store) = &store {
         explorer = explorer.persistent(store.clone());
+    }
+    if let Some(axes) = &cli.axes {
+        explorer = explorer.axes(axes);
     }
     let mut out = String::new();
 
@@ -592,6 +640,88 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                 ))));
             }
         }
+        Command::Sweep if cli.axes.is_some() => {
+            let space = explorer.joint_space()?;
+            let sweep = explorer.joint_sweep()?;
+            let pruned = space.pruned_counts().unwrap_or_default();
+            let axes_label: Vec<&str> = space
+                .axes()
+                .unwrap_or_default()
+                .iter()
+                .map(|a| a.label())
+                .collect();
+            if cli.json {
+                let rows: Vec<serde_json::Value> = sweep
+                    .iter()
+                    .map(|d| {
+                        serde_json::json!({
+                            "unroll": d.point.unroll,
+                            "permutation": d.point.permutation,
+                            "tile": d.point.tile,
+                            "narrow": d.point.narrow,
+                            "pack": d.point.pack,
+                            "balance": d.estimate.balance,
+                            "cycles": d.estimate.cycles,
+                            "slices": d.estimate.slices,
+                            "fits": d.estimate.fits,
+                        })
+                    })
+                    .collect();
+                let pruned_doc = serde_json::json!({
+                    "permutations": pruned.permutations,
+                    "unroll_perm": pruned.unroll_perm,
+                    "tiles": pruned.tiles,
+                });
+                out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
+                    "axes": axes_label,
+                    "points": rows,
+                    "pruned_by_legality": pruned_doc,
+                }))?);
+            } else {
+                writeln!(
+                    out,
+                    "{:>12} {:>9} {:>9} {:>6} {:>5} {:>9} {:>9} {:>8} {:>5}",
+                    "unroll",
+                    "perm",
+                    "tile",
+                    "narrow",
+                    "pack",
+                    "balance",
+                    "cycles",
+                    "slices",
+                    "fits"
+                )?;
+                for d in &sweep {
+                    let perm: Vec<String> =
+                        d.point.permutation.iter().map(usize::to_string).collect();
+                    writeln!(
+                        out,
+                        "{:>12} {:>9} {:>9} {:>6} {:>5} {:>9.3} {:>9} {:>8} {:>5}",
+                        d.point.unroll_vector().to_string(),
+                        format!("[{}]", perm.join(",")),
+                        d.point
+                            .tile
+                            .map_or_else(|| "-".into(), |(l, t)| format!("L{l}x{t}")),
+                        d.point.narrow,
+                        d.point.pack,
+                        d.estimate.balance,
+                        d.estimate.cycles,
+                        d.estimate.slices,
+                        if d.estimate.fits { "yes" } else { "NO" }
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "joint space over [{}]: {} statically-legal points; pruned by legality: \
+                     {} permutations, {} unroll x perm combos, {} tiles",
+                    axes_label.join(","),
+                    space.joint_size(),
+                    pruned.permutations,
+                    pruned.unroll_perm,
+                    pruned.tiles
+                )?;
+            }
+        }
         Command::Sweep => {
             let sweep = explorer.sweep()?;
             if cli.json {
@@ -617,8 +747,13 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
         }
         Command::Analyze => {
             let (sat, space) = explorer.analyze()?;
+            let joint = cli
+                .axes
+                .as_ref()
+                .map(|_| explorer.joint_space())
+                .transpose()?;
             if cli.json {
-                out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
+                let mut doc = serde_json::json!({
                     "kernel": kernel.name(),
                     "read_sets": sat.read_sets,
                     "write_sets": sat.write_sets,
@@ -626,7 +761,25 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                     "unrollable": sat.unrollable,
                     "u_init": sat.u_init,
                     "space_size": space.size(),
-                }))?);
+                });
+                if let Some(j) = &joint {
+                    let pruned = j.pruned_counts().unwrap_or_default();
+                    let pruned_doc = serde_json::json!({
+                        "permutations": pruned.permutations,
+                        "unroll_perm": pruned.unroll_perm,
+                        "tiles": pruned.tiles,
+                    });
+                    let joint_doc = serde_json::json!({
+                        "axes": j.axes().unwrap_or_default().iter()
+                            .map(|a| a.label()).collect::<Vec<_>>(),
+                        "points": j.joint_size(),
+                        "pruned_by_legality": pruned_doc,
+                    });
+                    if let serde_json::Value::Object(entries) = &mut doc {
+                        entries.push(("joint".to_string(), joint_doc));
+                    }
+                }
+                out.push_str(&serde_json::to_string_pretty(&doc)?);
             } else {
                 writeln!(out, "kernel `{}`", kernel.name())?;
                 writeln!(
@@ -638,6 +791,25 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
                 writeln!(out, "explored loops: {:?}", sat.unrollable)?;
                 writeln!(out, "initial point U_init = {}", sat.u_init)?;
                 writeln!(out, "design space: {} candidates", space.size())?;
+                if let Some(j) = &joint {
+                    let pruned = j.pruned_counts().unwrap_or_default();
+                    let labels: Vec<&str> = j
+                        .axes()
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|a| a.label())
+                        .collect();
+                    writeln!(
+                        out,
+                        "joint space over [{}]: {} statically-legal points; pruned by \
+                         legality: {} permutations, {} unroll x perm combos, {} tiles",
+                        labels.join(","),
+                        j.joint_size(),
+                        pruned.permutations,
+                        pruned.unroll_perm,
+                        pruned.tiles
+                    )?;
+                }
             }
         }
         Command::Vhdl => {
@@ -940,6 +1112,100 @@ mod tests {
         assert!(parse_args(&argv("explore f --fidelity sideways")).is_err());
         assert!(parse_args(&argv("explore f --fidelity")).is_err());
         assert!(parse_args(&argv("explore f --what")).is_err());
+    }
+
+    #[test]
+    fn axes_flag_parses_valid_lists() {
+        let cli = parse_args(&argv("sweep fir.kernel --axes unroll,tile")).unwrap();
+        assert_eq!(cli.axes, Some(vec![Axis::Unroll, Axis::Tile]));
+        let cli = parse_args(&argv("analyze fir.kernel --axes all")).unwrap();
+        assert_eq!(cli.axes.as_deref(), Some(&Axis::ALL[..]));
+        // Whitespace around commas is tolerated; order is caller's choice.
+        let cli = parse_args(&[
+            "sweep".into(),
+            "f".into(),
+            "--axes".into(),
+            "pack, narrow".into(),
+        ])
+        .unwrap();
+        assert_eq!(cli.axes, Some(vec![Axis::Pack, Axis::Narrow]));
+    }
+
+    #[test]
+    fn axes_flag_rejects_garbage_with_typed_error() {
+        // Every rejection is a typed UsageError, never a panic.
+        let err = parse_args(&argv("sweep f --axes lol")).unwrap_err();
+        assert!(err.0.contains("unknown axis `lol`"), "{}", err.0);
+        let err = parse_args(&argv("sweep f --axes unroll,unroll")).unwrap_err();
+        assert!(err.0.contains("duplicate axis `unroll`"), "{}", err.0);
+        let err = parse_args(&argv("sweep f --axes")).unwrap_err();
+        assert!(err.0.contains("--axes expects"), "{}", err.0);
+        let err =
+            parse_args(&["sweep".into(), "f".into(), "--axes".into(), String::new()]).unwrap_err();
+        assert!(err.0.contains("--axes expects"), "{}", err.0);
+        let err = parse_args(&[
+            "sweep".into(),
+            "f".into(),
+            "--axes".into(),
+            "unroll,,tile".into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("unknown axis"), "{}", err.0);
+        // --axes only applies to sweep/analyze; elsewhere it is an
+        // unknown flag, reported as such.
+        assert!(parse_args(&argv("explore f --axes unroll")).is_err());
+        assert!(parse_args(&argv("lint f --axes all")).is_err());
+    }
+
+    #[test]
+    fn sweep_with_unroll_axis_matches_classic_table() {
+        let classic = run(&parse_args(&argv("sweep fir.kernel")).unwrap(), FIR).unwrap();
+        let joint = run(
+            &parse_args(&argv("sweep fir.kernel --axes unroll")).unwrap(),
+            FIR,
+        )
+        .unwrap();
+        // Same candidate count, same cycle column, plus the legality footer.
+        assert_eq!(
+            classic.lines().count() - 1, // classic: header + rows
+            joint.lines().count() - 2,   // joint: header + rows + footer
+        );
+        assert!(
+            joint.contains("pruned by legality: 0 permutations"),
+            "{joint}"
+        );
+        for line in classic.lines().skip(1) {
+            let cycles = line.split_whitespace().nth(2).unwrap();
+            assert!(joint.contains(cycles), "missing cycles {cycles} in {joint}");
+        }
+    }
+
+    #[test]
+    fn sweep_all_axes_json_reports_points_and_prunes() {
+        let cli = parse_args(&argv("sweep fir.kernel --axes all --json")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["axes"][0], "unroll");
+        assert!(v["points"][0]["cycles"].as_u64().unwrap() > 0);
+        assert!(v["points"][0]["permutation"][0].as_u64().is_some());
+        assert!(v["pruned_by_legality"]["permutations"].as_u64().is_some());
+    }
+
+    #[test]
+    fn analyze_with_axes_reports_joint_space() {
+        let cli = parse_args(&argv("analyze fir.kernel --axes all")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(
+            out.contains("joint space over [unroll,interchange,tile,narrow,pack]"),
+            "{out}"
+        );
+        let cli = parse_args(&argv("analyze fir.kernel --axes all --json")).unwrap();
+        let out = run(&cli, FIR).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["joint"]["points"].as_u64().unwrap() > 0);
+        // Without --axes the classic report is untouched.
+        let plain = run(&parse_args(&argv("analyze fir.kernel")).unwrap(), FIR).unwrap();
+        assert!(!plain.contains("joint space"), "{plain}");
     }
 
     #[test]

@@ -76,6 +76,13 @@ pub enum Invariant {
     /// In a multi-fidelity trace, a point was tier-1-visited without a
     /// prior `TierPromote`, or after being tier-0-pruned.
     TierPromotion,
+    /// In a joint-sweep trace, an `AxisVisit` point is outside the joint
+    /// space, a member was visited twice, or a member was never visited.
+    /// Because an `AxisVisit` is only emitted after its point
+    /// transformed and estimated successfully, a clean report certifies
+    /// the membership-soundness contract: every statically-enumerated
+    /// point succeeded at transform time.
+    JointMembership,
 }
 
 impl Invariant {
@@ -91,6 +98,7 @@ impl Invariant {
             Invariant::TerminateFinal => "terminate-final",
             Invariant::SelectedValid => "selected-valid",
             Invariant::TierPromotion => "tier-promotion",
+            Invariant::JointMembership => "joint-membership",
         }
     }
 }
@@ -414,6 +422,9 @@ pub fn audit_search_trace(
             // obligations: the events after them are a complete search
             // that must (and does) justify its selection on its own.
             TraceEvent::WarmStart { .. } => {}
+            // Joint-sweep events describe a different artifact; they are
+            // audited by [`audit_joint_trace`].
+            TraceEvent::AxisVisit { .. } => {}
             TraceEvent::StagePlaced { .. } | TraceEvent::StageRebalanced { .. } => {}
         }
     }
@@ -477,6 +488,58 @@ pub fn audit_search_trace(
     report
         .violations
         .sort_by_key(|v| v.event_index.unwrap_or(usize::MAX));
+    report
+}
+
+/// Replay a joint-sweep trace (the `AxisVisit` events of one
+/// [`Explorer::joint_sweep`](crate::Explorer::joint_sweep)) against the
+/// membership-soundness invariant: every visited point is a member of
+/// the joint `space`, every member is visited exactly once, and nothing
+/// outside the space was ever touched. Since an `AxisVisit` is emitted
+/// only after its point transformed and estimated without error, a clean
+/// report over a complete sweep certifies "space membership implies
+/// transform success" end to end. Non-`AxisVisit` events are ignored, so
+/// a combined trace can hold a search and a joint sweep side by side.
+pub fn audit_joint_trace(events: &[TraceEvent], space: &DesignSpace) -> AuditReport {
+    let mut report = AuditReport {
+        events: events.len(),
+        ..AuditReport::default()
+    };
+    let mut seen: Vec<&crate::space::JointPoint> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let TraceEvent::AxisVisit { point, .. } = e else {
+            continue;
+        };
+        report.checks += 2;
+        if !space.contains_joint(point) {
+            report.violations.push(AuditViolation {
+                invariant: Invariant::JointMembership,
+                event_index: Some(i),
+                event: Some(e.clone()),
+                detail: format!("visited point {point:?} is not in the joint space"),
+            });
+        }
+        if seen.contains(&point) {
+            report.violations.push(AuditViolation {
+                invariant: Invariant::JointMembership,
+                event_index: Some(i),
+                event: Some(e.clone()),
+                detail: format!("point {point:?} visited twice"),
+            });
+        }
+        seen.push(point);
+    }
+    report.checks += 1;
+    for member in space.joint_points() {
+        if !seen.contains(&member) {
+            report.violations.push(AuditViolation {
+                invariant: Invariant::JointMembership,
+                event_index: None,
+                event: None,
+                detail: format!("member {member:?} was never visited"),
+            });
+        }
+    }
     report
 }
 
@@ -732,6 +795,60 @@ mod tests {
         let events = vec![visit(&[4, 1], 2.0, true), terminate(&[4, 1])];
         let report = audit_search_trace(&events, &space, &sat);
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn joint_trace_membership_is_audited() {
+        use crate::space::{Axis, JointPoint};
+        let k = defacto_ir::parse_kernel(
+            "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+               for j in 0..64 { for i in 0..32 {
+                 D[j] = D[j] + S[i + j] * C[i]; } } }",
+        )
+        .unwrap();
+        let summary = defacto_analysis::LegalitySummary::analyze(&k).unwrap();
+        let space = DesignSpace::with_axes(&[64, 32], &[true, true], &summary, &[Axis::Unroll], 32);
+        let axis_visit = |p: &JointPoint| TraceEvent::AxisVisit {
+            point: p.clone(),
+            balance: 1.0,
+            cycles: 100,
+            slices: 10,
+            fits: true,
+        };
+        let complete: Vec<TraceEvent> = space.joint_points().iter().map(axis_visit).collect();
+        assert!(audit_joint_trace(&complete, &space).is_clean());
+        // Dropping a member breaks completeness.
+        let partial = &complete[1..];
+        let report = audit_joint_trace(partial, &space);
+        assert!(report.violations.iter().any(
+            |v| v.invariant == Invariant::JointMembership && v.detail.contains("never visited")
+        ));
+        // Visiting a non-member breaks membership.
+        let mut with_alien = complete.clone();
+        with_alien.push(axis_visit(&JointPoint {
+            unroll: vec![3, 1],
+            ..JointPoint::baseline(2)
+        }));
+        let report = audit_joint_trace(&with_alien, &space);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::JointMembership
+                && v.detail.contains("not in the joint space")));
+        // Duplicates are flagged.
+        let mut doubled = complete.clone();
+        doubled.push(complete[0].clone());
+        let report = audit_joint_trace(&doubled, &space);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("visited twice")));
+        // Search auditing ignores AxisVisit events entirely.
+        let (search_space, sat) = synthetic();
+        let mut mixed = vec![visit(&[4, 1], 2.0, true)];
+        mixed.extend(complete.iter().cloned());
+        mixed.push(terminate(&[4, 1]));
+        assert!(audit_search_trace(&mixed, &search_space, &sat).is_clean());
     }
 
     #[test]

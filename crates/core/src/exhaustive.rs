@@ -6,8 +6,8 @@
 
 use crate::engine::EvalEngine;
 use crate::error::Result;
-use crate::explorer::EvaluatedDesign;
-use crate::space::DesignSpace;
+use crate::explorer::{EvaluatedDesign, EvaluatedJointDesign};
+use crate::space::{DesignSpace, JointPoint};
 use defacto_xform::UnrollVector;
 use std::cmp::Ordering;
 
@@ -48,6 +48,41 @@ where
         .parallel_map(&members, |u| eval(u))
         .into_iter()
         .collect()
+}
+
+/// Evaluate every point of a joint multi-axis space with `eval`, in the
+/// space's enumeration order. The serial counterpart of
+/// [`Explorer::joint_sweep`](crate::Explorer::joint_sweep) for callers
+/// bringing their own evaluator. Every point is statically legal by
+/// construction, so an evaluation failure indicates a
+/// membership-soundness bug, not a skippable candidate; it propagates.
+///
+/// # Errors
+///
+/// Propagates the first evaluation failure.
+pub fn exhaustive_joint_sweep<E>(
+    space: &DesignSpace,
+    mut eval: E,
+) -> Result<Vec<EvaluatedJointDesign>>
+where
+    E: FnMut(&JointPoint) -> Result<EvaluatedJointDesign>,
+{
+    let mut out = Vec::with_capacity(space.joint_size() as usize);
+    for p in space.joint_points() {
+        out.push(eval(p)?);
+    }
+    Ok(out)
+}
+
+/// The fastest design of a joint sweep; ties go to the smaller design,
+/// then the lexicographically smaller joint coordinate (fully
+/// deterministic).
+pub fn best_joint_performance(sweep: &[EvaluatedJointDesign]) -> Option<&EvaluatedJointDesign> {
+    sweep.iter().filter(|d| d.estimate.fits).min_by(|a, b| {
+        (a.estimate.cycles, a.estimate.slices)
+            .cmp(&(b.estimate.cycles, b.estimate.slices))
+            .then_with(|| a.point.cmp(&b.point))
+    })
 }
 
 /// Order designs by (cycles, slices), ties to the lexicographically

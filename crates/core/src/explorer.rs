@@ -7,7 +7,7 @@ use crate::saturation::{saturation_analysis, SaturationInfo};
 use crate::search::{
     doubling_frontier, run_search_instrumented, SearchConfig, SearchResult, VisitOutcome,
 };
-use crate::space::DesignSpace;
+use crate::space::{Axis, DesignSpace, JointPoint};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use defacto_cache::{AnalysisSummary, ContextKey, PersistentCache, SelectionRecord};
 use defacto_ir::{ContentHash, Kernel};
@@ -92,6 +92,15 @@ pub struct EvaluatedDesign {
     pub estimate: Estimate,
 }
 
+/// One evaluated joint-space point (see [`Explorer::joint_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedJointDesign {
+    /// The multi-axis coordinate.
+    pub point: JointPoint,
+    /// Its behavioral-synthesis estimate.
+    pub estimate: Estimate,
+}
+
 /// Design-space explorer for one kernel.
 ///
 /// Defaults match the paper's platform: 4 pipelined WildStar memories and
@@ -127,6 +136,10 @@ pub struct Explorer<'k> {
     prepared: OnceLock<Option<Arc<PreparedKernel>>>,
     /// Evaluation fidelity policy.
     fidelity: Fidelity,
+    /// Joint-space axes, when multi-axis exploration was requested with
+    /// [`Explorer::axes`]. `None` keeps every path identical to the
+    /// classic unroll-only explorer.
+    axes: Option<Vec<Axis>>,
     /// The tier-0 analytic model, built lazily from the prepared kernel
     /// and invalidated whenever the evaluation context changes. `None`
     /// inside means the model declined the configuration (designer
@@ -158,6 +171,7 @@ impl<'k> Explorer<'k> {
             store: None,
             prepared: OnceLock::new(),
             fidelity: Fidelity::Full,
+            axes: None,
             analytic: OnceLock::new(),
         };
         ex.refresh_context();
@@ -285,6 +299,22 @@ impl<'k> Explorer<'k> {
     /// The fidelity policy in effect.
     pub fn fidelity_ref(&self) -> Fidelity {
         self.fidelity
+    }
+
+    /// Select the joint-space axes for [`Explorer::joint_space`] and
+    /// [`Explorer::joint_sweep`]. Search ([`Explorer::explore`]) and the
+    /// classic sweep are unaffected — they always work the unroll axis —
+    /// so selections stay bit-identical whether or not axes are set.
+    pub fn axes(mut self, axes: &[Axis]) -> Self {
+        self.axes = Some(axes.to_vec());
+        self
+    }
+
+    /// The joint-space axes in effect (`None` until [`Explorer::axes`]
+    /// is called; [`Explorer::joint_space`] then defaults to unroll
+    /// only).
+    pub fn axes_ref(&self) -> Option<&[Axis]> {
+        self.axes.as_deref()
     }
 
     /// The tier-0 analytic model for the current context, if the kernel
@@ -699,6 +729,123 @@ impl<'k> Explorer<'k> {
         Ok(result)
     }
 
+    /// Build the typed multi-axis design space for the axes selected
+    /// with [`Explorer::axes`] (unroll only when unset). Axis domains
+    /// are constructed from the kernel's
+    /// [`LegalitySummary`](defacto_analysis::LegalitySummary), so every
+    /// member is statically proven legal before anything is evaluated —
+    /// see [`DesignSpace::with_axes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the kernel is not a perfect loop nest or does not
+    /// prepare.
+    pub fn joint_space(&self) -> Result<DesignSpace> {
+        let axes = match &self.axes {
+            Some(a) => a.clone(),
+            None => vec![Axis::Unroll],
+        };
+        let (info, _) = self.analyze()?;
+        let prepared = match self.prepared() {
+            Some(p) => p.clone(),
+            // Preparation fails deterministically; reproduce its error.
+            None => match PreparedKernel::prepare(self.kernel) {
+                Err(e) => return Err(e.into()),
+                Ok(p) => Arc::new(p),
+            },
+        };
+        let nest = self
+            .kernel
+            .perfect_nest()
+            .expect("saturation analysis accepted the nest");
+        Ok(DesignSpace::with_axes(
+            &nest.trip_counts(),
+            &info.unrollable,
+            prepared.legality(),
+            &axes,
+            self.mem.width_bits,
+        ))
+    }
+
+    /// Evaluate every point of the joint multi-axis space (see
+    /// [`Explorer::joint_space`]), fanned out across the engine's
+    /// workers, in the space's enumeration order. One
+    /// [`TraceEvent::AxisVisit`] is emitted per point, in order, when
+    /// tracing is enabled.
+    ///
+    /// With axes unset or `[Axis::Unroll]`, the evaluated designs carry
+    /// exactly the classic space's unroll vectors in [`DesignSpace::iter`]
+    /// order with estimates identical to [`Explorer::sweep`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures. A transform failure on any
+    /// enumerated point is a soundness bug — membership is supposed to
+    /// imply transform success — and surfaces here as the transform's
+    /// typed error rather than being skipped.
+    pub fn joint_sweep(&self) -> Result<Vec<EvaluatedJointDesign>> {
+        let space = self.joint_space()?;
+        let points: Vec<JointPoint> = space.joint_points().to_vec();
+        let results = self
+            .engine
+            .parallel_map(&points, |p| self.evaluate_joint(p));
+        let mut sweep = Vec::with_capacity(points.len());
+        for r in results {
+            sweep.push(r?);
+        }
+        if self.sink.enabled() {
+            for d in &sweep {
+                self.sink.record(&TraceEvent::AxisVisit {
+                    point: d.point.clone(),
+                    balance: d.estimate.balance,
+                    cycles: d.estimate.cycles,
+                    slices: d.estimate.slices,
+                    fits: d.estimate.fits,
+                });
+            }
+        }
+        Ok(sweep)
+    }
+
+    /// Evaluate one joint point: apply its interchange/tiling to the
+    /// kernel, run the classic unroll pipeline on the variant, and
+    /// estimate with the point's narrowing/packing flags overriding the
+    /// explorer's synthesis options.
+    fn evaluate_joint(&self, p: &JointPoint) -> Result<EvaluatedJointDesign> {
+        let variant = self.joint_variant(p)?;
+        let unroll = match p.tile {
+            // Register tiling deepens the nest by one; tiled points are
+            // enumerated at all-ones unroll.
+            Some(_) => UnrollVector::ones(p.unroll.len() + 1),
+            None => UnrollVector(p.unroll.clone()),
+        };
+        let design = transform(&variant, &unroll, &self.opts)?;
+        let mut synthesis = self.synthesis.clone();
+        if p.narrow {
+            synthesis.bitwidth_narrowing = true;
+        }
+        if p.pack {
+            synthesis.pack_small_types = true;
+        }
+        let estimate = estimate_opts(&design, &self.mem, &self.device, &synthesis);
+        Ok(EvaluatedJointDesign {
+            point: p.clone(),
+            estimate,
+        })
+    }
+
+    /// The kernel variant a joint point's non-unroll loop axes describe.
+    fn joint_variant(&self, p: &JointPoint) -> Result<Kernel> {
+        let mut variant = defacto_xform::normalize_loops(self.kernel)?;
+        if !p.identity_permutation() {
+            variant = defacto_xform::interchange(&variant, &p.permutation)?;
+        }
+        if let Some((level, tile)) = p.tile {
+            variant = defacto_xform::tiling::tile_for_registers(&variant, level, tile)?;
+        }
+        Ok(variant)
+    }
+
     /// Execute the transformed design at `unroll` on concrete inputs
     /// through the reference interpreter — functional verification of the
     /// exact hardware-bound code, with its memory-traffic profile.
@@ -969,6 +1116,43 @@ mod tests {
         // The paper: without pipelining, FIR designs are always memory
         // bound; the search stops at (or near) the saturation point.
         assert!(r.selected.estimate.balance < 1.0 + 0.10);
+    }
+
+    #[test]
+    fn unroll_only_joint_sweep_matches_the_classic_sweep() {
+        let k = parse_kernel(FIR).unwrap();
+        let ex = Explorer::new(&k);
+        let classic = ex.sweep().unwrap();
+        // Axes unset defaults to unroll only.
+        let joint = ex.joint_sweep().unwrap();
+        assert_eq!(joint.len(), classic.len());
+        for (j, c) in joint.iter().zip(&classic) {
+            assert!(j.point.is_unroll_only());
+            assert_eq!(j.point.unroll_vector(), c.unroll);
+            assert_eq!(j.estimate, c.estimate, "at {}", c.unroll);
+        }
+        // The winners agree bit for bit.
+        let best_joint = crate::exhaustive::best_joint_performance(&joint).unwrap();
+        let best_classic = crate::exhaustive::best_performance(&classic).unwrap();
+        assert_eq!(best_joint.point.unroll_vector(), best_classic.unroll);
+        assert_eq!(best_joint.estimate, best_classic.estimate);
+    }
+
+    #[test]
+    fn all_axes_joint_sweep_traces_and_audits_clean() {
+        let k = parse_kernel(FIR).unwrap();
+        let sink = Arc::new(crate::trace::MemorySink::new());
+        let ex = Explorer::new(&k).axes(&Axis::ALL).trace(sink.clone());
+        let space = ex.joint_space().unwrap();
+        let sweep = ex.joint_sweep().unwrap();
+        assert_eq!(sweep.len() as u64, space.joint_size());
+        // FIR: both orders legal, tiles on both levels, no flag axes.
+        assert!(sweep.iter().any(|d| !d.point.identity_permutation()));
+        assert!(sweep.iter().any(|d| d.point.tile.is_some()));
+        // Every point transformed and estimated: that *is* the
+        // membership-soundness contract, certified by the auditor.
+        let report = crate::audit::audit_joint_trace(&sink.events(), &space);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[cfg(feature = "serde")]

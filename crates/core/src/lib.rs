@@ -50,15 +50,17 @@ pub mod space;
 pub mod strategies;
 pub mod trace;
 
-pub use audit::{audit_search_trace, AuditReport, AuditViolation, Invariant};
+pub use audit::{audit_joint_trace, audit_search_trace, AuditReport, AuditViolation, Invariant};
 pub use defacto_analysis::{lint_kernel, lint_source, LintReport};
 pub use defacto_ir::{diag, Diagnostic, Severity};
 pub use engine::{
     CacheKey, CacheShardStats, CounterSnapshot, EstimateCache, EvalEngine, EvalStats,
 };
 pub use error::{DseError, Result};
-pub use exhaustive::{exhaustive_sweep, parallel_sweep};
-pub use explorer::{EvaluatedDesign, Explorer, Fidelity};
+pub use exhaustive::{
+    best_joint_performance, exhaustive_joint_sweep, exhaustive_sweep, parallel_sweep,
+};
+pub use explorer::{EvaluatedDesign, EvaluatedJointDesign, Explorer, Fidelity};
 pub use incremental::{IncrementalOutcome, IncrementalSession};
 pub use multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage, StagePlacement};
 pub use saturation::{saturation_analysis, SaturationInfo};
@@ -66,7 +68,7 @@ pub use search::{
     doubling_frontier, run_search, run_search_instrumented, run_search_with_sink, SearchConfig,
     SearchResult, Termination, VisitOutcome,
 };
-pub use space::DesignSpace;
+pub use space::{Axis, DesignSpace, JointPoint, PrunedCounts};
 pub use strategies::{hill_climb, random_search, StrategyOutcome};
 pub use trace::{to_jsonl, JsonlSink, MemorySink, NullSink, RingBufferSink, TraceEvent, TraceSink};
 
@@ -80,15 +82,15 @@ pub use defacto_xform as xform;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::audit::{audit_search_trace, AuditReport};
+    pub use crate::audit::{audit_joint_trace, audit_search_trace, AuditReport};
     pub use crate::engine::{EvalEngine, EvalStats};
     pub use crate::exhaustive::{exhaustive_sweep, parallel_sweep};
-    pub use crate::explorer::{EvaluatedDesign, Explorer, Fidelity};
+    pub use crate::explorer::{EvaluatedDesign, EvaluatedJointDesign, Explorer, Fidelity};
     pub use crate::incremental::{IncrementalOutcome, IncrementalSession};
     pub use crate::multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage};
     pub use crate::saturation::{saturation_analysis, SaturationInfo};
     pub use crate::search::{SearchResult, Termination};
-    pub use crate::space::DesignSpace;
+    pub use crate::space::{Axis, DesignSpace, JointPoint};
     pub use crate::strategies::{hill_climb, random_search, StrategyOutcome};
     pub use crate::trace::{MemorySink, TraceEvent, TraceSink};
     pub use defacto_analysis::{lint_kernel, lint_source, LintReport};

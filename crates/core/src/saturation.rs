@@ -218,7 +218,12 @@ pub fn saturation_analysis(
     // factors: jamming any outer level would interleave iterations and
     // reorder the chain. Pin those levels so the space holds only legal
     // points and the search never trips the jam legality check mid-sweep.
-    if depth >= 2 && !defacto_xform::carried_scalars(nest.innermost_body(), &var_refs).is_empty() {
+    // The predicate is the legality analysis's — the same one
+    // `unroll_and_jam` and `PreparedKernel::validate_factors` enforce, so
+    // the space and the transform gate can never disagree.
+    if depth >= 2
+        && !defacto_analysis::legality::carried_scalars(nest.innermost_body(), &var_refs).is_empty()
+    {
         for flag in explore.iter_mut().take(depth - 1) {
             *flag = false;
         }
@@ -380,6 +385,37 @@ mod tests {
         let (_, space) =
             saturation_analysis(&k, &TransformOptions::default(), Some(&[true, true])).unwrap();
         assert_eq!(space.size(), 4);
+    }
+
+    #[test]
+    fn carried_scalar_pinning_routes_through_the_legality_summary() {
+        // Regression for the predicate dedup: saturation's flag pinning,
+        // `PreparedKernel::validate_factors`, and `unroll_and_jam` all
+        // consult the same `LegalitySummary` carried-scalar fact. The pin
+        // must therefore exactly track the summary, and everything left in
+        // the pinned space must pass the transform-side gate.
+        use defacto_xform::PreparedKernel;
+        let src = "kernel rc { in A: i32[4][8]; out B: i32[4][8]; var r0: i32; var r1: i32;
+           for i in 0..4 { for j in 0..8 {
+             r0 = A[i][j]; rotate(r0, r1); B[i][j] = r0; } } }";
+        let k = parse_kernel(src).unwrap();
+        let prepared = PreparedKernel::prepare(&k).unwrap();
+        // r0 is written before it is read; only r1's value crosses
+        // iterations.
+        assert_eq!(prepared.legality().carried_scalars(), ["r1"]);
+        let (_, space) = saturation_analysis(&k, &TransformOptions::default(), None).unwrap();
+        for u in space.iter() {
+            assert!(
+                prepared.validate_factors(u.factors()).is_ok(),
+                "pinned space admitted {u:?} but the transform gate rejects it"
+            );
+        }
+        // A kernel whose summary records no carried scalar must not pin.
+        let fir = parse_kernel(FIR).unwrap();
+        let fir_prepared = PreparedKernel::prepare(&fir).unwrap();
+        assert!(fir_prepared.legality().carried_scalars().is_empty());
+        let (info, _) = saturation_analysis(&fir, &TransformOptions::default(), None).unwrap();
+        assert!(info.unrollable.iter().all(|&b| b));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The design space: divisor unroll-factor vectors.
+//! The design space: divisor unroll-factor vectors, optionally extended
+//! into a typed multi-axis product space.
 //!
 //! Behavioral synthesis needs constant loop bounds, so the system
 //! explores unroll factors that evenly divide each loop's trip count —
@@ -6,14 +7,173 @@
 //! contribute memory parallelism (e.g. the innermost MM loop after
 //! loop-invariant code motion removed its accesses) can be pinned to a
 //! factor of 1.
+//!
+//! [`DesignSpace::with_axes`] generalizes the unroll-vector set into a
+//! product over typed [`Axis`] domains — unroll × interchange
+//! permutation × tile size × narrowing × packing — whose domains are
+//! constructed *from* a kernel's
+//! [`LegalitySummary`](defacto_analysis::LegalitySummary). Every
+//! enumerated [`JointPoint`] is therefore statically proven legal before
+//! the engine evaluates anything: the membership filter and the
+//! transforms' own gates are literally the same predicates
+//! (`defacto_analysis::legality`), so membership implies transform
+//! success. Points excluded by legality are counted in
+//! [`PrunedCounts`] — the static pruning that keeps joint sweeps
+//! tractable.
 
+use defacto_analysis::LegalitySummary;
 use defacto_xform::UnrollVector;
+use std::fmt;
+
+/// One axis of the joint transformation space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// Unroll-and-jam factor vectors (the classic space).
+    Unroll,
+    /// Loop-nest permutations from the summary's legal set.
+    Interchange,
+    /// Register-tiling `(level, tile-size)` choices on tilable levels.
+    Tile,
+    /// Bit-width narrowing on/off (only offered when the summary proves
+    /// some array actually narrows).
+    Narrow,
+    /// Data packing on/off (only offered when the summary proves packing
+    /// can share a memory word).
+    Pack,
+}
+
+impl Axis {
+    /// Every axis, in canonical order.
+    pub const ALL: [Axis; 5] = [
+        Axis::Unroll,
+        Axis::Interchange,
+        Axis::Tile,
+        Axis::Narrow,
+        Axis::Pack,
+    ];
+
+    /// Stable lower-case label, for JSON output and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Axis::Unroll => "unroll",
+            Axis::Interchange => "interchange",
+            Axis::Tile => "tile",
+            Axis::Narrow => "narrow",
+            Axis::Pack => "pack",
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Axis {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "unroll" => Ok(Axis::Unroll),
+            "interchange" => Ok(Axis::Interchange),
+            "tile" => Ok(Axis::Tile),
+            "narrow" => Ok(Axis::Narrow),
+            "pack" => Ok(Axis::Pack),
+            other => Err(format!(
+                "unknown axis `{other}` (expected unroll|interchange|tile|narrow|pack)"
+            )),
+        }
+    }
+}
+
+/// One point of the joint space: a coordinate per axis. Axes not
+/// selected (or pruned to a single choice) sit at their baseline — the
+/// identity permutation, no tile, flags off.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JointPoint {
+    /// Unroll factors, applied to the *permuted* nest (outermost first).
+    pub unroll: Vec<i64>,
+    /// Nest permutation: `permutation[k]` is the original level placed at
+    /// position `k`.
+    pub permutation: Vec<usize>,
+    /// Register tiling: `(level, tile_size)` on the original nest, or
+    /// `None`.
+    pub tile: Option<(usize, i64)>,
+    /// Bit-width narrowing enabled for this point.
+    pub narrow: bool,
+    /// Data packing enabled for this point.
+    pub pack: bool,
+}
+
+impl JointPoint {
+    /// The baseline point of a `depth`-deep nest: all-ones unroll,
+    /// identity permutation, no tile, flags off.
+    pub fn baseline(depth: usize) -> JointPoint {
+        JointPoint {
+            unroll: vec![1; depth],
+            permutation: (0..depth).collect(),
+            tile: None,
+            narrow: false,
+            pack: false,
+        }
+    }
+
+    /// The unroll coordinate as an [`UnrollVector`].
+    pub fn unroll_vector(&self) -> UnrollVector {
+        UnrollVector(self.unroll.clone())
+    }
+
+    /// Is the permutation the identity?
+    pub fn identity_permutation(&self) -> bool {
+        self.permutation.iter().enumerate().all(|(k, &l)| k == l)
+    }
+
+    /// True when every non-unroll coordinate sits at its baseline — the
+    /// point projects onto the legacy unroll-only space.
+    pub fn is_unroll_only(&self) -> bool {
+        self.identity_permutation() && self.tile.is_none() && !self.narrow && !self.pack
+    }
+}
+
+/// How many candidate coordinates legality analysis excluded while the
+/// joint space was built — the static pruning that keeps joint sweeps
+/// tractable (each count is work the engine never has to evaluate *or*
+/// reject at transform time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrunedCounts {
+    /// Nest permutations that would reorder a dependence.
+    pub permutations: u64,
+    /// (permutation, unroll) combinations whose jam would be illegal
+    /// under the permuted nest.
+    pub unroll_perm: u64,
+    /// Tile candidates on levels whose hoist would reorder a dependence.
+    pub tiles: u64,
+}
+
+impl PrunedCounts {
+    /// Total coordinates pruned by legality.
+    pub fn total(&self) -> u64 {
+        self.permutations + self.unroll_perm + self.tiles
+    }
+}
+
+/// The multi-axis half of a [`DesignSpace`] (absent on legacy
+/// unroll-only spaces built with [`DesignSpace::new`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct JointExtension {
+    axes: Vec<Axis>,
+    points: Vec<JointPoint>,
+    pruned: PrunedCounts,
+}
 
 /// The set of candidate unroll vectors for one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DesignSpace {
     /// Allowed factors per loop level, ascending, always containing 1.
     factors_per_level: Vec<Vec<i64>>,
+    /// The joint extension, when built with [`DesignSpace::with_axes`].
+    joint: Option<JointExtension>,
 }
 
 impl DesignSpace {
@@ -25,7 +185,174 @@ impl DesignSpace {
             .zip(explore)
             .map(|(&n, &on)| if on { divisors(n) } else { vec![1] })
             .collect();
-        DesignSpace { factors_per_level }
+        DesignSpace {
+            factors_per_level,
+            joint: None,
+        }
+    }
+
+    /// Build a joint multi-axis space whose axis domains are constructed
+    /// from `summary` — see the module docs. `trip_counts`/`explore`
+    /// seed the unroll axis exactly like [`DesignSpace::new`] (identical
+    /// factor domains, so the unroll-only configuration reproduces the
+    /// legacy space bit for bit); `word_bits` is the memory word width
+    /// the packing axis is judged against.
+    ///
+    /// Every enumerated [`JointPoint`] is statically legal:
+    ///
+    /// - permutations come from [`LegalitySummary::legal_permutations`];
+    /// - each (permutation, unroll) pair passes
+    ///   [`LegalitySummary::jam_violation_under`] — the exact predicate
+    ///   `unroll_and_jam` and `PreparedKernel::validate_factors` gate on;
+    /// - tiles sit on [`LegalitySummary::tilable`] levels with dividing
+    ///   sizes, attached to the baseline unroll/permutation (register
+    ///   tiling is checked against the original nest);
+    /// - the narrowing/packing flags are only offered when the summary
+    ///   proves they change anything.
+    pub fn with_axes(
+        trip_counts: &[i64],
+        explore: &[bool],
+        summary: &LegalitySummary,
+        axes: &[Axis],
+        word_bits: u32,
+    ) -> Self {
+        let depth = trip_counts.len();
+        let unroll_on = axes.contains(&Axis::Unroll);
+        let factors_per_level: Vec<Vec<i64>> = trip_counts
+            .iter()
+            .zip(explore)
+            .map(|(&n, &on)| {
+                if unroll_on && on {
+                    divisors(n)
+                } else {
+                    vec![1]
+                }
+            })
+            .collect();
+        let base = DesignSpace {
+            factors_per_level,
+            joint: None,
+        };
+        let mut pruned = PrunedCounts::default();
+
+        let identity: Vec<usize> = (0..depth).collect();
+        let permutations: Vec<Vec<usize>> = if axes.contains(&Axis::Interchange) {
+            let legal = summary.legal_permutations().to_vec();
+            pruned.permutations = factorial(depth).saturating_sub(legal.len() as u64);
+            legal
+        } else {
+            vec![identity.clone()]
+        };
+
+        let narrow_options: &[bool] =
+            if axes.contains(&Axis::Narrow) && summary.narrowing_applicable() {
+                &[false, true]
+            } else {
+                &[false]
+            };
+        let pack_options: &[bool] =
+            if axes.contains(&Axis::Pack) && summary.packing_effective(word_bits) {
+                &[false, true]
+            } else {
+                &[false]
+            };
+
+        let mut points = Vec::new();
+        for perm in &permutations {
+            for u in base.iter() {
+                // `u` assigns a factor to each *original* level; the
+                // factor follows its loop through the permutation, so
+                // position `k` of the permuted nest keeps a divisor of
+                // its own trip count. The summary then checks the
+                // permuted distance vectors plus the carried-scalar rule
+                // — identical to what the transforms would reject, so
+                // nothing survives that could fail.
+                let permuted: Vec<i64> = perm.iter().map(|&l| u.factors()[l]).collect();
+                if summary.jam_violation_under(perm, &permuted).is_some() {
+                    pruned.unroll_perm += 1;
+                    continue;
+                }
+                for &narrow in narrow_options {
+                    for &pack in pack_options {
+                        points.push(JointPoint {
+                            unroll: permuted.clone(),
+                            permutation: perm.clone(),
+                            tile: None,
+                            narrow,
+                            pack,
+                        });
+                    }
+                }
+            }
+        }
+        if axes.contains(&Axis::Tile) {
+            for (level, &trip) in trip_counts.iter().enumerate() {
+                let candidates: Vec<i64> = divisors(trip)
+                    .into_iter()
+                    .filter(|&t| t > 1 && t < trip)
+                    .collect();
+                if !summary.tilable(level) {
+                    pruned.tiles += candidates.len() as u64;
+                    continue;
+                }
+                for t in candidates {
+                    for &narrow in narrow_options {
+                        for &pack in pack_options {
+                            points.push(JointPoint {
+                                unroll: vec![1; depth],
+                                permutation: identity.clone(),
+                                tile: Some((level, t)),
+                                narrow,
+                                pack,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        DesignSpace {
+            factors_per_level: base.factors_per_level,
+            joint: Some(JointExtension {
+                axes: axes.to_vec(),
+                points,
+                pruned,
+            }),
+        }
+    }
+
+    /// The axes of a joint space (`None` on legacy unroll-only spaces).
+    pub fn axes(&self) -> Option<&[Axis]> {
+        self.joint.as_ref().map(|j| j.axes.as_slice())
+    }
+
+    /// Is this a joint multi-axis space?
+    pub fn is_joint(&self) -> bool {
+        self.joint.is_some()
+    }
+
+    /// The statically-legal joint points, in enumeration order (empty on
+    /// legacy spaces).
+    pub fn joint_points(&self) -> &[JointPoint] {
+        self.joint.as_ref().map_or(&[], |j| j.points.as_slice())
+    }
+
+    /// Number of joint points.
+    pub fn joint_size(&self) -> u64 {
+        self.joint.as_ref().map_or(0, |j| j.points.len() as u64)
+    }
+
+    /// Is `p` a member of the joint space? Always false on legacy
+    /// spaces. Membership is static proof of legality: the constructor
+    /// only admits points the transforms provably accept.
+    pub fn contains_joint(&self, p: &JointPoint) -> bool {
+        self.joint.as_ref().is_some_and(|j| j.points.contains(p))
+    }
+
+    /// How many candidate coordinates legality pruned during
+    /// construction (`None` on legacy spaces).
+    pub fn pruned_counts(&self) -> Option<PrunedCounts> {
+        self.joint.as_ref().map(|j| j.pruned)
     }
 
     /// Number of loop levels.
@@ -196,6 +523,11 @@ pub fn divisors(n: i64) -> Vec<i64> {
     low
 }
 
+/// `n!` as a `u64` (nest depths are tiny; saturates defensively).
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).fold(1u64, |acc, k| acc.saturating_mul(k))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +623,118 @@ mod tests {
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 9);
+    }
+
+    const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+       for j in 0..64 { for i in 0..32 {
+         D[j] = D[j] + S[i + j] * C[i]; } } }";
+
+    fn fir_summary() -> LegalitySummary {
+        let k = defacto_ir::parse_kernel(FIR).unwrap();
+        LegalitySummary::analyze(&k).unwrap()
+    }
+
+    #[test]
+    fn axis_labels_round_trip() {
+        for axis in Axis::ALL {
+            assert_eq!(axis.label().parse::<Axis>().unwrap(), axis);
+        }
+        assert!("unrol".parse::<Axis>().is_err());
+        assert!("".parse::<Axis>().is_err());
+    }
+
+    #[test]
+    fn unroll_only_joint_space_projects_to_the_legacy_space() {
+        let summary = fir_summary();
+        let legacy = DesignSpace::new(&[64, 32], &[true, true]);
+        let joint = DesignSpace::with_axes(&[64, 32], &[true, true], &summary, &[Axis::Unroll], 32);
+        assert!(joint.is_joint() && !legacy.is_joint());
+        // Same unroll factor domains bit for bit.
+        assert_eq!(joint.size(), legacy.size());
+        let legacy_vectors: Vec<UnrollVector> = legacy.iter().collect();
+        let joint_vectors: Vec<UnrollVector> = joint
+            .joint_points()
+            .iter()
+            .map(|p| {
+                assert!(p.is_unroll_only());
+                p.unroll_vector()
+            })
+            .collect();
+        assert_eq!(joint_vectors, legacy_vectors);
+        assert_eq!(joint.pruned_counts().unwrap().total(), 0);
+    }
+
+    #[test]
+    fn fir_all_axes_space_shape() {
+        let summary = fir_summary();
+        let joint = DesignSpace::with_axes(&[64, 32], &[true, true], &summary, &Axis::ALL, 32);
+        // FIR: both orders legal, no narrowing/packing applies (i32 at a
+        // 32-bit word), every level tilable. 2 perms × 42 unroll vectors
+        // + proper-divisor tiles (5 on the 64 loop, 4 on the 32 loop).
+        assert_eq!(joint.joint_size(), 2 * 42 + 5 + 4);
+        assert_eq!(joint.pruned_counts().unwrap().total(), 0);
+        // Membership is exact.
+        let member = &joint.joint_points()[0];
+        assert!(joint.contains_joint(member));
+        let mut outsider = member.clone();
+        outsider.unroll = vec![3, 1];
+        assert!(!joint.contains_joint(&outsider));
+        // Legacy spaces have no joint members.
+        assert!(!DesignSpace::new(&[64, 32], &[true, true]).contains_joint(member));
+    }
+
+    #[test]
+    fn wavefront_legality_prunes_the_joint_space() {
+        // A[i][j] = A[i-1][j+1]: distance (1, -1) pins the identity order,
+        // blocks outer jam, and makes no level tilable (hoisting any tile
+        // loop would cross the carrying level... level 0 carries it, so
+        // level 0 itself stays hoistable but level 1 does not).
+        let k = defacto_ir::parse_kernel(
+            "kernel wf { inout A: i32[9][10];
+               for i in 1..9 { for j in 0..8 {
+                 A[i][j] = A[i - 1][j + 1] + 1; } } }",
+        )
+        .unwrap();
+        let k = defacto_xform::normalize_loops(&k).unwrap();
+        let summary = LegalitySummary::analyze(&k).unwrap();
+        let trips: Vec<i64> = k.perfect_nest().unwrap().trip_counts();
+        let joint = DesignSpace::with_axes(&trips, &[true, true], &summary, &Axis::ALL, 32);
+        let pruned = joint.pruned_counts().unwrap();
+        assert_eq!(pruned.permutations, 1, "swap must be pruned");
+        assert!(pruned.unroll_perm > 0, "outer jams must be pruned");
+        assert!(pruned.tiles > 0, "j-tiles must be pruned");
+        // Everything that survives is statically legal: the identity
+        // permutation only, and no unroll vector with an outer factor > 1.
+        for p in joint.joint_points() {
+            assert!(p.identity_permutation());
+            assert!(summary
+                .jam_violation_under(&p.permutation, &p.unroll)
+                .is_none());
+            if let Some((level, _)) = p.tile {
+                assert!(summary.tilable(level));
+            }
+        }
+    }
+
+    #[test]
+    fn flag_axes_only_appear_when_the_summary_proves_them() {
+        // u8 input feeding an i32 accumulator with a declared range:
+        // packing and narrowing both apply.
+        let k = defacto_ir::parse_kernel(
+            "kernel p { in A: u8[64]; out B: i32[64] range 0..100;
+               for i in 0..64 { B[i] = A[i] + 1; } }",
+        )
+        .unwrap();
+        let summary = LegalitySummary::analyze(&k).unwrap();
+        assert!(summary.packing_effective(32));
+        assert!(summary.narrowing_applicable());
+        let joint = DesignSpace::with_axes(&[64], &[true], &summary, &Axis::ALL, 32);
+        // 7 unroll vectors × {narrow off/on} × {pack off/on} + 5 tiles × 4.
+        assert_eq!(joint.joint_size(), 7 * 4 + 5 * 4);
+        assert!(joint.joint_points().iter().any(|p| p.narrow && p.pack));
+        // At a word width the elements already fill, the pack flag
+        // collapses back to off.
+        let narrow_only = DesignSpace::with_axes(&[64], &[true], &summary, &Axis::ALL, 8);
+        assert!(narrow_only.joint_points().iter().all(|p| !p.pack));
     }
 }

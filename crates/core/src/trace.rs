@@ -25,6 +25,7 @@
 //! trace taken at 8 workers is byte-identical to one taken at 1.
 
 use crate::search::Termination;
+use crate::space::JointPoint;
 use defacto_xform::UnrollVector;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -141,6 +142,25 @@ pub enum TraceEvent {
         /// previous run (empty when only the platform context changed).
         changed: Vec<String>,
     },
+    /// Joint multi-axis sweep: one statically-legal [`JointPoint`] was
+    /// transformed and estimated. Emitted only by
+    /// [`Explorer::joint_sweep`](crate::Explorer::joint_sweep), in the
+    /// space's enumeration order, so the auditor can check every visited
+    /// point against [`DesignSpace::contains_joint`]
+    /// (crate::DesignSpace::contains_joint) — space membership must imply
+    /// transform success.
+    AxisVisit {
+        /// The multi-axis coordinate.
+        point: JointPoint,
+        /// Its balance `B = F/C`.
+        balance: f64,
+        /// Estimated execution cycles.
+        cycles: u64,
+        /// Estimated area in slices.
+        slices: u32,
+        /// Whether the design fits the device.
+        fits: bool,
+    },
     /// Multi-FPGA mapping: one pipeline stage was placed.
     StagePlaced {
         /// Stage name.
@@ -171,6 +191,11 @@ pub enum TraceEvent {
 
 fn json_factors(u: &UnrollVector) -> String {
     let inner: Vec<String> = u.factors().iter().map(i64::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn json_usizes(xs: &[usize]) -> String {
+    let inner: Vec<String> = xs.iter().map(usize::to_string).collect();
     format!("[{}]", inner.join(","))
 }
 
@@ -273,6 +298,25 @@ impl TraceEvent {
                     inner.join(","),
                 )
             }
+            TraceEvent::AxisVisit {
+                point,
+                balance,
+                cycles,
+                slices,
+                fits,
+            } => format!(
+                "{{\"event\":\"axis_visit\",\"unroll\":{},\"permutation\":{},\"tile\":{},\
+                 \"narrow\":{},\"pack\":{},\"balance\":{},\"cycles\":{cycles},\
+                 \"slices\":{slices},\"fits\":{fits}}}",
+                json_factors(&point.unroll_vector()),
+                json_usizes(&point.permutation),
+                point
+                    .tile
+                    .map_or_else(|| "null".into(), |(l, t)| format!("[{l},{t}]")),
+                point.narrow,
+                point.pack,
+                json_f64(*balance),
+            ),
             TraceEvent::StagePlaced {
                 stage,
                 fpga,
@@ -522,6 +566,40 @@ mod tests {
             "{\"event\":\"tier_prune\",\"unroll\":[8,4],\"product\":32,\
              \"slices_lo\":14000,\"cycles_lo\":512}"
         );
+    }
+
+    #[test]
+    fn axis_visit_schema_is_stable() {
+        let e = TraceEvent::AxisVisit {
+            point: JointPoint {
+                unroll: vec![4, 1],
+                permutation: vec![1, 0],
+                tile: None,
+                narrow: true,
+                pack: false,
+            },
+            balance: 1.5,
+            cycles: 200,
+            slices: 40,
+            fits: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"axis_visit\",\"unroll\":[4,1],\"permutation\":[1,0],\"tile\":null,\
+             \"narrow\":true,\"pack\":false,\"balance\":1.5,\"cycles\":200,\"slices\":40,\
+             \"fits\":true}"
+        );
+        let tiled = TraceEvent::AxisVisit {
+            point: JointPoint {
+                tile: Some((1, 8)),
+                ..JointPoint::baseline(2)
+            },
+            balance: 2.0,
+            cycles: 100,
+            slices: 10,
+            fits: false,
+        };
+        assert!(tiled.to_json().contains("\"tile\":[1,8]"));
     }
 
     #[test]

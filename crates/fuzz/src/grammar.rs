@@ -45,7 +45,7 @@ pub enum Shape {
     /// A zero-extent array dimension.
     ZeroExtent,
     /// An extra never-referenced declaration (warning only — the kernel
-    /// still flows through all five oracles).
+    /// still flows through all six oracles).
     UnusedDecl,
 }
 

@@ -12,7 +12,7 @@
 //!    (nested affine loops, multi-array reads/writes, boundary
 //!    conditionals, mixed bitwidths), with a deliberate fraction of
 //!    degenerate injections that must be *rejected, not crash*.
-//! 2. [`oracle`] — the five-way differential check per kernel × design
+//! 2. [`oracle`] — the six-way differential check per kernel × design
 //!    point × device profile: interpreter semantics of original vs. fully
 //!    transformed designs, per-pass verification, full-vs-multi fidelity
 //!    agreement plus tier-0 band containment of the exact estimate, and

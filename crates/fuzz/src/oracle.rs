@@ -1,4 +1,4 @@
-//! The five-way differential oracle.
+//! The six-way differential oracle.
 //!
 //! One *case* is a generated kernel source run against one device/memory
 //! profile. The oracle classifies it as:
@@ -14,9 +14,11 @@
 //!   disagreement or analytic band that excludes the exact estimate, a
 //!   dirty or nondeterministic search trace, a canonicalization break
 //!   (an alpha-renamed variant hashing differently, or a warm persistent
-//!   cache changing the selection) — or a panic anywhere, which
-//!   is *always* a violation (crashes are never an acceptable answer to
-//!   malformed input).
+//!   cache changing the selection), a legality break (a statically-legal
+//!   joint-space point failing to transform, a transformed legal point
+//!   changing semantics, or a provably-illegal transform being accepted)
+//!   — or a panic anywhere, which is *always* a violation (crashes are
+//!   never an acceptable answer to malformed input).
 
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -48,6 +50,11 @@ pub enum Oracle {
     /// declaration-reordered variant hashed differently, or a warm
     /// persistent cache changed what the search selects.
     Canon,
+    /// The `LegalitySummary` lied: a statically-legal joint-space point
+    /// failed to transform (or changed semantics), or a provably-illegal
+    /// permutation/tile was accepted instead of rejected with a typed
+    /// error.
+    Legality,
     /// A panic escaped a compiler pass — the catch-all robustness oracle.
     Crash,
 }
@@ -61,6 +68,7 @@ impl Oracle {
             Oracle::Fidelity => "fidelity",
             Oracle::Audit => "audit",
             Oracle::Canon => "canon",
+            Oracle::Legality => "legality",
             Oracle::Crash => "crash",
         }
     }
@@ -150,7 +158,7 @@ impl Default for OracleConfig {
     }
 }
 
-/// Run all five oracles on one kernel source under one profile.
+/// Run all six oracles on one kernel source under one profile.
 pub fn check_case(source: &str, profile: &Profile, cfg: &OracleConfig) -> CaseOutcome {
     match check_case_inner(source, profile, cfg) {
         Ok(outcome) => outcome,
@@ -555,7 +563,181 @@ fn check_case_inner(
         Err(v) => return Ok(CaseOutcome::Violation(v)),
     }
 
+    // Oracle 6: joint-space legality. Every point the typed multi-axis
+    // space enumerates is statically proven legal, so each sampled point
+    // must transform verifier-clean and preserve semantics; conversely a
+    // provably-illegal permutation or tile must be refused with a typed
+    // error — accepted is a soundness bug, a panic is a crash.
+    let joint_explorer = explorer.clone().axes(&defacto::Axis::ALL);
+    let jspace = match guarded("joint-space", || joint_explorer.joint_space())? {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(CaseOutcome::Rejected {
+                stage: "transform",
+                detail: format!("joint-space: {e}"),
+            })
+        }
+    };
+    let jpoints = jspace.joint_points();
+    let mut jpicked: BTreeSet<usize> = BTreeSet::new();
+    if !jpoints.is_empty() {
+        let mut jrng = SplitMix64::new(cfg.input_seed ^ 0x10E6_A117);
+        jpicked.insert(0);
+        jpicked.insert(jpoints.len() - 1);
+        while jpicked.len() < cfg.max_points.min(jpoints.len()) {
+            jpicked.insert(jrng.below(jpoints.len() as u64) as usize);
+        }
+    }
+    let mut jopts = explorer.transform_options().clone();
+    jopts.verify_each_pass = true;
+    for &i in &jpicked {
+        let p = &jpoints[i];
+        let unroll = match p.tile {
+            Some(_) => UnrollVector::ones(p.unroll.len() + 1),
+            None => UnrollVector(p.unroll.clone()),
+        };
+        let built = guarded(&format!("joint-build@{i}"), || {
+            let mut variant = defacto_xform::normalize_loops(&kernel)?;
+            if !p.identity_permutation() {
+                variant = defacto_xform::interchange(&variant, &p.permutation)?;
+            }
+            if let Some((level, tile)) = p.tile {
+                variant = defacto_xform::tiling::tile_for_registers(&variant, level, tile)?;
+            }
+            defacto_xform::transform(&variant, &unroll, &jopts)
+        })?;
+        let design = match built {
+            Ok(d) => d,
+            Err(e) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Legality,
+                    stage: format!("joint@{i}"),
+                    detail: format!("statically-legal point {p:?} rejected by transform: {e}"),
+                }))
+            }
+        };
+        checks += 1; // membership implied a verifier-clean transform
+        let j_run = guarded(&format!("interp-joint@{i}"), || {
+            run_with_inputs(&design.kernel, &input_refs)
+        })?;
+        let (j_ws, _) = match j_run {
+            Ok(r) => r,
+            Err(e) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Legality,
+                    stage: format!("joint-exec@{i}"),
+                    detail: format!("legal point {p:?} transforms but fails to run: {e}"),
+                }))
+            }
+        };
+        for a in kernel.arrays() {
+            if a.kind == ArrayKind::In {
+                continue;
+            }
+            if base_ws.array(&a.name) != j_ws.array(&a.name) {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Legality,
+                    stage: format!("joint-outputs@{i}"),
+                    detail: format!("array `{}` diverges under {p:?}", a.name),
+                }));
+            }
+        }
+        checks += 1;
+    }
+
+    // The negative half: provably-illegal coordinates must be refused
+    // with a typed error, never accepted, never a panic.
+    let summary = prepared.legality();
+    if let Ok(normalized) = guarded("normalize", || defacto_xform::normalize_loops(&kernel))? {
+        if let Some(bad) = first_illegal_permutation(summary) {
+            match guarded("illegal-perm", || {
+                defacto_xform::interchange(&normalized, &bad)
+            })? {
+                Ok(_) => {
+                    return Ok(CaseOutcome::Violation(Violation {
+                        oracle: Oracle::Legality,
+                        stage: "illegal-perm".to_string(),
+                        detail: format!(
+                            "permutation {bad:?} is outside the legal set but interchange \
+                             accepted it"
+                        ),
+                    }))
+                }
+                Err(_) => checks += 1,
+            }
+        }
+        if let Some((level, tile)) = first_illegal_tile(summary) {
+            let probe = guarded("illegal-tile", || {
+                defacto_xform::tiling::tile_for_registers(&normalized, level, tile)
+            })?;
+            match probe {
+                Ok(_) => {
+                    return Ok(CaseOutcome::Violation(Violation {
+                        oracle: Oracle::Legality,
+                        stage: "illegal-tile".to_string(),
+                        detail: format!(
+                            "level {level} is not tilable but tile_for_registers accepted \
+                             tile size {tile}"
+                        ),
+                    }))
+                }
+                Err(_) => checks += 1,
+            }
+        }
+    }
+
     Ok(CaseOutcome::Passed { checks })
+}
+
+/// A permutation of the nest the summary proves illegal, if any exists
+/// (i.e. the legal set is a strict subset of all `depth!` orders).
+fn first_illegal_permutation(
+    summary: &defacto::analysis::legality::LegalitySummary,
+) -> Option<Vec<usize>> {
+    let depth = summary.depth();
+    if !(2..=4).contains(&depth) {
+        return None; // 1-deep has one order; deeper nests don't occur
+    }
+    all_permutations(depth)
+        .into_iter()
+        .find(|p| !summary.permutation_is_legal(p))
+}
+
+/// A (level, proper-divisor) pair the summary proves untilable, if any.
+fn first_illegal_tile(
+    summary: &defacto::analysis::legality::LegalitySummary,
+) -> Option<(usize, i64)> {
+    for (level, &trip) in summary.trip_counts().iter().enumerate() {
+        if summary.tilable(level) {
+            continue;
+        }
+        if let Some(t) = (2..trip).find(|t| trip % t == 0) {
+            return Some((level, t));
+        }
+    }
+    None
+}
+
+fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    heap_permute(&mut current, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
 }
 
 /// Name every band component the exact estimate escapes — only the

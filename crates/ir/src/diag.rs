@@ -40,6 +40,13 @@ pub mod codes {
     /// zero trip count, so the estimator would price it as free while the
     /// design space around it collapses.
     pub const DEGENERATE_LOOP: &str = "DF010";
+    /// Dependences restrict a multi-loop nest to the identity
+    /// permutation, so an interchange axis adds nothing to the space.
+    pub const INTERCHANGE_PINNED: &str = "DF011";
+    /// Packing an array is a provable no-op or illegal: its element
+    /// width already fills the memory word, or its access stride defeats
+    /// word-packing alignment.
+    pub const PACKING_INERT: &str = "DF012";
     /// Verifier: use of an undeclared or never-written name.
     pub const V_UNDECLARED: &str = "DF101";
     /// Verifier: subscript arity differs from the declared dimensions.

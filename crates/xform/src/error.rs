@@ -61,96 +61,11 @@ impl fmt::Display for VectorError {
 }
 
 /// The dependence that makes an unroll-and-jam or interchange illegal.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum JamViolation {
-    /// Unroll-and-jam: a dependence carried at the unrolled `level` has a
-    /// negative component at a `deeper` level — the jam would execute the
-    /// dependent iteration before its source.
-    NegativeDeeper {
-        /// Array carrying the dependence.
-        array: String,
-        /// The unrolled level that carries it.
-        level: usize,
-        /// The deeper level with the negative distance component.
-        deeper: usize,
-    },
-    /// Unroll-and-jam: the deeper component is unknown, so the jam is
-    /// conservatively rejected.
-    UnknownDeeper {
-        /// Array carrying the dependence.
-        array: String,
-        /// The unrolled level that carries it.
-        level: usize,
-        /// The deeper level with the unknown distance component.
-        deeper: usize,
-    },
-    /// Interchange: the permutation changes the relative order of the
-    /// dependence's may-be-nonzero distance components.
-    Reordered {
-        /// Array carrying the dependence.
-        array: String,
-        /// The levels (original order) at which it carries.
-        levels: Vec<usize>,
-    },
-    /// Unroll-and-jam: the body carries scalar state across iterations
-    /// (a rotate register chain, or a scalar read before it is written),
-    /// and a non-innermost unroll factor would interleave iterations and
-    /// reorder that chain.
-    CarriedScalar {
-        /// A scalar carrying the cross-iteration state.
-        scalar: String,
-        /// The non-innermost level whose factor exceeds 1.
-        level: usize,
-    },
-}
-
-impl JamViolation {
-    /// The array (or carried scalar) whose dependence blocks the
-    /// transformation.
-    pub fn array(&self) -> &str {
-        match self {
-            JamViolation::NegativeDeeper { array, .. }
-            | JamViolation::UnknownDeeper { array, .. }
-            | JamViolation::Reordered { array, .. } => array,
-            JamViolation::CarriedScalar { scalar, .. } => scalar,
-        }
-    }
-}
-
-impl fmt::Display for JamViolation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JamViolation::NegativeDeeper {
-                array,
-                level,
-                deeper,
-            } => write!(
-                f,
-                "dependence on `{array}` carried at level {level} has negative \
-                 component at level {deeper}"
-            ),
-            JamViolation::UnknownDeeper {
-                array,
-                level,
-                deeper,
-            } => write!(
-                f,
-                "dependence on `{array}` carried at level {level} has unknown \
-                 component at level {deeper}"
-            ),
-            JamViolation::Reordered { array, levels } => write!(
-                f,
-                "dependence on `{array}` carries at levels {levels:?}, \
-                 which the permutation reorders"
-            ),
-            JamViolation::CarriedScalar { scalar, level } => write!(
-                f,
-                "scalar `{scalar}` carries state across iterations; \
-                 unrolling non-innermost level {level} would reorder it"
-            ),
-        }
-    }
-}
+///
+/// Defined by the legality analysis (the predicates that produce it live
+/// in `defacto_analysis::legality`); re-exported here as the payload of
+/// [`XformError::IllegalJam`]. Variants and `Display` are unchanged.
+pub use defacto_analysis::legality::JamViolation;
 
 /// Why a tiling request was invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -17,34 +17,29 @@
 //! instance sets were lex-positive to begin with.)
 
 use crate::error::{JamViolation, Result, VectorError, XformError};
+use defacto_analysis::legality;
 use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DependenceGraph};
 use defacto_ir::{Kernel, Loop, Stmt};
 
-/// Check interchange legality against a dependence graph.
+/// Check interchange legality against a dependence graph and the body's
+/// carried-scalar set.
 ///
-/// `order[k]` is the original level placed at position `k`.
+/// `order[k]` is the original level placed at position `k`. A delegating
+/// assertion over `defacto_analysis::legality::permutation_violation` —
+/// the same predicate that enumerates `LegalitySummary`'s legal
+/// permutations, so space membership and this gate can never disagree.
+/// A non-empty carried set pins the nest to the identity order: the
+/// scalar chain threads the iterations in sequence order, and any
+/// permutation re-threads it through different values.
 pub fn interchange_is_legal(
     deps: &DependenceGraph,
+    carried: &[String],
     order: &[usize],
 ) -> std::result::Result<(), JamViolation> {
-    for dep in deps.deps().iter().filter(|d| d.kind.constrains()) {
-        // Positions that can be non-zero, in original order.
-        let hot: Vec<usize> = (0..dep.distance.len())
-            .filter(|&l| dep.distance[l].may_be_nonzero())
-            .collect();
-        if hot.len() <= 1 {
-            continue; // a single carrier (or none) permutes freely
-        }
-        // Their order in the permuted nest.
-        let permuted: Vec<usize> = order.iter().copied().filter(|l| hot.contains(l)).collect();
-        if permuted != hot {
-            return Err(JamViolation::Reordered {
-                array: dep.array.clone(),
-                levels: hot,
-            });
-        }
+    match legality::permutation_violation(deps, carried, order) {
+        Some(v) => Err(v),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Permute the loops of a normalized perfect nest: `order[k]` names the
@@ -98,7 +93,8 @@ pub fn interchange(kernel: &Kernel, order: &[usize]) -> Result<Kernel> {
         .map(|l| (l.lower, l.upper - 1))
         .collect();
     let deps = analyze_dependences_with_bounds(&table, &vars, &bounds);
-    interchange_is_legal(&deps, order).map_err(XformError::IllegalJam)?;
+    let carried = legality::carried_scalars(nest.innermost_body(), &vars);
+    interchange_is_legal(&deps, &carried, order).map_err(XformError::IllegalJam)?;
 
     let mut stmts = nest.innermost_body().to_vec();
     for &orig_level in order.iter().rev() {
@@ -175,6 +171,30 @@ mod tests {
         let k = crate::normalize_loops(&k).unwrap();
         let err = interchange(&k, &[1, 0]).unwrap_err();
         assert!(matches!(err, XformError::IllegalJam(_)), "{err:?}");
+    }
+
+    #[test]
+    fn carried_scalar_chain_pins_the_order() {
+        // No array dependence constrains the nest, but the rotate chain
+        // threads every iteration in sequence order; interchanging it
+        // diverged semantically before the fuzzer's legality oracle
+        // forced the scalar check into permutation legality.
+        let k = parse_kernel(
+            "kernel rc { in A: i32[4][8]; out B: i32[4][8]; var r0: i32; var r1: i32;
+               for i in 0..4 { for j in 0..8 {
+                 r0 = A[i][j]; rotate(r0, r1); B[i][j] = r0; } } }",
+        )
+        .unwrap();
+        let err = interchange(&k, &[1, 0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XformError::IllegalJam(JamViolation::ScalarOrder { .. })
+            ),
+            "{err:?}"
+        );
+        // The identity order stays fine.
+        assert!(interchange(&k, &[0, 1]).is_ok());
     }
 
     #[test]

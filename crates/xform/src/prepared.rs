@@ -36,17 +36,17 @@
 //! same binding, same errors. `tests/incremental_equivalence.rs`
 //! enforces this across the paper kernels' full design spaces.
 
-use crate::error::{JamViolation, Result, VectorError, XformError};
+use crate::error::{Result, VectorError, XformError};
 use crate::layout::assign_memories;
 use crate::normalize::normalize_loops;
 use crate::peel::peel_first_iterations_lite;
 use crate::pipeline::{TransformOptions, TransformedDesign, UnrollVector};
 use crate::scalar::{scalar_replace_core, ScalarInput, ScalarOptions, ScalarReplacementInfo};
 use crate::simplify::simplify_stmts;
-use crate::unroll::{offset_tuples, unroll_is_legal};
+use crate::unroll::offset_tuples;
 use defacto_analysis::{
     analyze_dependences_with_bounds, jammed_uniform_sets, uniform_sets, AccessId, AccessTable,
-    DependenceGraph, UniformSet,
+    DependenceGraph, LegalitySummary, UniformSet,
 };
 use defacto_ir::visit::offset_vars_stmts;
 use defacto_ir::{Kernel, Loop, Stmt};
@@ -80,6 +80,10 @@ pub struct PreparedKernel {
     /// Scalars carrying state across body iterations (rotate chains,
     /// reads before writes) — input of the carried-scalar jam legality.
     carried: Vec<String>,
+    /// The whole-kernel legality summary: legal permutations, per-level
+    /// tilability, jam safety, packing/narrowing applicability. Computed
+    /// once here; every per-point check delegates to it.
+    legality: LegalitySummary,
     /// Offset copies of `base_body`, keyed by full offset tuple. Copies
     /// are made directly from the base body (never from another copy:
     /// offsetting an already-offset copy would nest scalar-read rewrites
@@ -131,6 +135,15 @@ impl PreparedKernel {
             })
             .collect();
         let carried = crate::unroll::carried_scalars(&base_body, &var_refs);
+        let trips: Vec<i64> = loops.iter().map(Loop::trip_count).collect();
+        let legality = LegalitySummary::from_parts(
+            &normalized,
+            &base_table,
+            &var_refs,
+            &trips,
+            &deps,
+            carried.clone(),
+        );
         Ok(PreparedKernel {
             normalized,
             loops,
@@ -141,6 +154,7 @@ impl PreparedKernel {
             cond_flags,
             deps,
             carried,
+            legality,
             copies: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -201,6 +215,23 @@ impl PreparedKernel {
             analyze_dependences_with_bounds(&prev.base_table, &var_refs, &bounds)
         };
         let copies = prev.copies.lock().expect("copy cache poisoned").clone();
+        // The summary's packing/narrowing facts read the array decls
+        // (types, range annotations), which the body/vars gate above does
+        // not cover — require decl equality too before reusing it.
+        let legality = if same_bounds && normalized.arrays() == prev.normalized.arrays() {
+            prev.legality.clone()
+        } else {
+            let var_refs: Vec<&str> = var_names.iter().map(String::as_str).collect();
+            let trips: Vec<i64> = loops.iter().map(Loop::trip_count).collect();
+            LegalitySummary::from_parts(
+                &normalized,
+                &prev.base_table,
+                &var_refs,
+                &trips,
+                &deps,
+                prev.carried.clone(),
+            )
+        };
         Ok(PreparedKernel {
             normalized,
             loops,
@@ -211,6 +242,7 @@ impl PreparedKernel {
             cond_flags: prev.cond_flags.clone(),
             deps,
             carried: prev.carried.clone(),
+            legality,
             copies: Mutex::new(copies),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -299,17 +331,21 @@ impl PreparedKernel {
                 });
             }
         }
-        unroll_is_legal(&self.deps, factors).map_err(XformError::IllegalJam)?;
-        // Carried-scalar jam legality, mirroring `unroll_and_jam`.
-        if let Some(level) = factors[..factors.len() - 1].iter().position(|&u| u > 1) {
-            if let Some(scalar) = self.carried.first() {
-                return Err(XformError::IllegalJam(JamViolation::CarriedScalar {
-                    scalar: scalar.clone(),
-                    level,
-                }));
-            }
+        // Jam legality — array dependences first, then the carried-scalar
+        // rule, exactly as `unroll_and_jam` orders them. One delegating
+        // call into the summary: space membership and this gate share the
+        // predicate, so they can never disagree.
+        if let Some(v) = self.legality.jam_violation(factors) {
+            return Err(XformError::IllegalJam(v));
         }
         Ok(())
+    }
+
+    /// The whole-kernel legality summary computed by [`Self::prepare`]:
+    /// legal permutations, per-level tilability and jam safety, carried
+    /// scalars, packing/narrowing applicability.
+    pub fn legality(&self) -> &LegalitySummary {
+        &self.legality
     }
 
     /// Scalars carrying state across iterations of the base body (rotate

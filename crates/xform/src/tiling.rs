@@ -110,7 +110,7 @@ pub fn strip_mine(kernel: &Kernel, level: usize, tile_size: i64) -> Result<Kerne
 /// Same failures as [`strip_mine`], plus [`XformError::BadTile`] when the
 /// interchange would reorder a dependence.
 pub fn tile_for_registers(kernel: &Kernel, level: usize, tile_size: i64) -> Result<Kernel> {
-    use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DistElem};
+    use defacto_analysis::{analyze_dependences_with_bounds, legality, AccessTable};
 
     let nest = kernel.perfect_nest().ok_or(XformError::NotPerfectNest)?;
     if level >= nest.depth() {
@@ -121,7 +121,8 @@ pub fn tile_for_registers(kernel: &Kernel, level: usize, tile_size: i64) -> Resu
     }
     // Interchange legality on the original nest: crossing levels
     // 0..level must all be Exact(0) or Any for constraining deps that the
-    // tiled loop's iterations participate in.
+    // tiled loop's iterations participate in. Delegates to the same
+    // predicate that computes `LegalitySummary`'s per-level tilability.
     let table = AccessTable::from_stmts(nest.innermost_body());
     let vars = nest.vars();
     let bounds: Vec<(i64, i64)> = nest
@@ -130,19 +131,13 @@ pub fn tile_for_registers(kernel: &Kernel, level: usize, tile_size: i64) -> Resu
         .map(|l| (l.lower, l.upper - 1))
         .collect();
     let deps = analyze_dependences_with_bounds(&table, &vars, &bounds);
-    for dep in deps.deps().iter().filter(|d| d.kind.constrains()) {
-        for crossed in 0..level {
-            match dep.distance[crossed] {
-                DistElem::Exact(0) | DistElem::Any => {}
-                _ => {
-                    return Err(XformError::BadTile(TileError::ReorderedDependence {
-                        level,
-                        crossed,
-                        array: dep.array.clone(),
-                    }))
-                }
-            }
-        }
+    let carried = legality::carried_scalars(nest.innermost_body(), &vars);
+    if let Some((crossed, array)) = legality::tile_hoist_violation(&deps, &carried, level) {
+        return Err(XformError::BadTile(TileError::ReorderedDependence {
+            level,
+            crossed,
+            array,
+        }));
     }
 
     let mined = strip_mine(kernel, level, tile_size)?;

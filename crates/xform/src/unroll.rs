@@ -7,147 +7,32 @@
 //! unrolled loop's step becomes its unroll factor and the innermost body
 //! is replicated once per combination of unroll offsets.
 
-use std::collections::BTreeSet;
-
-use crate::error::{JamViolation, Result, VectorError, XformError};
-use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DependenceGraph, DistElem};
+use crate::error::{Result, VectorError, XformError};
+use defacto_analysis::legality::{self, JamViolation};
+use defacto_analysis::{analyze_dependences_with_bounds, AccessTable, DependenceGraph};
 use defacto_ir::visit::offset_var_stmts;
-use defacto_ir::{Kernel, LValue, Loop, Stmt};
+use defacto_ir::{Kernel, Loop, Stmt};
 
 /// Check whether unroll-and-jam with the given factors is legal.
 ///
-/// Jamming the copies of the inner loops after unrolling loop `l` is
-/// illegal when a constraining dependence carried by `l` (at a distance
-/// smaller than the unroll factor) has a *negative* component at a deeper
-/// level — the jam would execute the dependent iteration before its
-/// source. `Unknown` deeper components are conservatively rejected;
-/// `Any` components arise from loop-invariant references and are
-/// symmetric, hence harmless.
+/// A thin delegating assertion over the legality analysis — see
+/// `defacto_analysis::legality::unroll_violation` for the rule (jam
+/// would execute a dependent iteration before its source).
 pub fn unroll_is_legal(
     deps: &DependenceGraph,
     factors: &[i64],
 ) -> std::result::Result<(), JamViolation> {
-    for (l, &u) in factors.iter().enumerate() {
-        if u <= 1 {
-            continue;
-        }
-        for dep in deps.deps().iter().filter(|d| d.kind.constrains()) {
-            if !dep.may_be_carried_by(l) {
-                continue;
-            }
-            // Distance at the unrolled level must be reachable within the
-            // unroll window for the jam to mix the iterations.
-            let within_window = match dep.distance[l] {
-                DistElem::Exact(k) => k.abs() < u,
-                DistElem::Any | DistElem::Unknown => true,
-            };
-            if !within_window {
-                continue;
-            }
-            for deeper in l + 1..dep.distance.len() {
-                match dep.distance[deeper] {
-                    DistElem::Exact(k) if k < 0 => {
-                        return Err(JamViolation::NegativeDeeper {
-                            array: dep.array.clone(),
-                            level: l,
-                            deeper,
-                        });
-                    }
-                    DistElem::Unknown => {
-                        return Err(JamViolation::UnknownDeeper {
-                            array: dep.array.clone(),
-                            level: l,
-                            deeper,
-                        });
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Scalars whose value is carried from one iteration of the innermost
-/// body to the next: names read (or rotated) before any unconditional
-/// write in straight-line body order. Loop variables in `loop_vars` are
-/// iteration-local and never count.
-///
-/// A `rotate` reads every register of its chain (each receives a
-/// neighbour's *old* value), so registers not yet written in the body are
-/// live-in — exactly the register-chain state that makes the body's
-/// iterations order-sensitive. Jamming any non-innermost loop interleaves
-/// iterations of different outer indices and reorders that chain, so
-/// [`unroll_and_jam`] rejects outer factors when this set is non-empty;
-/// innermost-only unrolling replicates copies in original iteration order
-/// and stays legal. Writes under an `if` are treated as not happening
-/// (conservative: a scalar only leaves the live-in candidate set on a
-/// write that certainly executes).
-pub fn carried_scalars(body: &[Stmt], loop_vars: &[&str]) -> Vec<String> {
-    let mut written: BTreeSet<&str> = BTreeSet::new();
-    let mut carried: BTreeSet<String> = BTreeSet::new();
-    scan_carried(body, loop_vars, false, &mut written, &mut carried);
-    carried.into_iter().collect()
-}
-
-fn scan_carried<'a>(
-    body: &'a [Stmt],
-    loop_vars: &[&str],
-    conditional: bool,
-    written: &mut BTreeSet<&'a str>,
-    carried: &mut BTreeSet<String>,
-) {
-    let read = |name: &str, written: &BTreeSet<&str>, carried: &mut BTreeSet<String>| {
-        if !loop_vars.contains(&name) && !written.contains(name) {
-            carried.insert(name.to_string());
-        }
-    };
-    for s in body {
-        match s {
-            Stmt::Assign { lhs, rhs } => {
-                for n in rhs.scalar_reads() {
-                    read(n, written, carried);
-                }
-                match lhs {
-                    LValue::Scalar(n) => {
-                        if !conditional {
-                            written.insert(n.as_str());
-                        }
-                    }
-                    LValue::Array(a) => {
-                        for idx in &a.indices {
-                            for n in idx.vars() {
-                                read(n, written, carried);
-                            }
-                        }
-                    }
-                }
-            }
-            Stmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => {
-                for n in cond.scalar_reads() {
-                    read(n, written, carried);
-                }
-                scan_carried(then_body, loop_vars, true, written, carried);
-                scan_carried(else_body, loop_vars, true, written, carried);
-            }
-            Stmt::For(l) => scan_carried(&l.body, loop_vars, true, written, carried),
-            Stmt::Rotate(regs) => {
-                for r in regs {
-                    read(r, written, carried);
-                }
-                if !conditional {
-                    for r in regs {
-                        written.insert(r.as_str());
-                    }
-                }
-            }
-        }
+    match legality::unroll_violation(deps, factors) {
+        Some(v) => Err(v),
+        None => Ok(()),
     }
 }
+
+/// Scalars carrying state across innermost-body iterations — re-exported
+/// from `defacto_analysis::legality`, the single implementation shared
+/// with saturation analysis and [`crate::PreparedKernel`]. A non-empty
+/// set makes [`unroll_and_jam`] reject non-innermost factors above 1.
+pub use defacto_analysis::legality::carried_scalars;
 
 /// Apply unroll-and-jam to a normalized perfect nest.
 ///
@@ -207,13 +92,10 @@ pub fn unroll_and_jam(kernel: &Kernel, factors: &[i64]) -> Result<Kernel> {
     // just as order-sensitive: jamming a non-innermost loop interleaves
     // iterations of different outer indices and reorders the chain.
     // Innermost-only unrolling keeps copies in original iteration order.
-    if let Some(level) = factors[..factors.len() - 1].iter().position(|&u| u > 1) {
+    if factors[..factors.len() - 1].iter().any(|&u| u > 1) {
         let carried = carried_scalars(nest.innermost_body(), &vars);
-        if let Some(scalar) = carried.into_iter().next() {
-            return Err(XformError::IllegalJam(JamViolation::CarriedScalar {
-                scalar,
-                level,
-            }));
+        if let Some(v) = legality::carried_scalar_violation(&carried, factors) {
+            return Err(XformError::IllegalJam(v));
         }
     }
 

@@ -1,5 +1,5 @@
 //! Corpus replay: every reproducer in `tests/fuzz_corpus/` runs through
-//! all five oracle dimensions on both standard profiles.
+//! all six oracle dimensions on both standard profiles.
 //!
 //! File-name convention pins the expected classification:
 //!
@@ -7,7 +7,8 @@
 //!   *typed* diagnostic (never a crash) on every profile;
 //! - `pass_*.kernel` — kernels that must survive every oracle (semantics,
 //!   per-pass verification, fidelity agreement + band containment, trace
-//!   audits at 1 and 8 workers) on every profile.
+//!   audits at 1 and 8 workers, joint-space legality both ways) on every
+//!   profile.
 //!
 //! A `Violation` outcome for any file is a regression of a previously
 //! fixed bug.
@@ -44,7 +45,7 @@ fn corpus_files_follow_the_naming_convention() {
 }
 
 #[test]
-fn corpus_replays_clean_through_all_four_oracles() {
+fn corpus_replays_clean_through_all_six_oracles() {
     for path in corpus_files() {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let source = fs::read_to_string(&path).expect("readable corpus file");

@@ -38,6 +38,8 @@ fn bad_corpus_kernels_report_their_pinned_codes() {
         ("df007_jam_blocked.kernel", "DF007"),
         ("df008_write_conflict.kernel", "DF008"),
         ("df010_degenerate_loop.kernel", "DF010"),
+        ("df011_interchange_pinned.kernel", "DF011"),
+        ("df012_packing_inert.kernel", "DF012"),
     ];
     for (file, code) in pinned {
         let report = lint_source(&read_corpus(file));
@@ -77,6 +79,8 @@ fn corpus_has_no_stray_kernels() {
             "df008_write_conflict.kernel",
             "df009_capacity.kernel",
             "df010_degenerate_loop.kernel",
+            "df011_interchange_pinned.kernel",
+            "df012_packing_inert.kernel",
         ]
     );
 }
@@ -120,6 +124,8 @@ fn warning_rules_stay_warnings() {
         "df006_unused_decl.kernel",
         "df007_jam_blocked.kernel",
         "df008_write_conflict.kernel",
+        "df011_interchange_pinned.kernel",
+        "df012_packing_inert.kernel",
     ] {
         let report = lint_source(&read_corpus(file));
         assert!(!report.has_errors(), "{file}: {:?}", report.diagnostics);

@@ -7,6 +7,7 @@ use defacto_analysis::{analyze_dependences, AccessTable, Interval};
 use defacto_ir::{parse_kernel as parse, pretty::print_kernel, run_with_inputs};
 use defacto_synth::{schedule_dfg, MemoryModel as Mem};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Strategy: a random 1-D stencil kernel
 /// `B[i] = Σ w_k · A[i + off_k]` with bounded offsets, as DSL text.
@@ -298,5 +299,88 @@ proptest! {
             d
         };
         prop_assert_eq!(deps(&k1), deps(&k2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The legacy unroll-only `DesignSpace` round-trips through the
+    /// multi-axis machinery as a degenerate joint space: the same points
+    /// in the same order with nothing for legality to prune, bit-identical
+    /// sweep estimates, and Figure-2 selections, visit lists, traces and
+    /// deterministic `EvalStats` counters that match the classic path —
+    /// sampled over the five paper kernels, both memory models, at 1 and
+    /// 8 workers.
+    #[test]
+    fn prop_unroll_only_axes_round_trip(
+        idx in 0usize..5,
+        pipelined in any::<bool>(),
+    ) {
+        let kernels = defacto_kernels::paper_kernels();
+        let (_name, k) = &kernels[idx];
+        let mem = if pipelined {
+            MemoryModel::wildstar_pipelined()
+        } else {
+            MemoryModel::wildstar_non_pipelined()
+        };
+
+        // Space and sweep parity (worker-count independent; untraced).
+        let classic = Explorer::new(k).memory(mem.clone());
+        let joint = Explorer::new(k).memory(mem.clone()).axes(&[Axis::Unroll]);
+        let (_, space) = classic.analyze().expect("classic analysis");
+        let jspace = joint.joint_space().expect("joint space");
+        let legacy: Vec<UnrollVector> = space.iter().collect();
+        prop_assert_eq!(jspace.joint_points().len() as u64, space.size());
+        for (jp, cu) in jspace.joint_points().iter().zip(&legacy) {
+            prop_assert!(jp.is_unroll_only(), "{jp:?} is not a pure unroll point");
+            prop_assert_eq!(&jp.unroll_vector(), cu);
+        }
+        if let Some(p) = jspace.pruned_counts() {
+            prop_assert_eq!(p.permutations + p.unroll_perm + p.tiles, 0);
+        }
+        let classic_sweep = classic.sweep().expect("classic sweep");
+        let joint_sweep = joint.joint_sweep().expect("joint sweep");
+        prop_assert_eq!(joint_sweep.len(), classic_sweep.len());
+        for (j, c) in joint_sweep.iter().zip(&classic_sweep) {
+            prop_assert_eq!(j.point.unroll_vector(), c.unroll.clone());
+            prop_assert_eq!(&j.estimate, &c.estimate);
+        }
+
+        // The Figure-2 search is bit-identical between the classic and
+        // the degenerate-joint explorer, and across worker counts.
+        let mut per_workers: Vec<(UnrollVector, String)> = Vec::new();
+        for workers in [1usize, 8] {
+            let classic_sink = Arc::new(MemorySink::new());
+            let joint_sink = Arc::new(MemorySink::new());
+            let classic = Explorer::new(k)
+                .memory(mem.clone())
+                .threads(workers)
+                .trace(classic_sink.clone());
+            let joint = Explorer::new(k)
+                .memory(mem.clone())
+                .threads(workers)
+                .trace(joint_sink.clone())
+                .axes(&[Axis::Unroll]);
+            let rc = classic.explore().expect("classic search");
+            let rj = joint.explore().expect("joint search");
+            prop_assert_eq!(&rc.selected.unroll, &rj.selected.unroll);
+            prop_assert_eq!(&rc.selected.estimate, &rj.selected.estimate);
+            prop_assert_eq!(rc.termination, rj.termination);
+            prop_assert_eq!(rc.visited.len(), rj.visited.len());
+            for (a, b) in rc.visited.iter().zip(&rj.visited) {
+                prop_assert_eq!(&a.unroll, &b.unroll);
+                prop_assert_eq!(&a.estimate, &b.estimate);
+            }
+            // Deterministic counters only: wall times are excluded by
+            // construction.
+            prop_assert_eq!(rc.stats.evaluated, rj.stats.evaluated);
+            prop_assert_eq!(rc.stats.tier0_evaluated, rj.stats.tier0_evaluated);
+            prop_assert_eq!(rc.stats.tier0_pruned, rj.stats.tier0_pruned);
+            let trace = classic_sink.to_jsonl();
+            prop_assert_eq!(&trace, &joint_sink.to_jsonl());
+            per_workers.push((rc.selected.unroll.clone(), trace));
+        }
+        prop_assert_eq!(&per_workers[0], &per_workers[1]);
     }
 }
