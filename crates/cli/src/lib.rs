@@ -16,9 +16,12 @@
 //!   --memories N                       external memories (default 4)
 //!   --device xcv300|xcv1000|xc2v6000   target device  (default xcv1000)
 //!   --unroll a,b,...                   fixed unroll vector (vhdl; default: explore)
-//!   --axes a,b,... | all               joint-space axes for sweep/analyze:
+//!   --axes a,b,... | all               joint-space axes for explore/sweep/analyze:
 //!                                      unroll|interchange|tile|narrow|pack
 //!                                      (default: classic unroll-only space)
+//!   --strategy S                       joint-search strategy for `explore --axes`:
+//!                                      exhaustive|coordinate-descent|branch-and-bound
+//!                                      (default branch-and-bound — guided)
 //!   --threads N                        evaluation worker threads
 //!                                      (default: DEFACTO_THREADS or all cores)
 //!   --trace FILE                       write the search trace as JSONL
@@ -69,9 +72,12 @@ pub struct Cli {
     pub device: FpgaDevice,
     /// Fixed unroll vector, when given.
     pub unroll: Option<UnrollVector>,
-    /// Joint-space axes (`sweep`/`analyze` only; `None`: the classic
-    /// unroll-only space).
+    /// Joint-space axes (`explore`/`sweep`/`analyze`; `None`: the
+    /// classic unroll-only space).
     pub axes: Option<Vec<Axis>>,
+    /// Joint-search strategy (`explore --axes` only; `None`: the guided
+    /// default, [`StrategyKind::BranchAndBound`]).
+    pub strategy: Option<StrategyKind>,
     /// Evaluation worker threads (`None`: `DEFACTO_THREADS` or all cores).
     pub threads: Option<usize>,
     /// Write the search trace to this JSONL file.
@@ -168,7 +174,8 @@ impl std::error::Error for LintFailure {}
 /// The usage string printed on bad invocations.
 pub const USAGE: &str = "usage: defacto <explore|lint|audit|sweep|analyze|vhdl|schedule|watch> \
 <file.kernel> [--memory pipelined|non-pipelined] [--memories N] \
-[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--axes a,b,...|all] [--threads N] \
+[--device xcv300|xcv1000|xc2v6000] [--unroll a,b,...] [--axes a,b,...|all] \
+[--strategy exhaustive|coordinate-descent|branch-and-bound] [--threads N] \
 [--trace FILE] [--verify] [--fidelity full|multi|analytic] [--cache-dir DIR] [--json]\n\
        defacto watch <file.kernel> [--cache-dir DIR] [--poll-ms N] [--max-runs N] [--json]\n\
        defacto fuzz [--seed N] [--count M] [--smoke] [--json]";
@@ -208,6 +215,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut device = FpgaDevice::virtex1000();
     let mut unroll = None;
     let mut axes = None;
+    let mut strategy = None;
     let mut threads = None;
     let mut trace = None;
     let mut verify = false;
@@ -264,7 +272,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                 }
                 unroll = Some(UnrollVector(factors));
             }
-            "--axes" if matches!(command, Command::Sweep | Command::Analyze) => {
+            "--axes"
+                if matches!(
+                    command,
+                    Command::Explore | Command::Sweep | Command::Analyze
+                ) =>
+            {
                 let text = it.next().ok_or_else(|| {
                     UsageError(
                         "--axes expects a comma-separated list of \
@@ -273,6 +286,17 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     )
                 })?;
                 axes = Some(parse_axes(text)?);
+            }
+            "--strategy" if command == Command::Explore => {
+                // Strictly validated, like --threads/--cache-dir: a
+                // missing, blank or unknown value is a typed error,
+                // never a silent fall-back to the guided default.
+                let text = it.next().filter(|s| !s.trim().is_empty()).ok_or_else(|| {
+                    UsageError(
+                        "--strategy expects exhaustive|coordinate-descent|branch-and-bound".into(),
+                    )
+                })?;
+                strategy = Some(text.trim().parse::<StrategyKind>().map_err(UsageError)?);
             }
             "--threads" => {
                 let v = it
@@ -336,6 +360,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         }
     }
 
+    if strategy.is_some() && axes.is_none() {
+        return Err(UsageError(
+            "--strategy requires --axes (a joint space to search)".into(),
+        ));
+    }
     let memory = if pipelined {
         MemoryModel::pipelined(memories)
     } else {
@@ -348,6 +377,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         device,
         unroll,
         axes,
+        strategy,
         threads,
         trace,
         verify,
@@ -490,6 +520,99 @@ pub fn run(cli: &Cli, source: &str) -> Result<String, Box<dyn std::error::Error>
 
     match cli.command {
         Command::Lint | Command::Fuzz | Command::Watch => unreachable!("handled above"),
+        Command::Explore if cli.axes.is_some() => {
+            // Joint exploration: the same lint gate as the classic
+            // search, then the selected strategy over the joint space —
+            // guided (branch-and-bound) unless --strategy says otherwise.
+            let lint = full_lint(&explorer, source);
+            if lint.has_errors() {
+                return Err(Box::new(LintFailure {
+                    errors: lint.error_count(),
+                    warnings: lint.warning_count(),
+                    rendered: defacto::ir::diag::render_all_human(&lint.diagnostics, Some(source)),
+                }));
+            }
+            let jsonl = match &cli.trace {
+                Some(path) => {
+                    let sink = Arc::new(JsonlSink::create(path)?);
+                    explorer = explorer.trace(sink.clone());
+                    Some(sink)
+                }
+                None => None,
+            };
+            let kind = cli.strategy.unwrap_or_default();
+            let r = explorer.joint_explore(kind)?;
+            if let Some(sink) = jsonl {
+                sink.flush()?;
+            }
+            if cli.json {
+                let selected = r.selected.as_ref().map(|d| {
+                    serde_json::json!({
+                        "unroll": d.point.unroll,
+                        "permutation": d.point.permutation,
+                        "tile": d.point.tile,
+                        "narrow": d.point.narrow,
+                        "pack": d.point.pack,
+                        "cycles": d.estimate.cycles,
+                        "slices": d.estimate.slices,
+                        "fits": d.estimate.fits,
+                    })
+                });
+                out.push_str(&serde_json::to_string_pretty(&serde_json::json!({
+                    "kernel": kernel.name(),
+                    "strategy": r.strategy.label(),
+                    "selected": selected,
+                    "visited": r.stats.strategy_visited,
+                    "pruned": r.pruned,
+                    "space_points": r.space_points,
+                    "gap_cycles": r.gap_cycles,
+                    "fidelity": cli.fidelity.label(),
+                    "stats": serde_json::json!({
+                        "evaluated": r.stats.evaluated,
+                        "cache_hits": r.stats.cache_hits,
+                        "workers": r.stats.workers,
+                        "wall_ms": r.stats.wall.as_secs_f64() * 1e3,
+                    }),
+                }))?);
+            } else {
+                writeln!(out, "kernel `{}` on {}", kernel.name(), cli.device)?;
+                match r.selected.as_ref() {
+                    Some(d) => {
+                        let perm: Vec<String> =
+                            d.point.permutation.iter().map(usize::to_string).collect();
+                        writeln!(
+                            out,
+                            "strategy {} selected unroll {} perm [{}] tile {} narrow {} \
+                             pack {} -> {} cycles, {} slices",
+                            r.strategy,
+                            d.point.unroll_vector(),
+                            perm.join(","),
+                            d.point
+                                .tile
+                                .map_or_else(|| "-".into(), |(l, t)| format!("L{l}x{t}")),
+                            d.point.narrow,
+                            d.point.pack,
+                            d.estimate.cycles,
+                            d.estimate.slices
+                        )?;
+                    }
+                    None => {
+                        writeln!(out, "strategy {}: no evaluated design fits", r.strategy)?;
+                    }
+                }
+                writeln!(
+                    out,
+                    "visited {} of {} joint points ({} pruned by tier-0 bounds){}",
+                    r.stats.strategy_visited,
+                    r.space_points,
+                    r.pruned,
+                    match r.gap_cycles {
+                        Some(g) => format!(", optimality gap <= {g} cycles"),
+                        None => String::new(),
+                    }
+                )?;
+            }
+        }
         Command::Explore => {
             // Gate the search on the linter: a kernel with lint errors
             // would fail (or mislead) mid-search anyway; report the
@@ -1151,10 +1274,91 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.0.contains("unknown axis"), "{}", err.0);
-        // --axes only applies to sweep/analyze; elsewhere it is an
-        // unknown flag, reported as such.
-        assert!(parse_args(&argv("explore f --axes unroll")).is_err());
+        // --axes only applies to explore/sweep/analyze; elsewhere it is
+        // an unknown flag, reported as such.
+        assert!(parse_args(&argv("vhdl f --axes unroll")).is_err());
         assert!(parse_args(&argv("lint f --axes all")).is_err());
+    }
+
+    #[test]
+    fn strategy_flag_parses_every_kind() {
+        // Default: no flag means the guided branch-and-bound strategy.
+        let cli = parse_args(&argv("explore f --axes all")).unwrap();
+        assert_eq!(cli.strategy, None);
+        for kind in StrategyKind::ALL {
+            let cli =
+                parse_args(&argv(&format!("explore f --axes all --strategy {kind}"))).unwrap();
+            assert_eq!(cli.strategy, Some(kind));
+        }
+    }
+
+    #[test]
+    fn strategy_flag_rejects_garbage_with_typed_error() {
+        // Every rejection is a typed UsageError, never a panic or a
+        // silent fall-back to the default strategy.
+        let err = parse_args(&argv("explore f --axes all --strategy lol")).unwrap_err();
+        assert!(err.0.contains("unknown strategy `lol`"), "{}", err.0);
+        let err = parse_args(&argv("explore f --axes all --strategy")).unwrap_err();
+        assert!(err.0.contains("--strategy expects"), "{}", err.0);
+        let err = parse_args(&[
+            "explore".into(),
+            "f".into(),
+            "--axes".into(),
+            "all".into(),
+            "--strategy".into(),
+            "   ".into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("--strategy expects"), "{}", err.0);
+        // A strategy needs a joint space to search.
+        let err = parse_args(&argv("explore f --strategy branch-and-bound")).unwrap_err();
+        assert!(err.0.contains("--strategy requires --axes"), "{}", err.0);
+        // --strategy is explore-only; elsewhere it is an unknown flag.
+        assert!(parse_args(&argv("sweep f --axes all --strategy exhaustive")).is_err());
+        assert!(parse_args(&argv("lint f --strategy exhaustive")).is_err());
+    }
+
+    #[test]
+    fn explore_axes_defaults_to_guided_and_matches_exhaustive() {
+        let guided = run(
+            &parse_args(&argv("explore fir.kernel --axes all --json")).unwrap(),
+            FIR,
+        )
+        .unwrap();
+        let exhaustive = run(
+            &parse_args(&argv(
+                "explore fir.kernel --axes all --strategy exhaustive --json",
+            ))
+            .unwrap(),
+            FIR,
+        )
+        .unwrap();
+        let g: serde_json::Value = serde_json::from_str(&guided).unwrap();
+        let e: serde_json::Value = serde_json::from_str(&exhaustive).unwrap();
+        assert_eq!(g["strategy"], "branch-and-bound");
+        assert_eq!(e["strategy"], "exhaustive");
+        // Bound-pruning is sound: the guided selection is bit-identical.
+        assert_eq!(g["selected"], e["selected"]);
+        assert_eq!(g["gap_cycles"].as_u64(), Some(0));
+        // ...at a fraction of the tier-1 evaluations.
+        let space = g["space_points"].as_u64().unwrap();
+        assert_eq!(e["visited"].as_u64(), Some(space));
+        assert!(g["visited"].as_u64().unwrap() * 4 <= space, "{guided}");
+    }
+
+    #[test]
+    fn explore_axes_human_output_reports_strategy() {
+        let cli = parse_args(&argv(
+            "explore fir.kernel --axes all --strategy coordinate-descent",
+        ))
+        .unwrap();
+        let out = run(&cli, FIR).unwrap();
+        assert!(
+            out.contains("strategy coordinate-descent selected"),
+            "{out}"
+        );
+        assert!(out.contains("pruned by tier-0 bounds"), "{out}");
+        assert!(out.contains("optimality gap <="), "{out}");
     }
 
     #[test]

@@ -83,6 +83,19 @@ pub enum Invariant {
     /// the membership-soundness contract: every statically-enumerated
     /// point succeeded at transform time.
     JointMembership,
+    /// In a guided-strategy trace, a `StrategyStep`'s recorded incumbent
+    /// moved backwards: the incumbent is the best fitting cycle count
+    /// seen so far, so the sequence of `incumbent` values across steps
+    /// must be monotone non-increasing (with `None` only before the
+    /// first fitting evaluation), and each step's own result must be
+    /// consistent with the incumbent recorded by the *next* step.
+    StrategyMonotone,
+    /// A `BoundPrune` event discarded the design the strategy ultimately
+    /// selected. The branch-and-bound soundness argument (prune only
+    /// when the band's `cycles_lo` exceeds the incumbent, or the band
+    /// proves the point cannot fit) guarantees the winner survives; a
+    /// pruned selected design means a bound was unsound.
+    PruneExcludesSelected,
 }
 
 impl Invariant {
@@ -99,6 +112,8 @@ impl Invariant {
             Invariant::SelectedValid => "selected-valid",
             Invariant::TierPromotion => "tier-promotion",
             Invariant::JointMembership => "joint-membership",
+            Invariant::StrategyMonotone => "strategy-monotone",
+            Invariant::PruneExcludesSelected => "prune-excludes-selected",
         }
     }
 }
@@ -425,6 +440,9 @@ pub fn audit_search_trace(
             // Joint-sweep events describe a different artifact; they are
             // audited by [`audit_joint_trace`].
             TraceEvent::AxisVisit { .. } => {}
+            // Guided-strategy events are audited by
+            // [`audit_strategy_trace`].
+            TraceEvent::StrategyStep { .. } | TraceEvent::BoundPrune { .. } => {}
             TraceEvent::StagePlaced { .. } | TraceEvent::StageRebalanced { .. } => {}
         }
     }
@@ -537,6 +555,136 @@ pub fn audit_joint_trace(events: &[TraceEvent], space: &DesignSpace) -> AuditRep
                 event_index: None,
                 event: None,
                 detail: format!("member {member:?} was never visited"),
+            });
+        }
+    }
+    report
+}
+
+/// Replay a guided-strategy trace (the `StrategyStep`/`BoundPrune`
+/// events of one [`Explorer::joint_explore`](crate::Explorer::joint_explore))
+/// against the strategy-soundness invariants:
+///
+/// - **strategy-monotone** — each step's recorded incumbent equals the
+///   minimum fitting cycle count among all *prior* steps (so the
+///   incumbent sequence is monotone non-increasing, and `None` appears
+///   only before the first fitting evaluation), and no point is stepped
+///   twice;
+/// - **prune-excludes-selected** — no `BoundPrune` discarded the design
+///   the strategy ultimately selected, and every prune with a recorded
+///   cycle threshold is justified by it (`cycles_lo > threshold`);
+/// - **joint-membership** — every stepped and pruned point is a member
+///   of the joint `space`.
+///
+/// Non-strategy events are ignored, so a combined trace can hold a
+/// classic search and a guided run side by side. Pass `selected: None`
+/// when the run selected nothing (no fitting design).
+pub fn audit_strategy_trace(
+    events: &[TraceEvent],
+    space: &DesignSpace,
+    selected: Option<&crate::space::JointPoint>,
+) -> AuditReport {
+    let mut report = AuditReport {
+        events: events.len(),
+        ..AuditReport::default()
+    };
+    // Replayed incumbent: min fitting cycles over the steps seen so far.
+    let mut replayed: Option<u64> = None;
+    let mut stepped: Vec<&crate::space::JointPoint> = Vec::new();
+    let mut selected_stepped = false;
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            TraceEvent::StrategyStep {
+                point,
+                cycles,
+                fits,
+                incumbent,
+                ..
+            } => {
+                report.checks += 3;
+                if *incumbent != replayed {
+                    report.violations.push(AuditViolation {
+                        invariant: Invariant::StrategyMonotone,
+                        event_index: Some(i),
+                        event: Some(e.clone()),
+                        detail: format!(
+                            "step records incumbent {incumbent:?} but the best fitting \
+                             cycles among prior steps is {replayed:?}"
+                        ),
+                    });
+                }
+                if *fits {
+                    replayed = Some(replayed.map_or(*cycles, |r| r.min(*cycles)));
+                }
+                if stepped.contains(&point) {
+                    report.violations.push(AuditViolation {
+                        invariant: Invariant::StrategyMonotone,
+                        event_index: Some(i),
+                        event: Some(e.clone()),
+                        detail: format!("point {point:?} stepped twice"),
+                    });
+                }
+                stepped.push(point);
+                if !space.contains_joint(point) {
+                    report.violations.push(AuditViolation {
+                        invariant: Invariant::JointMembership,
+                        event_index: Some(i),
+                        event: Some(e.clone()),
+                        detail: format!("stepped point {point:?} is not in the joint space"),
+                    });
+                }
+                if selected == Some(point) {
+                    selected_stepped = true;
+                }
+            }
+            TraceEvent::BoundPrune {
+                point,
+                cycles_lo,
+                threshold,
+                ..
+            } => {
+                report.checks += 3;
+                if selected == Some(point) {
+                    report.violations.push(AuditViolation {
+                        invariant: Invariant::PruneExcludesSelected,
+                        event_index: Some(i),
+                        event: Some(e.clone()),
+                        detail: format!("selected design {point:?} was bound-pruned"),
+                    });
+                }
+                if let Some(t) = threshold {
+                    if cycles_lo <= t {
+                        report.violations.push(AuditViolation {
+                            invariant: Invariant::PruneExcludesSelected,
+                            event_index: Some(i),
+                            event: Some(e.clone()),
+                            detail: format!(
+                                "prune of {point:?} is unjustified: cycles_lo {cycles_lo} \
+                                 does not exceed the threshold {t}"
+                            ),
+                        });
+                    }
+                }
+                if !space.contains_joint(point) {
+                    report.violations.push(AuditViolation {
+                        invariant: Invariant::JointMembership,
+                        event_index: Some(i),
+                        event: Some(e.clone()),
+                        detail: format!("pruned point {point:?} is not in the joint space"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    report.checks += 1;
+    if let Some(sel) = selected {
+        if !selected_stepped {
+            report.violations.push(AuditViolation {
+                invariant: Invariant::SelectedValid,
+                event_index: None,
+                event: None,
+                detail: format!("selected design {sel:?} was never evaluated by a StrategyStep"),
             });
         }
     }
@@ -849,6 +997,167 @@ mod tests {
         mixed.extend(complete.iter().cloned());
         mixed.push(terminate(&[4, 1]));
         assert!(audit_search_trace(&mixed, &search_space, &sat).is_clean());
+    }
+
+    fn strategy_space() -> DesignSpace {
+        use crate::space::Axis;
+        let k = defacto_ir::parse_kernel(
+            "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];
+               for j in 0..64 { for i in 0..32 {
+                 D[j] = D[j] + S[i + j] * C[i]; } } }",
+        )
+        .unwrap();
+        let summary = defacto_analysis::LegalitySummary::analyze(&k).unwrap();
+        DesignSpace::with_axes(&[64, 32], &[true, true], &summary, &[Axis::Unroll], 32)
+    }
+
+    fn joint(factors: &[i64]) -> crate::space::JointPoint {
+        crate::space::JointPoint {
+            unroll: factors.to_vec(),
+            ..crate::space::JointPoint::baseline(factors.len())
+        }
+    }
+
+    fn step(factors: &[i64], cycles: u64, fits: bool, incumbent: Option<u64>) -> TraceEvent {
+        TraceEvent::StrategyStep {
+            point: joint(factors),
+            cycles,
+            slices: 10,
+            fits,
+            incumbent,
+        }
+    }
+
+    fn prune(factors: &[i64], cycles_lo: u64, threshold: Option<u64>) -> TraceEvent {
+        TraceEvent::BoundPrune {
+            point: joint(factors),
+            cycles_lo,
+            slices_lo: 10,
+            threshold,
+        }
+    }
+
+    #[test]
+    fn clean_strategy_trace_passes() {
+        let space = strategy_space();
+        let events = vec![
+            step(&[1, 1], 500, true, None),
+            step(&[2, 1], 300, true, Some(500)),
+            prune(&[4, 1], 400, Some(300)),
+            prune(&[8, 1], 9000, None),
+        ];
+        let selected = joint(&[2, 1]);
+        let report = audit_strategy_trace(&events, &space, Some(&selected));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.events, 4);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn backwards_incumbent_is_flagged() {
+        let space = strategy_space();
+        // Second step claims the incumbent is 400, but the first fitting
+        // step already established 300.
+        let events = vec![
+            step(&[1, 1], 300, true, None),
+            step(&[2, 1], 400, true, Some(400)),
+        ];
+        let report = audit_strategy_trace(&events, &space, None);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::StrategyMonotone);
+        assert_eq!(report.violations[0].event_index, Some(1));
+    }
+
+    #[test]
+    fn unfit_steps_leave_the_incumbent_alone() {
+        let space = strategy_space();
+        let events = vec![
+            step(&[1, 1], 100, false, None),
+            step(&[2, 1], 500, true, None),
+            step(&[4, 1], 200, true, Some(500)),
+        ];
+        assert!(audit_strategy_trace(&events, &space, None).is_clean());
+    }
+
+    #[test]
+    fn pruned_selected_design_is_flagged() {
+        let space = strategy_space();
+        let events = vec![
+            step(&[1, 1], 500, true, None),
+            prune(&[2, 1], 600, Some(500)),
+        ];
+        let selected = joint(&[2, 1]);
+        let report = audit_strategy_trace(&events, &space, Some(&selected));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::PruneExcludesSelected
+                && v.detail.contains("bound-pruned")));
+        // The pruned winner was also never stepped.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::SelectedValid));
+    }
+
+    #[test]
+    fn unjustified_prune_threshold_is_flagged() {
+        let space = strategy_space();
+        // cycles_lo 300 does not exceed the recorded threshold 300.
+        let events = vec![
+            step(&[1, 1], 300, true, None),
+            prune(&[2, 1], 300, Some(300)),
+        ];
+        let report = audit_strategy_trace(&events, &space, None);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(
+            report.violations[0].invariant,
+            Invariant::PruneExcludesSelected
+        );
+        assert!(report.violations[0].detail.contains("unjustified"));
+    }
+
+    #[test]
+    fn non_member_strategy_points_are_flagged() {
+        let space = strategy_space();
+        let events = vec![
+            step(&[3, 1], 500, true, None),
+            prune(&[5, 1], 600, Some(500)),
+        ];
+        let report = audit_strategy_trace(&events, &space, None);
+        let joint_violations: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant == Invariant::JointMembership)
+            .collect();
+        assert_eq!(joint_violations.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_step_is_flagged() {
+        let space = strategy_space();
+        let events = vec![
+            step(&[1, 1], 500, true, None),
+            step(&[1, 1], 500, true, Some(500)),
+        ];
+        let report = audit_strategy_trace(&events, &space, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::StrategyMonotone
+                && v.detail.contains("stepped twice")));
+    }
+
+    #[test]
+    fn strategy_audit_ignores_foreign_events() {
+        let space = strategy_space();
+        let events = vec![
+            visit(&[4, 1], 2.0, true),
+            step(&[1, 1], 500, true, None),
+            terminate(&[4, 1]),
+        ];
+        let selected = joint(&[1, 1]);
+        assert!(audit_strategy_trace(&events, &space, Some(&selected)).is_clean());
     }
 
     #[test]

@@ -199,6 +199,14 @@ pub struct EvalStats {
     /// Memo-cache misses the persistent store was consulted for and
     /// could not answer (zero when no store is attached).
     pub persist_misses: u64,
+    /// Joint points a [`SearchStrategy`](crate::SearchStrategy) spent a
+    /// tier-1 evaluation on (guided joint runs only; zero elsewhere).
+    /// Like tier-0 work, strategy evaluations bypass the memo cache, so
+    /// the explorer fills this in itself.
+    pub strategy_visited: u64,
+    /// Joint points a strategy's tier-0 bound excluded without a tier-1
+    /// evaluation (guided joint runs only).
+    pub bounded_pruned: u64,
 }
 
 impl EvalStats {
@@ -247,6 +255,8 @@ impl PartialEq for EvalStats {
             && self.tier0_pruned == other.tier0_pruned
             && self.persist_hits == other.persist_hits
             && self.persist_misses == other.persist_misses
+            && self.strategy_visited == other.strategy_visited
+            && self.bounded_pruned == other.bounded_pruned
     }
 }
 

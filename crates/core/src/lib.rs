@@ -48,9 +48,13 @@ pub mod saturation;
 pub mod search;
 pub mod space;
 pub mod strategies;
+pub mod strategy;
 pub mod trace;
 
-pub use audit::{audit_joint_trace, audit_search_trace, AuditReport, AuditViolation, Invariant};
+pub use audit::{
+    audit_joint_trace, audit_search_trace, audit_strategy_trace, AuditReport, AuditViolation,
+    Invariant,
+};
 pub use defacto_analysis::{lint_kernel, lint_source, LintReport};
 pub use defacto_ir::{diag, Diagnostic, Severity};
 pub use engine::{
@@ -60,7 +64,7 @@ pub use error::{DseError, Result};
 pub use exhaustive::{
     best_joint_performance, exhaustive_joint_sweep, exhaustive_sweep, parallel_sweep,
 };
-pub use explorer::{EvaluatedDesign, EvaluatedJointDesign, Explorer, Fidelity};
+pub use explorer::{EvaluatedDesign, EvaluatedJointDesign, Explorer, Fidelity, JointSearchResult};
 pub use incremental::{IncrementalOutcome, IncrementalSession};
 pub use multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage, StagePlacement};
 pub use saturation::{saturation_analysis, SaturationInfo};
@@ -70,6 +74,10 @@ pub use search::{
 };
 pub use space::{Axis, DesignSpace, JointPoint, PrunedCounts};
 pub use strategies::{hill_climb, random_search, StrategyOutcome};
+pub use strategy::{
+    strategy_for, BranchAndBound, CoordinateDescent, Exhaustive, GuidedOutcome, SearchStrategy,
+    StrategyContext, StrategyKind,
+};
 pub use trace::{to_jsonl, JsonlSink, MemorySink, NullSink, RingBufferSink, TraceEvent, TraceSink};
 
 // Re-export the component crates so downstream users need only one
@@ -82,16 +90,21 @@ pub use defacto_xform as xform;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::audit::{audit_joint_trace, audit_search_trace, AuditReport};
+    pub use crate::audit::{
+        audit_joint_trace, audit_search_trace, audit_strategy_trace, AuditReport,
+    };
     pub use crate::engine::{EvalEngine, EvalStats};
     pub use crate::exhaustive::{exhaustive_sweep, parallel_sweep};
-    pub use crate::explorer::{EvaluatedDesign, EvaluatedJointDesign, Explorer, Fidelity};
+    pub use crate::explorer::{
+        EvaluatedDesign, EvaluatedJointDesign, Explorer, Fidelity, JointSearchResult,
+    };
     pub use crate::incremental::{IncrementalOutcome, IncrementalSession};
     pub use crate::multi::{map_pipeline, PipelineMapping, PipelineOptions, PipelineStage};
     pub use crate::saturation::{saturation_analysis, SaturationInfo};
     pub use crate::search::{SearchResult, Termination};
     pub use crate::space::{Axis, DesignSpace, JointPoint};
     pub use crate::strategies::{hill_climb, random_search, StrategyOutcome};
+    pub use crate::strategy::{GuidedOutcome, SearchStrategy, StrategyKind};
     pub use crate::trace::{MemorySink, TraceEvent, TraceSink};
     pub use defacto_analysis::{lint_kernel, lint_source, LintReport};
     pub use defacto_ir::{parse_kernel, Diagnostic, Kernel, KernelBuilder, Severity};

@@ -258,8 +258,12 @@ impl DesignSpace {
             };
 
         let mut points = Vec::new();
+        // The candidate tuple lives in a reused scratch buffer borrowed
+        // against the axis domains; a vector is allocated only for the
+        // candidates the jam check promotes into the space.
+        let mut permuted = vec![0i64; depth];
         for perm in &permutations {
-            for u in base.iter() {
+            base.for_each_member(|u| {
                 // `u` assigns a factor to each *original* level; the
                 // factor follows its loop through the permutation, so
                 // position `k` of the permuted nest keeps a divisor of
@@ -267,10 +271,12 @@ impl DesignSpace {
                 // permuted distance vectors plus the carried-scalar rule
                 // — identical to what the transforms would reject, so
                 // nothing survives that could fail.
-                let permuted: Vec<i64> = perm.iter().map(|&l| u.factors()[l]).collect();
+                for (k, &l) in perm.iter().enumerate() {
+                    permuted[k] = u[l];
+                }
                 if summary.jam_violation_under(perm, &permuted).is_some() {
                     pruned.unroll_perm += 1;
-                    continue;
+                    return;
                 }
                 for &narrow in narrow_options {
                     for &pack in pack_options {
@@ -283,7 +289,7 @@ impl DesignSpace {
                         });
                     }
                 }
-            }
+            });
         }
         if axes.contains(&Axis::Tile) {
             for (level, &trip) in trip_counts.iter().enumerate() {
@@ -428,6 +434,37 @@ impl DesignSpace {
             }
             Some(v)
         })
+    }
+
+    /// Visit every vector in the space (outer levels vary slowest,
+    /// identical order to [`Self::iter`]), passing each as a slice
+    /// borrowed from a reused buffer — the allocation-free counterpart
+    /// of [`Self::iter`] for hot enumeration loops.
+    pub fn for_each_member(&self, mut f: impl FnMut(&[i64])) {
+        if self.size() == 0 {
+            return;
+        }
+        let levels = self.levels();
+        let mut idx = vec![0usize; levels];
+        let mut cur: Vec<i64> = self.factors_per_level.iter().map(|f| f[0]).collect();
+        loop {
+            f(&cur);
+            // Advance, innermost fastest.
+            let mut l = levels;
+            loop {
+                if l == 0 {
+                    return;
+                }
+                l -= 1;
+                idx[l] += 1;
+                if idx[l] < self.factors_per_level[l].len() {
+                    cur[l] = self.factors_per_level[l][idx[l]];
+                    break;
+                }
+                idx[l] = 0;
+                cur[l] = self.factors_per_level[l][0];
+            }
+        }
     }
 
     /// All members with the given product whose factors lie between `lo`
@@ -623,6 +660,20 @@ mod tests {
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn for_each_member_matches_iter_order_exactly() {
+        for space in [
+            DesignSpace::new(&[4, 4], &[true, true]),
+            DesignSpace::new(&[12, 5, 8], &[true, false, true]),
+            DesignSpace::new(&[7], &[true]),
+        ] {
+            let collected: Vec<UnrollVector> = space.iter().collect();
+            let mut visited = Vec::new();
+            space.for_each_member(|u| visited.push(UnrollVector(u.to_vec())));
+            assert_eq!(visited, collected);
+        }
     }
 
     const FIR: &str = "kernel fir { in S: i32[96]; in C: i32[32]; inout D: i32[64];

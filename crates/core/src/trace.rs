@@ -161,6 +161,41 @@ pub enum TraceEvent {
         /// Whether the design fits the device.
         fits: bool,
     },
+    /// Guided joint search: a [`SearchStrategy`](crate::SearchStrategy)
+    /// spent one tier-1 evaluation on a joint point. Emitted in decision
+    /// order (which is deterministic at any worker count — strategies
+    /// batch evaluations but commit them serially). `incumbent` is the
+    /// best fitting cycle count *before* this step, `None` until the
+    /// first fitting design is seen; the auditor checks it is monotone
+    /// non-increasing.
+    StrategyStep {
+        /// The evaluated joint point.
+        point: JointPoint,
+        /// Its exact tier-1 cycles.
+        cycles: u64,
+        /// Its exact tier-1 slices.
+        slices: u32,
+        /// Whether the design fits the device.
+        fits: bool,
+        /// Best fitting cycles before this step.
+        incumbent: Option<u64>,
+    },
+    /// Guided joint search: a tier-0 joint band proved a point cannot
+    /// beat the incumbent, so it never reaches tier 1. The recorded
+    /// bounds are the proof obligations: `slices_lo` exceeds device
+    /// capacity, or `cycles_lo` exceeds `threshold` (the incumbent-side
+    /// cycle bound in force; `None` when the point was pruned on
+    /// capacity alone).
+    BoundPrune {
+        /// The pruned joint point.
+        point: JointPoint,
+        /// Tier-0 lower bound on cycles.
+        cycles_lo: u64,
+        /// Tier-0 lower bound on slices.
+        slices_lo: u32,
+        /// The cycle threshold the lower bound exceeded, if any.
+        threshold: Option<u64>,
+    },
     /// Multi-FPGA mapping: one pipeline stage was placed.
     StagePlaced {
         /// Stage name.
@@ -197,6 +232,25 @@ fn json_factors(u: &UnrollVector) -> String {
 fn json_usizes(xs: &[usize]) -> String {
     let inner: Vec<String> = xs.iter().map(usize::to_string).collect();
     format!("[{}]", inner.join(","))
+}
+
+/// The shared joint-point field group used by `axis_visit`,
+/// `strategy_step` and `bound_prune` renderings.
+fn json_joint_fields(point: &JointPoint) -> String {
+    format!(
+        "\"unroll\":{},\"permutation\":{},\"tile\":{},\"narrow\":{},\"pack\":{}",
+        json_factors(&point.unroll_vector()),
+        json_usizes(&point.permutation),
+        point
+            .tile
+            .map_or_else(|| "null".into(), |(l, t)| format!("[{l},{t}]")),
+        point.narrow,
+        point.pack,
+    )
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
 }
 
 fn json_f64(v: f64) -> String {
@@ -305,17 +359,33 @@ impl TraceEvent {
                 slices,
                 fits,
             } => format!(
-                "{{\"event\":\"axis_visit\",\"unroll\":{},\"permutation\":{},\"tile\":{},\
-                 \"narrow\":{},\"pack\":{},\"balance\":{},\"cycles\":{cycles},\
+                "{{\"event\":\"axis_visit\",{},\"balance\":{},\"cycles\":{cycles},\
                  \"slices\":{slices},\"fits\":{fits}}}",
-                json_factors(&point.unroll_vector()),
-                json_usizes(&point.permutation),
-                point
-                    .tile
-                    .map_or_else(|| "null".into(), |(l, t)| format!("[{l},{t}]")),
-                point.narrow,
-                point.pack,
+                json_joint_fields(point),
                 json_f64(*balance),
+            ),
+            TraceEvent::StrategyStep {
+                point,
+                cycles,
+                slices,
+                fits,
+                incumbent,
+            } => format!(
+                "{{\"event\":\"strategy_step\",{},\"cycles\":{cycles},\"slices\":{slices},\
+                 \"fits\":{fits},\"incumbent\":{}}}",
+                json_joint_fields(point),
+                json_opt_u64(*incumbent),
+            ),
+            TraceEvent::BoundPrune {
+                point,
+                cycles_lo,
+                slices_lo,
+                threshold,
+            } => format!(
+                "{{\"event\":\"bound_prune\",{},\"cycles_lo\":{cycles_lo},\
+                 \"slices_lo\":{slices_lo},\"threshold\":{}}}",
+                json_joint_fields(point),
+                json_opt_u64(*threshold),
             ),
             TraceEvent::StagePlaced {
                 stage,
@@ -600,6 +670,59 @@ mod tests {
             fits: false,
         };
         assert!(tiled.to_json().contains("\"tile\":[1,8]"));
+    }
+
+    #[test]
+    fn strategy_event_schema_is_stable() {
+        let step = TraceEvent::StrategyStep {
+            point: JointPoint {
+                unroll: vec![4, 1],
+                permutation: vec![1, 0],
+                tile: None,
+                narrow: false,
+                pack: true,
+            },
+            cycles: 300,
+            slices: 50,
+            fits: true,
+            incumbent: Some(420),
+        };
+        assert_eq!(
+            step.to_json(),
+            "{\"event\":\"strategy_step\",\"unroll\":[4,1],\"permutation\":[1,0],\
+             \"tile\":null,\"narrow\":false,\"pack\":true,\"cycles\":300,\"slices\":50,\
+             \"fits\":true,\"incumbent\":420}"
+        );
+        let first = TraceEvent::StrategyStep {
+            point: JointPoint::baseline(2),
+            cycles: 500,
+            slices: 10,
+            fits: true,
+            incumbent: None,
+        };
+        assert!(first.to_json().ends_with("\"incumbent\":null}"));
+        let prune = TraceEvent::BoundPrune {
+            point: JointPoint {
+                tile: Some((1, 8)),
+                ..JointPoint::baseline(2)
+            },
+            cycles_lo: 480,
+            slices_lo: 90,
+            threshold: Some(450),
+        };
+        assert_eq!(
+            prune.to_json(),
+            "{\"event\":\"bound_prune\",\"unroll\":[1,1],\"permutation\":[0,1],\
+             \"tile\":[1,8],\"narrow\":false,\"pack\":false,\"cycles_lo\":480,\
+             \"slices_lo\":90,\"threshold\":450}"
+        );
+        let capacity = TraceEvent::BoundPrune {
+            point: JointPoint::baseline(2),
+            cycles_lo: 1,
+            slices_lo: 99999,
+            threshold: None,
+        };
+        assert!(capacity.to_json().ends_with("\"threshold\":null}"));
     }
 
     #[test]

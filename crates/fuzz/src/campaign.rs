@@ -145,6 +145,10 @@ fn run_campaign_inner(cfg: &CampaignConfig) -> FuzzReport {
             let ocfg = OracleConfig {
                 max_points: cfg.max_points,
                 workers: cfg.workers.clone(),
+                // Smoke campaigns (max_points 2) cap the guided-strategy
+                // oracle tighter: its exhaustive ground truth dominates
+                // the per-case budget.
+                max_strategy_points: 8 * cfg.max_points,
                 input_seed: cfg.seed ^ index.rotate_left(32),
             };
             report.runs += 1;

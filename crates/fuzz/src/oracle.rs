@@ -26,8 +26,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use defacto::cache::PersistentCache;
-use defacto::exhaustive::best_performance;
-use defacto::{audit_search_trace, to_jsonl, DseError, Explorer, Fidelity, MemorySink};
+use defacto::exhaustive::{best_joint_performance, best_performance};
+use defacto::{
+    audit_search_trace, to_jsonl, DseError, Explorer, Fidelity, MemorySink, StrategyKind,
+};
 use defacto_ir::{canonicalize, parse_kernel, run_with_inputs, ArrayKind, Kernel};
 use defacto_synth::{estimate_opts, AnalyticModel, FpgaDevice, MemoryModel, SynthesisOptions};
 use defacto_xform::{PreparedKernel, UnrollVector, XformError};
@@ -55,6 +57,10 @@ pub enum Oracle {
     /// permutation/tile was accepted instead of rejected with a typed
     /// error.
     Legality,
+    /// A guided search strategy broke its contract: branch-and-bound
+    /// selected a different design than the exhaustive joint sweep, or
+    /// coordinate descent landed outside its reported optimality gap.
+    Strategy,
     /// A panic escaped a compiler pass — the catch-all robustness oracle.
     Crash,
 }
@@ -69,6 +75,7 @@ impl Oracle {
             Oracle::Audit => "audit",
             Oracle::Canon => "canon",
             Oracle::Legality => "legality",
+            Oracle::Strategy => "strategy",
             Oracle::Crash => "crash",
         }
     }
@@ -144,6 +151,10 @@ pub struct OracleConfig {
     pub max_points: usize,
     /// Worker counts for the trace-audit oracle.
     pub workers: Vec<usize>,
+    /// Joint spaces up to this many points get the guided-strategy
+    /// oracle (the exhaustive ground truth is the cost being bounded;
+    /// `0` disables it).
+    pub max_strategy_points: usize,
     /// Seed for input data and point sampling.
     pub input_seed: u64,
 }
@@ -153,6 +164,7 @@ impl Default for OracleConfig {
         OracleConfig {
             max_points: 3,
             workers: vec![1, 8],
+            max_strategy_points: 24,
             input_seed: 0xDEFAC7,
         }
     }
@@ -645,6 +657,92 @@ fn check_case_inner(
         checks += 1;
     }
 
+    // Oracle 7: guided-strategy identity. Branch-and-bound must select
+    // the bit-identical design to the exhaustive joint sweep (its
+    // prunes are proven by tier-0 band containment), and coordinate
+    // descent must land within its reported optimality gap. Bounded to
+    // small spaces — the exhaustive ground truth is the cost being
+    // capped — and run through one explorer so the strategies answer
+    // from the sweep's memo cache.
+    if !jpoints.is_empty() && jpoints.len() <= cfg.max_strategy_points {
+        let gex = Explorer::new(&kernel)
+            .memory(profile.memory.clone())
+            .device(profile.device.clone())
+            .axes(&defacto::Axis::ALL);
+        let sweep = match guarded("strategy-sweep", || gex.joint_sweep())? {
+            Ok(s) => s,
+            Err(e) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Strategy,
+                    stage: "strategy-sweep".to_string(),
+                    detail: format!("exhaustive joint sweep failed: {e}"),
+                }))
+            }
+        };
+        let truth = best_joint_performance(&sweep);
+        let bnb = match guarded("strategy-bnb", || {
+            gex.joint_explore(StrategyKind::BranchAndBound)
+        })? {
+            Ok(r) => r,
+            Err(e) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Strategy,
+                    stage: "strategy-bnb".to_string(),
+                    detail: format!("branch-and-bound failed: {e}"),
+                }))
+            }
+        };
+        let identical = match (truth, &bnb.selected) {
+            (Some(e), Some(g)) => e.point == g.point && e.estimate == g.estimate,
+            (None, None) => true,
+            _ => false,
+        };
+        if !identical {
+            return Ok(CaseOutcome::Violation(Violation {
+                oracle: Oracle::Strategy,
+                stage: "strategy-bnb".to_string(),
+                detail: format!(
+                    "branch-and-bound selected {:?}, exhaustive selected {:?}",
+                    bnb.selected.as_ref().map(|d| &d.point),
+                    truth.map(|d| &d.point)
+                ),
+            }));
+        }
+        checks += 1;
+        let cd = match guarded("strategy-cd", || {
+            gex.joint_explore(StrategyKind::CoordinateDescent)
+        })? {
+            Ok(r) => r,
+            Err(e) => {
+                return Ok(CaseOutcome::Violation(Violation {
+                    oracle: Oracle::Strategy,
+                    stage: "strategy-cd".to_string(),
+                    detail: format!("coordinate descent failed: {e}"),
+                }))
+            }
+        };
+        let within_gap = match (truth, &cd.selected, cd.gap_cycles) {
+            (Some(e), Some(g), Some(gap)) => {
+                g.estimate.cycles.saturating_sub(e.estimate.cycles) <= gap
+            }
+            (None, None, _) => true,
+            _ => false,
+        };
+        if !within_gap {
+            return Ok(CaseOutcome::Violation(Violation {
+                oracle: Oracle::Strategy,
+                stage: "strategy-cd".to_string(),
+                detail: format!(
+                    "coordinate descent cycles {:?} outside gap {:?} of optimum {:?}",
+                    cd.selected.as_ref().map(|d| d.estimate.cycles),
+                    cd.gap_cycles,
+                    truth.map(|d| d.estimate.cycles)
+                ),
+            }));
+        }
+        checks += 1;
+    }
+
     // The negative half: provably-illegal coordinates must be refused
     // with a typed error, never accepted, never a panic.
     let summary = prepared.legality();
@@ -867,6 +965,31 @@ mod tests {
                 other => panic!("fir should pass on {}: {other:?}", profile.name),
             }
         }
+    }
+
+    #[test]
+    fn strategy_oracle_fires_on_small_joint_spaces() {
+        // With an uncapped budget the oracle must add exactly its two
+        // checks (branch-and-bound identity, coordinate-descent gap)
+        // over a run with the oracle disabled.
+        let profile = &Profile::standard()[0];
+        let with = OracleConfig {
+            max_strategy_points: 1000,
+            ..OracleConfig::default()
+        };
+        let without = OracleConfig {
+            max_strategy_points: 0,
+            ..OracleConfig::default()
+        };
+        let checks_with = match check_case(FIR, profile, &with) {
+            CaseOutcome::Passed { checks } => checks,
+            other => panic!("fir should pass: {other:?}"),
+        };
+        let checks_without = match check_case(FIR, profile, &without) {
+            CaseOutcome::Passed { checks } => checks,
+            other => panic!("fir should pass: {other:?}"),
+        };
+        assert_eq!(checks_with, checks_without + 2);
     }
 
     #[test]

@@ -42,9 +42,11 @@ use crate::memory::MemoryModel;
 use crate::oplib::{
     fsm_state_slices_ceil, op_spec, register_slices, HwOp, FSM_BASE_SLICES, MEMORY_INTERFACE_SLICES,
 };
-use defacto_ir::{BinOp, Expr, Kernel, LValue, Stmt};
+use crate::schedule::ListPriority;
+use defacto_ir::stmt::collect_accesses;
+use defacto_ir::{ArrayKind, BinOp, Expr, Kernel, LValue, Stmt};
 use defacto_xform::{PointCensus, PreparedKernel, TrafficKind, TransformOptions, UnrollVector};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Tier-0 prediction for one design point: every tier-1 quantity as a
@@ -135,6 +137,40 @@ impl BaseOps {
     }
 }
 
+/// What the lower-bound walk can promise about one base-body value, in
+/// every jammed/steady copy of the body the transform can produce.
+#[derive(Debug, Clone, Copy)]
+enum LoVal {
+    /// A literal the constant folder sees, with its exact value.
+    Lit(i64),
+    /// Possibly a literal in some unrolled copy (anything derived from a
+    /// loop-variable read, which full unrolling substitutes away) — no
+    /// latency or area credit may rest on it.
+    MaybeLit,
+    /// Certainly a non-literal value: `(serial latency floor, value-width
+    /// floor)`. The width floor bounds the operand width every copy's DFG
+    /// node must reach, under the active narrowing mode.
+    Val(u64, u32),
+}
+
+/// Guaranteed-to-materialize facts about the base body: operator classes
+/// that survive constant folding in every steady copy (at width floors)
+/// and, per array, the minimum serial latency feeding its body stores.
+#[derive(Debug, Default)]
+struct BaseLower {
+    /// `(op, width-lower-bound) -> uses per base-body copy`.
+    classes: HashMap<(HwOp, u32), u32>,
+    /// Per array: min over its unconditional stores of the store value's
+    /// guaranteed serial op latency.
+    store_depth: HashMap<String, u64>,
+}
+
+impl BaseLower {
+    fn push(&mut self, op: HwOp, w: u32) {
+        *self.classes.entry((op, w.max(1))).or_insert(0) += 1;
+    }
+}
+
 /// Bits of the point interval `[v, v]`, mirroring `Interval::bits`.
 fn point_bits(v: i64) -> u32 {
     fn unsigned_bits(v: i64) -> u32 {
@@ -164,6 +200,16 @@ pub struct AnalyticModel {
     dev: FpgaDevice,
     classes: Vec<(HwOp, u32, u32)>,
     base_lat_sum: u64,
+    /// Operator classes certain to survive folding in every steady copy,
+    /// at width floors: the slices lower bound's datapath term.
+    lower_classes: Vec<(HwOp, u32, u32)>,
+    /// Per array: guaranteed serial latency feeding its body stores.
+    store_depth_lo: HashMap<String, u64>,
+    /// Arrays whose accesses all share one coefficient signature — the
+    /// renamability condition `assign_memories` checks, preserved by the
+    /// affine transformations (substitutions apply uniformly, scalar
+    /// replacement only removes accesses, fills reuse set signatures).
+    renamable: HashSet<String>,
     /// Declared widths of the source kernel's scalars.
     original_scalars: Vec<u32>,
     /// Per loop level: non-subscript reads of the level's variable in one
@@ -211,6 +257,40 @@ impl AnalyticModel {
             .map(|(&(op, w), &n)| (op, w, n))
             .collect();
         classes.sort();
+        let mut lower = BaseLower::default();
+        let mut env = HashMap::new();
+        lower_stmts(
+            prepared.base_body(),
+            prepared.normalized(),
+            sopts.bitwidth_narrowing,
+            &mut env,
+            &mut lower,
+            true,
+        );
+        let mut lower_classes: Vec<(HwOp, u32, u32)> = lower
+            .classes
+            .iter()
+            .map(|(&(op, w), &n)| (op, w, n))
+            .collect();
+        lower_classes.sort();
+        let norm = prepared.normalized();
+        let vars = norm.loop_vars();
+        let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        let accesses = collect_accesses(norm.body());
+        let mut signatures: HashMap<&str, Vec<Vec<Vec<i64>>>> = HashMap::new();
+        for (acc, _) in &accesses {
+            let sig = acc.coeff_signature(&var_refs);
+            let sigs = signatures.entry(acc.array.as_str()).or_default();
+            if !sigs.contains(&sig) {
+                sigs.push(sig);
+            }
+        }
+        let renamable: HashSet<String> = norm
+            .arrays()
+            .iter()
+            .filter(|a| signatures.get(a.name.as_str()).map(Vec::len).unwrap_or(0) <= 1)
+            .map(|a| a.name.clone())
+            .collect();
         Some(AnalyticModel {
             prepared,
             topts,
@@ -219,6 +299,9 @@ impl AnalyticModel {
             dev,
             classes,
             base_lat_sum: base.lat_sum,
+            lower_classes,
+            store_depth_lo: lower.store_depth,
+            renamable,
             original_scalars,
             loop_var_reads,
         })
@@ -398,11 +481,124 @@ impl AnalyticModel {
             }
         }
 
+        // Store serialization: every store to one array depends on the
+        // previous store to that array (the DFG's memory-ordering edge),
+        // so a segment with `n` stores of an array runs at least
+        // `n × write_latency` cycles — regardless of banking or packing
+        // (stores never pool into words). In each steady body the first
+        // such store additionally waits for its value's guaranteed serial
+        // op chain. Conditional and guarded classes may fold away under
+        // peeling, so they earn nothing.
+        // Read drain: the list scheduler's ASAP priority pops every
+        // dependence-free load (class 0, level 0) before any store, and
+        // placement is immediate against the monotone per-bank
+        // high-water marks — so a body segment's first store starts no
+        // earlier than the least-loaded bank's occupancy from the
+        // segment's certain loads. Only unconditional body loads of
+        // arrays with no in-segment store qualify (anything else may
+        // carry dependence edges or fold away); the bank histogram
+        // composes the layout's cyclic distribution (min over the
+        // unknown greedy phase) with the scheduler's physical fold, and
+        // packed small-typed arrays distribute phaselessly by word.
+        let m_bind = if self.topts.custom_layout {
+            self.topts.num_memories.max(1)
+        } else {
+            1
+        };
+        let m_phys = self.mem.num_memories.max(1);
+        let mut drain_lo: u64 = 0;
+        if self.sopts.priority == ListPriority::Asap {
+            let stored_in_body: HashSet<&str> = c
+                .traffic
+                .iter()
+                .filter(|t| {
+                    t.is_write
+                        && (t.conditional
+                            || matches!(t.kind, TrafficKind::Body | TrafficKind::Guarded(_)))
+                })
+                .map(|t| t.array.as_str())
+                .collect();
+            let mut body_loads: HashMap<&str, (u32, Vec<i64>)> = HashMap::new();
+            for t in &c.traffic {
+                if t.is_write
+                    || t.conditional
+                    || !matches!(t.kind, TrafficKind::Body)
+                    || stored_in_body.contains(t.array.as_str())
+                {
+                    continue;
+                }
+                let e = body_loads
+                    .entry(t.array.as_str())
+                    .or_insert_with(|| (t.elem_bits, Vec::new()));
+                e.1.extend_from_slice(&t.flat_offsets);
+            }
+            for (array, (eb, offsets)) in body_loads {
+                let packed = self.sopts.pack_small_types && eb < word_bits;
+                let min_bank: u64 = if packed {
+                    let epw = (word_bits / eb.max(1)).max(1) as i64;
+                    let mut words: Vec<i64> = offsets.iter().map(|o| o.div_euclid(epw)).collect();
+                    words.sort_unstable();
+                    words.dedup();
+                    if m_bind == 1 {
+                        words.len() as u64
+                    } else {
+                        let mut hist = vec![0u64; m_phys];
+                        for w in words {
+                            hist[(w.rem_euclid(m_bind as i64) as usize) % m_phys] += 1;
+                        }
+                        hist.into_iter().min().unwrap_or(0)
+                    }
+                } else if m_bind == 1 {
+                    // Everything folds onto one bank — stores included.
+                    offsets.len() as u64
+                } else if self.renamable.contains(array) {
+                    (0..m_bind as i64)
+                        .map(|phase| {
+                            let mut hist = vec![0u64; m_phys];
+                            for &o in &offsets {
+                                hist[((o + phase).rem_euclid(m_bind as i64) as usize) % m_phys] +=
+                                    1;
+                            }
+                            hist.into_iter().min().unwrap_or(0)
+                        })
+                        .min()
+                        .unwrap_or(0)
+                } else {
+                    // Single-bank layout: some physical bank sees none.
+                    0
+                };
+                drain_lo = drain_lo.saturating_add(min_bank.saturating_mul(rd.1));
+            }
+        }
+
+        let mut store_lo: u64 = 0;
+        {
+            let mut per_array: HashMap<&str, (u64, bool)> = HashMap::new();
+            for t in &c.traffic {
+                if !t.is_write || t.conditional || matches!(t.kind, TrafficKind::Guarded(_)) {
+                    continue;
+                }
+                let execs = t.executions(&c.trips).max(0) as u64;
+                let events = execs.saturating_mul(t.flat_offsets.len() as u64);
+                let e = per_array.entry(t.array.as_str()).or_insert((0, false));
+                e.0 = e.0.saturating_add(events);
+                e.1 |= matches!(t.kind, TrafficKind::Body) && !t.flat_offsets.is_empty();
+            }
+            for (array, (events, in_body)) in per_array {
+                let mut floor = events.saturating_mul(wr.0);
+                if in_body {
+                    let depth = self.store_depth_lo.get(array).copied().unwrap_or(0);
+                    floor = floor.saturating_add(steady_bodies.saturating_mul(depth.max(drain_lo)));
+                }
+                store_lo = store_lo.max(floor);
+            }
+        }
+
         let cycles_hi = ovh
             .saturating_add(comp_hi)
             .saturating_add(bodies.saturating_mul(c.rotates_per_body.max(0) as u64))
             .saturating_add(traffic_cyc_hi);
-        let cycles_lo = ovh.saturating_add(comp_lo.max(mem_lo));
+        let cycles_lo = ovh.saturating_add(comp_lo.max(mem_lo).max(store_lo));
 
         // Area. Static instance counts: each peeled level doubles the
         // static copies of everything at or below it.
@@ -474,9 +670,22 @@ impl AnalyticModel {
                 .saturating_add(traffic_static),
         );
 
+        // Datapath floor: operators certain to survive folding in every
+        // steady copy, priced at the smaller of the operator's area and
+        // the estimator's sharing-mux charge, both at the width floor
+        // (both are width-monotone). Only the single steady instance
+        // earns credit — peeled static copies may fold.
+        let mut datapath_lo: u64 = 0;
+        for &(op, w, n) in &self.lower_classes {
+            let unit = (op_spec(op, w).area_slices as u64).min((w / 4 + 1) as u64);
+            datapath_lo =
+                datapath_lo.saturating_add((n as u64).saturating_mul(product).saturating_mul(unit));
+        }
+
         let fixed =
             self.mem.num_memories as u64 * MEMORY_INTERFACE_SLICES as u64 + FSM_BASE_SLICES as u64;
-        let slices_lo_u64 = regs_lo + fixed + loops_lo as u64 * LOOP_CONTROL_SLICES as u64;
+        let slices_lo_u64 = (regs_lo + fixed + loops_lo as u64 * LOOP_CONTROL_SLICES as u64)
+            .saturating_add(datapath_lo);
         let slices_hi_u64 = slices_hi
             .saturating_add(regs_hi)
             .saturating_add(fixed)
@@ -732,6 +941,348 @@ fn walk_stmts(body: &[Stmt], k: &Kernel, under_if: bool, out: &mut BaseOps) {
                 walk_stmts(else_body, k, true, out);
             }
             Stmt::For(l) => walk_stmts(&l.body, k, under_if, out),
+            Stmt::Rotate(_) => {}
+        }
+    }
+}
+
+/// Bits of the inclusive interval `[lo, hi]`, mirroring `Interval::bits`
+/// in the range analysis.
+fn interval_bits(lo: i64, hi: i64) -> u32 {
+    fn unsigned_bits(v: i64) -> u32 {
+        (64 - v.leading_zeros()).max(1)
+    }
+    if lo >= 0 {
+        unsigned_bits(hi)
+    } else {
+        let neg = unsigned_bits(lo.saturating_add(1).saturating_neg());
+        let pos = unsigned_bits(hi.max(0));
+        neg.max(pos) + 1
+    }
+}
+
+/// Width floor of a load's value under the active narrowing mode. The
+/// range analysis seeds annotated arrays at their annotation (stores only
+/// widen it), unannotated `in`/`inout` arrays at the full declared range,
+/// and unannotated `out` arrays at `[0, 0]` — only the last gives no
+/// floor beyond one bit.
+fn load_width_lo(k: &Kernel, array: &str, narrow: bool) -> u32 {
+    let Some(decl) = k.array(array) else { return 1 };
+    if !narrow {
+        return decl.ty.bits();
+    }
+    match decl.range {
+        Some((lo, hi)) => interval_bits(lo, hi).min(decl.ty.bits()),
+        None if decl.kind == ArrayKind::Out => 1,
+        None => decl.ty.bits(),
+    }
+}
+
+/// Minimum latency the DFG can assign a node of `op` at any width.
+fn lat_lo(op: HwOp) -> u64 {
+    op_spec(op, 1).latency as u64
+}
+
+/// Walk one base-body expression computing what *must* survive in every
+/// steady copy: mirrors `fold_unary`/`fold_binary` exactly (those are the
+/// only folds any pass applies), treats loop-variable reads as possible
+/// literals (full unrolling substitutes them), and records surviving
+/// operator classes at width floors when `count` is set.
+fn lower_expr(
+    e: &Expr,
+    k: &Kernel,
+    narrow: bool,
+    env: &HashMap<String, (u64, u32)>,
+    out: &mut BaseLower,
+    count: bool,
+) -> LoVal {
+    match e {
+        Expr::Int(v) => LoVal::Lit(*v),
+        Expr::Scalar(n) => {
+            if let Some((d, w)) = env.get(n) {
+                LoVal::Val(*d, *w)
+            } else if k.scalar(n).is_some() {
+                // Unassigned declared scalar: a register read (never
+                // folded — there is no constant propagation), value 0.
+                LoVal::Val(0, if narrow { 1 } else { scalar_decl_bits(k, n) })
+            } else {
+                // Loop variable: a literal in fully unrolled copies.
+                LoVal::MaybeLit
+            }
+        }
+        Expr::Load(a) => LoVal::Val(0, load_width_lo(k, &a.array, narrow)),
+        Expr::Unary(op, inner) => match lower_expr(inner, k, narrow, env, out, count) {
+            LoVal::Lit(v) => LoVal::Lit(op.apply(v)),
+            LoVal::MaybeLit => LoVal::MaybeLit,
+            LoVal::Val(d, w) => {
+                // Abs/neg can shed one interval bit (`[-256, 0]` →
+                // `[0, 256]`); the node prices at the result width.
+                let rw = if narrow {
+                    w.saturating_sub(1).max(1)
+                } else {
+                    w
+                };
+                let hw = HwOp::of_unop(*op);
+                if count {
+                    out.push(hw, rw);
+                }
+                LoVal::Val(d + lat_lo(hw), rw)
+            }
+        },
+        Expr::Binary(op, lhs, rhs) => {
+            let a = lower_expr(lhs, k, narrow, env, out, count);
+            let b = lower_expr(rhs, k, narrow, env, out, count);
+            lower_binary(*op, a, b, narrow, out, count)
+        }
+        Expr::Select(c, t, f) => {
+            match lower_expr(c, k, narrow, env, out, count) {
+                // The folder resolves constant conditions: mirror it and
+                // walk only the surviving arm (expressions have no
+                // side effects, so the dropped arm contributes nothing).
+                LoVal::Lit(0) => lower_expr(f, k, narrow, env, out, count),
+                LoVal::Lit(_) => lower_expr(t, k, narrow, env, out, count),
+                cond => {
+                    let tv = lower_expr(t, k, narrow, env, out, false);
+                    let fv = lower_expr(f, k, narrow, env, out, false);
+                    if let LoVal::MaybeLit = cond {
+                        // Either arm may be selected by substitution.
+                        match (tv, fv) {
+                            (LoVal::Val(dt, wt), LoVal::Val(df, wf)) => {
+                                LoVal::Val(dt.min(df), wt.min(wf))
+                            }
+                            _ => LoVal::MaybeLit,
+                        }
+                    } else {
+                        // Non-literal condition: the mux node survives
+                        // and needs all inputs; its result interval is a
+                        // superset of both arms.
+                        let dc = match cond {
+                            LoVal::Val(d, _) => d,
+                            _ => 0,
+                        };
+                        let (dt, wt) = match tv {
+                            LoVal::Val(d, w) => (d, w),
+                            _ => (0, 1),
+                        };
+                        let (df, wf) = match fv {
+                            LoVal::Val(d, w) => (d, w),
+                            _ => (0, 1),
+                        };
+                        let w = wt.max(wf).max(1);
+                        if count {
+                            out.push(HwOp::Mux, w);
+                        }
+                        LoVal::Val(dc.max(dt).max(df) + lat_lo(HwOp::Mux), w)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Binary case of the lower walk: apply the folder's exact rules, then
+/// classify what certainly survives.
+fn lower_binary(
+    op: BinOp,
+    a: LoVal,
+    b: LoVal,
+    narrow: bool,
+    out: &mut BaseLower,
+    count: bool,
+) -> LoVal {
+    use LoVal::{Lit, MaybeLit, Val};
+    // Exact mirror of `fold_binary`'s constant and identity rules.
+    match (&a, &b) {
+        (Lit(x), Lit(y)) => return Lit(op.apply(*x, *y)),
+        (Lit(0), _) if op == BinOp::Add => return b,
+        (_, Lit(0)) if matches!(op, BinOp::Add | BinOp::Sub) => return a,
+        (Lit(1), _) if op == BinOp::Mul => return b,
+        (_, Lit(1)) if op == BinOp::Mul => return a,
+        (Lit(0), _) | (_, Lit(0)) if op == BinOp::Mul => return Lit(0),
+        (Lit(0), _) | (_, Lit(0)) if op == BinOp::And => return Lit(0),
+        (Lit(0), _) if op == BinOp::Or => return b,
+        (_, Lit(0)) if op == BinOp::Or => return a,
+        _ => {}
+    }
+    let has_identity = matches!(
+        op,
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or
+    );
+    match (a, b) {
+        (MaybeLit, MaybeLit) => MaybeLit,
+        (Val(d, w), MaybeLit) | (MaybeLit, Val(d, w)) => {
+            if matches!(op, BinOp::Mul | BinOp::And) {
+                // A substituted literal 0 annihilates the whole node.
+                MaybeLit
+            } else if has_identity {
+                // `x + 0` folds to `x`: the value survives, the node may
+                // not.
+                Val(d, w)
+            } else {
+                // No identity rule exists for this operator, so a node
+                // survives in every copy — but its class depends on
+                // whether the other side became a literal (a shift
+                // amount folding to a constant turns `Div`/`Shl` into a
+                // zero-latency, zero-area `ConstShift`), so only the
+                // class-invariant operators take credit.
+                let (cls_both, latf) = match op {
+                    BinOp::Xor => (Some(HwOp::Logic), lat_lo(HwOp::Logic)),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        (Some(HwOp::Cmp), lat_lo(HwOp::Cmp))
+                    }
+                    _ => (None, 0),
+                };
+                if let Some(cls) = cls_both {
+                    if count {
+                        out.push(cls, if op.is_comparison() { w } else { w.max(1) });
+                    }
+                }
+                let rw = if op.is_comparison() {
+                    1
+                } else if narrow {
+                    // Division/shift results can shrink arbitrarily.
+                    1
+                } else {
+                    w
+                };
+                Val(d + latf, rw)
+            }
+        }
+        (Val(da, wa), Val(db, wb)) => {
+            // Both sides certainly non-literal: the node survives with
+            // operand width at least `max(wa, wb)` (the DFG clamp keeps
+            // a binary node at least as wide as each operand's value).
+            let hw = HwOp::of_binop(op, false, false);
+            let w = wa.max(wb).max(1);
+            if count {
+                out.push(hw, w);
+            }
+            let d = da.max(db) + lat_lo(hw);
+            if op.is_comparison() {
+                Val(d, 1)
+            } else if narrow {
+                // Result intervals can shrink below both operands
+                // (cancellation, division): no downstream width credit.
+                Val(d, 1)
+            } else {
+                Val(d, w)
+            }
+        }
+        (Val(d, w), Lit(v)) | (Lit(v), Val(d, w)) => {
+            // One side a known literal the identity rules above did not
+            // fold: the node survives; classify it the way the DFG does
+            // (constant on the right, or either side for `Mul`).
+            let rhs_const = matches!(b, Lit(_)) || op == BinOp::Mul;
+            let pow2 = v.unsigned_abs().count_ones() == 1;
+            let hw = HwOp::of_binop(op, rhs_const, pow2);
+            if count {
+                out.push(hw, w);
+            }
+            let d = d + lat_lo(hw);
+            if op.is_comparison() || narrow {
+                Val(d, 1)
+            } else {
+                Val(d, w)
+            }
+        }
+        (Lit(_), MaybeLit) | (MaybeLit, Lit(_)) => MaybeLit,
+        // Handled by the folding mirror above.
+        (Lit(x), Lit(y)) => Lit(op.apply(x, y)),
+    }
+}
+
+/// Names assigned anywhere in a statement list (for invalidating the
+/// scalar environment across predicated branches).
+fn assigned_scalars(body: &[Stmt], names: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign {
+                lhs: LValue::Scalar(n),
+                ..
+            } => names.push(n.clone()),
+            Stmt::Assign { .. } | Stmt::Rotate(_) => {}
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assigned_scalars(then_body, names);
+                assigned_scalars(else_body, names);
+            }
+            Stmt::For(l) => assigned_scalars(&l.body, names),
+        }
+    }
+}
+
+/// Statement-level lower walk. `top` is true for unconditionally executed
+/// statements: only those contribute operator classes and store depths
+/// (a branch may fold away in peeled or fully unrolled copies).
+fn lower_stmts(
+    body: &[Stmt],
+    k: &Kernel,
+    narrow: bool,
+    env: &mut HashMap<String, (u64, u32)>,
+    out: &mut BaseLower,
+    top: bool,
+) {
+    for s in body {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let v = lower_expr(rhs, k, narrow, env, out, top);
+                match lhs {
+                    LValue::Scalar(n) => {
+                        let decl = scalar_decl_bits(k, n);
+                        let (d, w) = match v {
+                            LoVal::Val(d, w) => (d, w.min(decl)),
+                            _ => (0, 1),
+                        };
+                        env.insert(n.clone(), (d, if narrow { w } else { decl }));
+                    }
+                    LValue::Array(a) => {
+                        if top {
+                            let d = match v {
+                                LoVal::Val(d, _) => d,
+                                _ => 0,
+                            };
+                            out.store_depth
+                                .entry(a.array.clone())
+                                .and_modify(|e| *e = (*e).min(d))
+                                .or_insert(d);
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => match lower_expr(cond, k, narrow, env, out, top) {
+                // The folder resolves constant branches — mirror it.
+                LoVal::Lit(0) => lower_stmts(else_body, k, narrow, env, out, top),
+                LoVal::Lit(_) => lower_stmts(then_body, k, narrow, env, out, top),
+                _ => {
+                    // Predicated (or substitution-foldable) branch: take
+                    // no credit for its contents, but scan it for
+                    // environment effects.
+                    lower_stmts(then_body, k, narrow, env, out, false);
+                    lower_stmts(else_body, k, narrow, env, out, false);
+                    let mut names = Vec::new();
+                    assigned_scalars(then_body, &mut names);
+                    assigned_scalars(else_body, &mut names);
+                    for n in names {
+                        let w = if narrow { 1 } else { scalar_decl_bits(k, &n) };
+                        env.insert(n, (0, w));
+                    }
+                }
+            },
+            Stmt::For(l) => {
+                // An inner loop's body executes at least once per copy
+                // when its trip count is positive (zero-trip loops are
+                // dropped by simplification).
+                if l.trip_count() > 0 {
+                    lower_stmts(&l.body, k, narrow, env, out, top);
+                }
+            }
             Stmt::Rotate(_) => {}
         }
     }

@@ -33,6 +33,7 @@ pub mod constraints;
 pub mod device;
 pub mod dfg;
 pub mod estimate;
+pub mod joint;
 pub mod memory;
 pub mod oplib;
 pub mod par;
@@ -49,6 +50,7 @@ pub use dfg::{
 pub use estimate::{
     estimate, estimate_constrained, estimate_opts, Estimate, Provenance, SynthesisOptions,
 };
+pub use joint::{JointAnalyticModel, JointModelKey};
 pub use memory::MemoryModel;
 pub use oplib::{op_spec, HwOp, OpSpec};
 pub use par::{place_and_route, ParResult};

@@ -47,7 +47,7 @@ pub enum TrafficKind {
 
 /// One class of memory accesses of the design point with its exact
 /// per-execution address list.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Traffic {
     /// Accessed array.
     pub array: String,
@@ -106,7 +106,7 @@ pub struct RegisterClass {
 }
 
 /// Serialization facts of one accumulator group (for the compute floor).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccumulatorCensus {
     /// Accumulated array.
     pub array: String,
@@ -121,7 +121,7 @@ pub struct AccumulatorCensus {
 }
 
 /// Exact structural counts of one design point. See the module docs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PointCensus {
     /// The unroll factors, outermost first.
     pub factors: Vec<i64>,

@@ -40,6 +40,7 @@ pub mod scalar;
 pub mod simplify;
 pub mod tiling;
 pub mod unroll;
+pub mod variants;
 
 pub use census::{AccumulatorCensus, PointCensus, RegisterClass, Traffic, TrafficKind};
 pub use error::{JamViolation, Result, TileError, VectorError, XformError};
@@ -53,3 +54,4 @@ pub use scalar::{scalar_replace, ScalarReplacementInfo};
 pub use simplify::simplify_kernel;
 pub use tiling::strip_mine;
 pub use unroll::{carried_scalars, unroll_and_jam, unroll_is_legal};
+pub use variants::{PreparedVariant, VariantCache, VariantKey};
